@@ -1,0 +1,82 @@
+// Bonds: the paper's edge-label generalization in action.
+//
+// §3 of the paper notes that all results "straightforwardly generalize to
+// graphs with edge labels"; this example demonstrates exactly that with
+// molecule-style bond types (1 = single, 2 = double, 3 = aromatic-ish).
+// The same pattern queried with different bond types matches different
+// compounds, and iGQ caches bond-labeled queries just like unlabeled ones.
+//
+// Run with: go run ./examples/bonds
+package main
+
+import (
+	"fmt"
+	"log"
+
+	igq "repro"
+)
+
+func main() {
+	// a compound library with bond-typed edges
+	spec := igq.AIDSSpec().Scaled(0.004, 0.6)
+	spec.EdgeLabels = 3
+	db := igq.GenerateDataset(spec)
+	labeled := 0
+	for _, g := range db {
+		if g.HasEdgeLabels() {
+			labeled++
+		}
+	}
+	fmt.Printf("compound library: %d graphs, %d with typed bonds\n", len(db), labeled)
+
+	eng, err := igq.NewEngine(db, igq.EngineOptions{
+		Method: igq.Grapes, CacheSize: 40, Window: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// one carbon-chain pattern, three bond-type variants
+	mkChain := func(bond igq.Label) *igq.Graph {
+		g := igq.NewGraph(3)
+		v0 := g.AddVertex(0)
+		v1 := g.AddVertex(0)
+		v2 := g.AddVertex(0)
+		g.AddEdgeLabeled(v0, v1, bond)
+		g.AddEdgeLabeled(v1, v2, bond)
+		return g
+	}
+	for _, bond := range []igq.Label{1, 2, 3} {
+		res, err := eng.QuerySubgraph(mkChain(bond))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chain with bond type %d: %3d matching compounds (%d iso tests)\n",
+			bond, len(res.Matches), res.Stats.DatasetIsoTests)
+	}
+
+	// a mixed-bond pattern extracted from a real compound — guaranteed hit,
+	// and cached for the repeat
+	pattern := igq.ExtractQuery(db[7], 0, 6)
+	r1, err := eng.QuerySubgraph(pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nextracted mixed-bond pattern (%d edges): %d matches, %d tests\n",
+		pattern.NumEdges(), len(r1.Matches), r1.Stats.DatasetIsoTests)
+
+	for i := 0; i < 8; i++ { // fill the window so the cache absorbs it
+		if _, err := eng.QuerySubgraph(igq.ExtractQuery(db[10+i], 0, 4)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	r2, err := eng.QuerySubgraph(pattern.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat of the same pattern: answered by cache = %v, %d tests\n",
+		r2.Stats.AnsweredByCache, r2.Stats.DatasetIsoTests)
+	if len(r1.IDs) != len(r2.IDs) {
+		log.Fatal("cache changed a bond-labeled answer — correctness bug")
+	}
+}

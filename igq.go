@@ -1,0 +1,385 @@
+// Package igq is the public API of the iGQ reproduction — "Indexing Query
+// Graphs to Speedup Graph Query Processing" (Wang, Ntarmos, Triantafillou,
+// EDBT 2016).
+//
+// iGQ accelerates subgraph and supergraph query processing over a database
+// of labeled graphs by caching previously executed query graphs together
+// with their answers, and exploiting subgraph/supergraph relationships
+// between new and cached queries to skip (or entirely avoid) subgraph
+// isomorphism tests. It wraps any filter-then-verify method; this module
+// ships three faithful reimplementations of the paper's baselines
+// (GraphGrepSX, Grapes, CT-Index) plus the paper's own trie-based
+// containment index for supergraph queries.
+//
+// Quick start:
+//
+//	db, _ := igq.LoadGraphs("dataset.db") // or igq.GenerateDataset(spec)
+//	eng, _ := igq.NewEngine(db, igq.EngineOptions{Method: igq.Grapes})
+//	res, _ := eng.QuerySubgraph(pattern)  // which graphs contain pattern?
+//	fmt.Println(len(res.Matches), res.Stats.DatasetIsoTests)
+//
+// The package re-exports the graph type and generators so downstream users
+// never import internal packages.
+package igq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/index/contain"
+	"repro/internal/index/ctindex"
+	"repro/internal/index/ggsx"
+	"repro/internal/index/grapes"
+	"repro/internal/iso"
+	"repro/internal/workload"
+)
+
+// Graph is a labeled undirected graph (vertices carry integer labels).
+type Graph = graph.Graph
+
+// Label is a vertex label.
+type Label = graph.Label
+
+// NewGraph returns an empty graph with capacity for n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// ReadGraphs parses a stream of graphs in the text codec (see package
+// documentation for the format).
+func ReadGraphs(r io.Reader) ([]*Graph, error) { return graph.ReadAll(r) }
+
+// WriteGraphs serialises graphs to w in the text codec.
+func WriteGraphs(w io.Writer, gs []*Graph) error { return graph.WriteAll(w, gs) }
+
+// LoadGraphs reads all graphs from a file.
+func LoadGraphs(path string) ([]*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraphs writes all graphs to a file.
+func SaveGraphs(path string, gs []*Graph) error { return graph.SaveFile(path, gs) }
+
+// IsSubgraph reports whether pattern ⊆ target (labeled subgraph
+// isomorphism, VF2).
+func IsSubgraph(pattern, target *Graph) bool { return iso.Subgraph(pattern, target) }
+
+// Isomorphic reports whether two labeled graphs are isomorphic.
+func Isomorphic(a, b *Graph) bool { return iso.Isomorphic(a, b) }
+
+// MethodKind selects the underlying filter-then-verify method.
+type MethodKind int
+
+const (
+	// Grapes: path index with location-restricted verification (paper's
+	// strongest baseline; the default).
+	Grapes MethodKind = iota
+	// GGSX: GraphGrepSX path-trie index.
+	GGSX
+	// CTIndex: tree/cycle fingerprint index.
+	CTIndex
+	// Containment: the paper's trie containment index — required for
+	// supergraph query engines.
+	Containment
+)
+
+// String names the method as in the paper.
+func (m MethodKind) String() string {
+	switch m {
+	case Grapes:
+		return "Grapes"
+	case GGSX:
+		return "GGSX"
+	case CTIndex:
+		return "CT-Index"
+	case Containment:
+		return "Contain"
+	default:
+		return "unknown"
+	}
+}
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// Method picks the dataset index (default Grapes).
+	Method MethodKind
+	// Threads applies to Grapes index construction (paper: 1 or 6).
+	Threads int
+	// MaxPathLen is the path feature length for path-based indexes and the
+	// iGQ query indexes (default 4).
+	MaxPathLen int
+	// Supergraph switches the engine to supergraph query semantics
+	// ("which dataset graphs are contained in the query"); requires
+	// Method == Containment (set automatically when Method is zero).
+	Supergraph bool
+	// CacheSize / Window are iGQ's C and W (defaults 500 / 100).
+	CacheSize int
+	Window    int
+	// DisableCache turns iGQ off entirely (plain filter-then-verify).
+	DisableCache bool
+}
+
+// Engine answers graph queries over a fixed dataset, accelerated by iGQ.
+type Engine struct {
+	db     []*Graph
+	m      index.Method
+	ig     *core.IGQ
+	superQ bool
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	// Matches holds the answer: for subgraph queries, the dataset graphs
+	// containing the query; for supergraph queries, those contained in it.
+	Matches []*Graph
+	// IDs are the dataset positions of Matches.
+	IDs []int32
+	// Stats carries the iGQ processing counters (zero-valued when the
+	// cache is disabled).
+	Stats QueryStats
+}
+
+// QueryStats summarises one query's processing effort.
+type QueryStats struct {
+	BaseCandidates  int  // method M's candidate-set size
+	FinalCandidates int  // candidates left after iGQ pruning
+	DatasetIsoTests int  // isomorphism tests against dataset graphs
+	CacheIsoTests   int  // tests against cached query graphs
+	SubHits         int  // cached supergraph-of-query hits
+	SuperHits       int  // cached subgraph-of-query hits
+	AnsweredByCache bool // short-circuited via §4.3 optimal cases
+}
+
+// NewEngine indexes db and returns a ready engine.
+func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
+	if len(db) == 0 {
+		return nil, errors.New("igq: empty dataset")
+	}
+	if opt.MaxPathLen <= 0 {
+		opt.MaxPathLen = 4
+	}
+	if opt.Supergraph {
+		opt.Method = Containment
+	}
+	var m index.Method
+	switch opt.Method {
+	case Grapes:
+		m = grapes.New(grapes.Options{MaxPathLen: opt.MaxPathLen, Threads: opt.Threads})
+	case GGSX:
+		m = ggsx.New(ggsx.Options{MaxPathLen: opt.MaxPathLen})
+	case CTIndex:
+		m = ctindex.New(ctindex.DefaultOptions())
+	case Containment:
+		m = contain.New(contain.Options{MaxPathLen: opt.MaxPathLen})
+		opt.Supergraph = true
+	default:
+		return nil, fmt.Errorf("igq: unknown method %v", opt.Method)
+	}
+	m.Build(db)
+	e := &Engine{db: db, m: m, superQ: opt.Supergraph}
+	if !opt.DisableCache {
+		mode := core.SubgraphQueries
+		if opt.Supergraph {
+			mode = core.SupergraphQueries
+		}
+		e.ig = core.New(m, db, core.Options{
+			CacheSize:  opt.CacheSize,
+			Window:     opt.Window,
+			MaxPathLen: opt.MaxPathLen,
+			Mode:       mode,
+		})
+	}
+	return e, nil
+}
+
+// QuerySubgraph returns the dataset graphs that contain q. It must only be
+// called on engines built with subgraph semantics (Supergraph == false).
+func (e *Engine) QuerySubgraph(q *Graph) (Result, error) {
+	if e.superQ {
+		return Result{}, errors.New("igq: engine built for supergraph queries")
+	}
+	return e.query(q), nil
+}
+
+// QuerySupergraph returns the dataset graphs contained in q. It must only
+// be called on engines built with Supergraph == true.
+func (e *Engine) QuerySupergraph(q *Graph) (Result, error) {
+	if !e.superQ {
+		return Result{}, errors.New("igq: engine built for subgraph queries")
+	}
+	return e.query(q), nil
+}
+
+func (e *Engine) query(q *Graph) Result {
+	var ids []int32
+	var st QueryStats
+	if e.ig != nil {
+		o := e.ig.Query(q)
+		ids = o.Answer
+		st = QueryStats{
+			BaseCandidates:  o.BaseCandidates,
+			FinalCandidates: o.FinalCandidates,
+			DatasetIsoTests: o.DatasetIsoTests,
+			CacheIsoTests:   o.CacheIsoTests,
+			SubHits:         o.SubHits,
+			SuperHits:       o.SuperHits,
+			AnsweredByCache: o.Short != core.NoShortCircuit,
+		}
+	} else {
+		ids = index.Answer(e.m, q)
+		st.BaseCandidates = len(e.m.Filter(q))
+		st.FinalCandidates = st.BaseCandidates
+		st.DatasetIsoTests = st.BaseCandidates
+	}
+	res := Result{IDs: ids, Stats: st}
+	for _, id := range ids {
+		res.Matches = append(res.Matches, e.db[id])
+	}
+	return res
+}
+
+// SaveCache serialises the engine's accumulated query cache (cached query
+// graphs, answers, replacement metadata) so a later process can resume with
+// warm knowledge. Returns an error if the cache is disabled.
+func (e *Engine) SaveCache(w io.Writer) error {
+	if e.ig == nil {
+		return errors.New("igq: cache disabled")
+	}
+	return e.ig.Save(w)
+}
+
+// LoadCache replaces the engine's cache with a snapshot previously written
+// by SaveCache. The snapshot must have been taken against the same dataset;
+// entries beyond the engine's cache size are dropped lowest-utility first.
+func (e *Engine) LoadCache(r io.Reader) error {
+	if e.ig == nil {
+		return errors.New("igq: cache disabled")
+	}
+	mode := core.SubgraphQueries
+	if e.superQ {
+		mode = core.SupergraphQueries
+	}
+	ig, err := core.Load(r, e.m, e.db, core.Options{
+		CacheSize: e.ig.CacheSize(),
+		Window:    e.ig.WindowSize(),
+		Mode:      mode,
+	})
+	if err != nil {
+		return err
+	}
+	e.ig = ig
+	return nil
+}
+
+// BatchResult pairs a query index with its result.
+type BatchResult struct {
+	Index  int
+	Result Result
+	Err    error
+}
+
+// QueryBatch answers many queries, returning results in input order.
+// Queries run sequentially through the cache (iGQ's query stream is
+// stateful: each query's knowledge serves the next), but with the cache
+// disabled the batch fans out across workers goroutines (0 → GOMAXPROCS-
+// style default of 4).
+func (e *Engine) QueryBatch(queries []*Graph, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	runOne := func(i int) {
+		var r Result
+		var err error
+		if e.superQ {
+			r, err = e.QuerySupergraph(queries[i])
+		} else {
+			r, err = e.QuerySubgraph(queries[i])
+		}
+		out[i] = BatchResult{Index: i, Result: r, Err: err}
+	}
+	if e.ig != nil || workers == 1 || len(queries) < 2 {
+		for i := range queries {
+			runOne(i)
+		}
+		return out
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// MethodName returns the wrapped method's display name.
+func (e *Engine) MethodName() string { return e.m.Name() }
+
+// CacheLen returns the number of cached queries (0 when disabled).
+func (e *Engine) CacheLen() int {
+	if e.ig == nil {
+		return 0
+	}
+	return e.ig.CacheLen()
+}
+
+// IndexSizeBytes returns the dataset index footprint plus the iGQ overhead.
+func (e *Engine) IndexSizeBytes() (method, cache int) {
+	method = e.m.SizeBytes()
+	if e.ig != nil {
+		cache = e.ig.SizeBytes()
+	}
+	return method, cache
+}
+
+// DatasetSpec describes a synthetic dataset family (re-export of the
+// generator used to emulate the paper's datasets).
+type DatasetSpec = dataset.Spec
+
+// Dataset families matching the paper's Table 1 (full scale); use
+// Scaled(countFrac, sizeFrac) for tractable derivatives.
+func AIDSSpec() DatasetSpec      { return dataset.AIDS() }
+func PDBSSpec() DatasetSpec      { return dataset.PDBS() }
+func PPISpec() DatasetSpec       { return dataset.PPI() }
+func SyntheticSpec() DatasetSpec { return dataset.Synthetic() }
+
+// GenerateDataset produces a synthetic dataset from a spec.
+func GenerateDataset(spec DatasetSpec) []*Graph { return dataset.Generate(spec) }
+
+// WorkloadSpec describes a query workload (re-export; see the paper §7.1).
+type WorkloadSpec = workload.Spec
+
+// Workload distributions.
+const (
+	Uniform = workload.Uniform
+	Zipf    = workload.Zipf
+)
+
+// GenerateWorkload extracts a query stream from db per the paper's
+// protocol, returning the query graphs.
+func GenerateWorkload(db []*Graph, spec WorkloadSpec) []*Graph {
+	qs := workload.Generate(db, spec)
+	out := make([]*Graph, len(qs))
+	for i, q := range qs {
+		out[i] = q.G
+	}
+	return out
+}
+
+// ExtractQuery performs one BFS query extraction from g (paper §7.1).
+func ExtractQuery(g *Graph, startVertex, targetEdges int) *Graph {
+	return workload.Extract(g, startVertex, targetEdges)
+}

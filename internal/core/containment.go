@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/features"
+	"repro/internal/graph"
+	"repro/internal/trie"
+)
+
+// ContainmentIndex is the paper's novel supergraph index (Algorithms 1 and
+// 2): a trie over the features of a set of indexed graphs that, given a
+// query graph g, returns the candidate indexed graphs that may be
+// *subgraphs* of g.
+//
+// For each indexed graph gi, the index stores every feature f of gi with its
+// occurrence count o as a posting {gi, o} (Algorithm 1), plus NF[gi], the
+// number of distinct features of gi. A query g with feature occurrences
+// O[f, g] produces candidates gi for which every feature of gi appears in g
+// with o ≤ O[f, g] — realised, exactly as in Algorithm 2, by counting for
+// each gi the features that pass the occurrence test and keeping gi iff the
+// count equals NF[gi]. The candidate set has no false negatives (see the
+// paper's §6.2 argument); callers verify gi ⊆ g to remove false positives.
+//
+// iGQ uses a ContainmentIndex over cached query graphs as Isuper; package
+// index/contain wraps one over the dataset graphs to obtain a standalone
+// supergraph query processing method (the paper's §4.4 Msuper).
+type ContainmentIndex struct {
+	maxPathLen int
+	tr         *trie.Trie
+	nf         map[int32]int // NF[gi]: distinct feature count per graph
+}
+
+// NewContainmentIndex returns an empty containment index using labeled
+// simple paths of up to maxPathLen edges as the feature family.
+func NewContainmentIndex(maxPathLen int) *ContainmentIndex {
+	if maxPathLen <= 0 {
+		maxPathLen = 4
+	}
+	return &ContainmentIndex{
+		maxPathLen: maxPathLen,
+		tr:         trie.New(),
+		nf:         make(map[int32]int),
+	}
+}
+
+// Add indexes graph g under identifier id (Algorithm 1's loop body).
+func (ci *ContainmentIndex) Add(id int32, g *graph.Graph) {
+	fs := features.Paths(g, features.PathOptions{MaxLen: ci.maxPathLen})
+	ci.AddFromFeatures(id, fs.Counts)
+}
+
+// AddFromFeatures indexes a graph by its precomputed feature occurrence
+// counts, letting callers share one enumeration across several indexes.
+func (ci *ContainmentIndex) AddFromFeatures(id int32, counts map[string]int) {
+	ci.nf[id] = len(counts)
+	for f, o := range counts {
+		ci.tr.Insert(f, trie.Posting{Graph: id, Count: int32(o)})
+	}
+}
+
+// Len returns the number of indexed graphs.
+func (ci *ContainmentIndex) Len() int { return len(ci.nf) }
+
+// CandidateSubgraphs implements Algorithm 2: the ids of indexed graphs that
+// may satisfy gi ⊆ g. The result is sorted ascending and contains no false
+// negatives.
+func (ci *ContainmentIndex) CandidateSubgraphs(g *graph.Graph) []int32 {
+	qf := features.Paths(g, features.PathOptions{MaxLen: ci.maxPathLen})
+	return ci.candidatesFromFeatures(qf.Counts)
+}
+
+// candidatesFromFeatures is Algorithm 2 given precomputed query occurrence
+// counts O[f, g].
+func (ci *ContainmentIndex) candidatesFromFeatures(occur map[string]int) []int32 {
+	matched := make(map[int32]int)
+	for f, oq := range occur {
+		for _, p := range ci.tr.Get(f) {
+			if int(p.Count) <= oq {
+				matched[p.Graph]++
+			}
+		}
+	}
+	var cs []int32
+	for id, cnt := range matched {
+		if cnt == ci.nf[id] {
+			cs = append(cs, id)
+		}
+	}
+	// A graph with no features can only be the empty graph, which is a
+	// subgraph of everything; include any such indexed graphs.
+	for id, n := range ci.nf {
+		if n == 0 {
+			cs = append(cs, id)
+		}
+	}
+	return sortIDs(cs)
+}
+
+// SizeBytes approximates the index footprint (trie plus NF table).
+func (ci *ContainmentIndex) SizeBytes() int {
+	return ci.tr.SizeBytes() + 12*len(ci.nf)
+}

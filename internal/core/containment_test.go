@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/iso"
+)
+
+func TestContainmentNoFalseNegatives(t *testing.T) {
+	// Algorithm 2's candidate set must contain every indexed graph that is
+	// truly a subgraph of the query (paper §6.2 proof, executable form).
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		ci := NewContainmentIndex(4)
+		var indexed []*graph.Graph
+		for i := 0; i < 12; i++ {
+			g := randomGraph(rng, 2+rng.Intn(5), 0.4, 3)
+			indexed = append(indexed, g)
+			ci.Add(int32(i), g)
+		}
+		q := randomGraph(rng, 4+rng.Intn(5), 0.4, 3)
+		cs := map[int32]bool{}
+		for _, id := range ci.CandidateSubgraphs(q) {
+			cs[id] = true
+		}
+		for i, g := range indexed {
+			if iso.Reference(g, q) && !cs[int32(i)] {
+				t.Fatalf("trial %d: indexed graph %d ⊆ query but not in CS", trial, i)
+			}
+		}
+	}
+}
+
+func TestContainmentOccurrenceCountFilter(t *testing.T) {
+	// a graph needing two occurrences of a feature must not be a candidate
+	// for a query that has only one
+	ci := NewContainmentIndex(4)
+	twoEdges := graph.New(4) // two disjoint 1-2 edges
+	twoEdges.AddVertex(1)
+	twoEdges.AddVertex(2)
+	twoEdges.AddVertex(1)
+	twoEdges.AddVertex(2)
+	twoEdges.AddEdge(0, 1)
+	twoEdges.AddEdge(2, 3)
+	ci.Add(0, twoEdges)
+
+	oneEdge := graph.New(2)
+	oneEdge.AddVertex(1)
+	oneEdge.AddVertex(2)
+	oneEdge.AddEdge(0, 1)
+	if cs := ci.CandidateSubgraphs(oneEdge); len(cs) != 0 {
+		t.Errorf("occurrence filter failed: CS=%v", cs)
+	}
+	// but a query with both edges qualifies
+	if cs := ci.CandidateSubgraphs(twoEdges); len(cs) != 1 {
+		t.Errorf("self query: CS=%v", cs)
+	}
+}
+
+func TestContainmentEmptyIndexedGraph(t *testing.T) {
+	ci := NewContainmentIndex(4)
+	ci.Add(7, graph.New(0))
+	q := randomGraph(rand.New(rand.NewSource(1)), 4, 0.5, 2)
+	cs := ci.CandidateSubgraphs(q)
+	if len(cs) != 1 || cs[0] != 7 {
+		t.Errorf("empty graph must be everyone's subgraph candidate: %v", cs)
+	}
+}
+
+func TestContainmentLenAndSize(t *testing.T) {
+	ci := NewContainmentIndex(4)
+	if ci.Len() != 0 {
+		t.Error("fresh index non-empty")
+	}
+	ci.Add(0, tinyGraph())
+	ci.Add(1, tinyGraph())
+	if ci.Len() != 2 {
+		t.Errorf("Len = %d", ci.Len())
+	}
+	if ci.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}
+
+func TestContainmentExactSelfHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 20; trial++ {
+		ci := NewContainmentIndex(4)
+		g := randomGraph(rng, 3+rng.Intn(5), 0.4, 3)
+		ci.Add(0, g)
+		cs := ci.CandidateSubgraphs(g)
+		if len(cs) != 1 || cs[0] != 0 {
+			t.Fatalf("trial %d: graph not a candidate subgraph of itself: %v", trial, cs)
+		}
+	}
+}

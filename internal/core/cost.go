@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+)
+
+// Subgraph-isomorphism cost model (paper §5.1).
+//
+// The paper extends the VF asymptotic analysis of Cordella et al. [8] to
+// subgraph isomorphism: for graphs over L labels, a query g′ with n nodes
+// and a dataset graph Gi with Ni ≥ n nodes,
+//
+//	c(g′, Gi) = Ni · Ni! / (L^(n+1) · (Ni−n)!)
+//
+// Ni! overflows float64 already at Ni = 171 while PDBS-like graphs have
+// thousands of vertices, so all costs are kept in natural-log space:
+//
+//	ln c = ln Ni + lnΓ(Ni+1) − (n+1)·ln L − lnΓ(Ni−n+1)
+//
+// Per-entry totals C(g) are accumulated with log-sum-exp, and the utility
+// U(g) = C(g)/M(g) is compared as ln U = ln C − ln M (log is monotone, so
+// orderings — all the replacement policy needs — are preserved exactly).
+
+// LogIsoCost returns ln c(g′, Gi) for a query with queryNodes vertices, a
+// dataset graph with targetNodes vertices, and a label domain of size
+// labels. If targetNodes < queryNodes the test trivially fails and the cost
+// is -Inf (zero). labels < 2 degrades gracefully to ln L = 0.
+func LogIsoCost(queryNodes, targetNodes, labels int) float64 {
+	if targetNodes < queryNodes || targetNodes <= 0 {
+		return math.Inf(-1)
+	}
+	n := float64(queryNodes)
+	ni := float64(targetNodes)
+	logL := 0.0
+	if labels > 1 {
+		logL = math.Log(float64(labels))
+	}
+	lgNi, _ := math.Lgamma(ni + 1)
+	lgRem, _ := math.Lgamma(ni - n + 1)
+	return math.Log(ni) + lgNi - (n+1)*logL - lgRem
+}
+
+// LogSumExp returns ln(e^a + e^b), the log-space accumulator used for C(g).
+// Either argument may be -Inf (an absent term).
+func LogSumExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}

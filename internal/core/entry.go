@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// entry is one cached query graph with its answer set and the replacement-
+// policy metadata of the paper's §5.1.
+type entry struct {
+	id     int32        // stable slot id used by the cache-side indexes
+	g      *graph.Graph // the query graph (Igraphs store)
+	answer []int32      // Answer(G): sorted dataset graph ids
+	fp     uint64       // structural fingerprint for fast identical checks
+
+	insertedAt int64   // query sequence number at insertion (defines M(g))
+	hits       int64   // H(g): times found as sub/supergraph of a query
+	removed    int64   // R(g): candidates pruned because of this entry
+	logCost    float64 // ln C(g): log-sum-exp of alleviated test costs
+}
+
+// newEntry builds a cache entry; logCost starts at -Inf (C(g) = 0).
+func newEntry(id int32, g *graph.Graph, answer []int32, seq int64) *entry {
+	return &entry{
+		id:         id,
+		g:          g,
+		answer:     append([]int32(nil), answer...),
+		fp:         graph.Fingerprint(g),
+		insertedAt: seq,
+		logCost:    math.Inf(-1),
+	}
+}
+
+// logUtility returns ln U(g) = ln C(g) − ln M(g) at sequence number seq.
+// Entries that never alleviated a test have utility -Inf and are evicted
+// first. M(g) is at least 1 to keep the ratio defined for brand-new entries.
+func (e *entry) logUtility(seq int64) float64 {
+	m := seq - e.insertedAt
+	if m < 1 {
+		m = 1
+	}
+	return e.logCost - math.Log(float64(m))
+}
+
+// creditHit records a hit that pruned the given candidate dataset graphs
+// for a query with queryNodes vertices. targetSizes lists the vertex counts
+// of the pruned graphs; labels is the label-domain size for the cost model.
+func (e *entry) creditHit(queryNodes int, targetSizes []int, labels int) {
+	e.hits++
+	e.removed += int64(len(targetSizes))
+	for _, ni := range targetSizes {
+		e.logCost = LogSumExp(e.logCost, LogIsoCost(queryNodes, ni, labels))
+	}
+}
+
+// sortIDs sorts a slice of graph ids ascending, in place, returning it.
+func sortIDs(ids []int32) []int32 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// evictionOrder returns the entries sorted by ascending utility (worst
+// first), with ties broken by older insertion then lower id for
+// determinism.
+func evictionOrder(entries []*entry, seq int64) []*entry {
+	out := append([]*entry(nil), entries...)
+	sort.Slice(out, func(i, j int) bool {
+		ui, uj := out[i].logUtility(seq), out[j].logUtility(seq)
+		if ui != uj {
+			return ui < uj
+		}
+		if out[i].insertedAt != out[j].insertedAt {
+			return out[i].insertedAt < out[j].insertedAt
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// sortEntriesBy sorts entries in place with the given less function.
+func sortEntriesBy(es []*entry, less func(a, b *entry) bool) {
+	sort.Slice(es, func(i, j int) bool { return less(es[i], es[j]) })
+}

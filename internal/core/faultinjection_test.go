@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/index/ggsx"
+)
+
+// sloppyMethod wraps a correct method but violates the tidiness (not the
+// soundness) of the Method contract: its candidate sets come back
+// unsorted, with duplicates, and padded with extra false positives. iGQ
+// must absorb all of that without changing any answer — the executable form
+// of "iGQ can accommodate any proposed index" (§2.1).
+type sloppyMethod struct {
+	inner index.Method
+	rng   *rand.Rand
+	n     int
+}
+
+func (s *sloppyMethod) Name() string { return "sloppy(" + s.inner.Name() + ")" }
+
+func (s *sloppyMethod) Build(db []*graph.Graph) {
+	s.inner.Build(db)
+	s.n = len(db)
+}
+
+func (s *sloppyMethod) Filter(q *graph.Graph) []int32 {
+	cs := append([]int32(nil), s.inner.Filter(q)...)
+	// extra false positives
+	for i := 0; i < 3; i++ {
+		cs = append(cs, int32(s.rng.Intn(s.n)))
+	}
+	// duplicates
+	if len(cs) > 0 {
+		cs = append(cs, cs[0])
+	}
+	// shuffle away the ordering
+	s.rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+	return cs
+}
+
+func (s *sloppyMethod) Verify(q *graph.Graph, id int32) bool { return s.inner.Verify(q, id) }
+func (s *sloppyMethod) SizeBytes() int                       { return s.inner.SizeBytes() }
+
+func TestIGQToleratesSloppyMethod(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	db := buildDB(rng, 20)
+	clean := ggsx.New(ggsx.DefaultOptions())
+	clean.Build(db)
+	sloppy := &sloppyMethod{inner: ggsx.New(ggsx.DefaultOptions()), rng: rand.New(rand.NewSource(5))}
+	sloppy.Build(db)
+
+	ig := New(sloppy, db, Options{CacheSize: 12, Window: 3})
+	for i, q := range workload(rng, db, 60) {
+		want := index.Answer(clean, q)
+		got := ig.Query(q)
+		if !reflect.DeepEqual(got.Answer, want) {
+			t.Fatalf("query %d: sloppy-method iGQ answer %v != clean %v", i, got.Answer, want)
+		}
+	}
+}
+
+func TestNormalizeIDs(t *testing.T) {
+	cases := []struct{ in, want []int32 }{
+		{nil, nil},
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}},       // already sorted: untouched
+		{[]int32{3, 1, 2}, []int32{1, 2, 3}},       // unsorted
+		{[]int32{2, 2, 1}, []int32{1, 2}},          // duplicates
+		{[]int32{5, 5, 5, 5}, []int32{5}},          // all equal
+		{[]int32{1, 1, 2, 3, 3}, []int32{1, 2, 3}}, // sorted with dups
+	}
+	for i, c := range cases {
+		got := normalizeIDs(append([]int32(nil), c.in...))
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("case %d: normalizeIDs(%v) = %v, want %v", i, c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIDsDoesNotMutateSortedInput(t *testing.T) {
+	in := []int32{1, 4, 9}
+	got := normalizeIDs(in)
+	if &got[0] != &in[0] {
+		t.Error("sorted input should be returned as-is (no copy)")
+	}
+}

@@ -1,0 +1,584 @@
+// Package core implements iGQ — the paper's contribution: a query-graph
+// index layered on top of any filter-then-verify graph query processing
+// method M, exploiting subgraph/supergraph relationships between new and
+// previously executed queries to prune M's candidate set before the
+// expensive subgraph isomorphism tests (paper §4), plus the utility-based
+// index space management of §5.
+//
+// The three knowledge paths of Fig 6 are all implemented:
+//
+//   - the dataset index path: M.Filter produces CS(g);
+//   - the subgraph path (Isub): cached queries G ⊇ g contribute their
+//     answers — removed from CS(g) (formula 3) and added to the final
+//     answer (formula 4);
+//   - the supergraph path (Isuper): cached queries G ⊆ g restrict CS(g) to
+//     the intersection of their answers (formula 5).
+//
+// The two optimal cases of §4.3 (identical query, and an empty-answer
+// subgraph hit) short-circuit verification entirely, and §4.4's inverse
+// wiring supports supergraph query processing with the same two indexes.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/iso"
+)
+
+// Mode selects which query semantics the wrapped method M implements.
+type Mode int
+
+const (
+	// SubgraphQueries: M answers "which dataset graphs contain g".
+	SubgraphQueries Mode = iota
+	// SupergraphQueries: M answers "which dataset graphs are contained in
+	// g" (M.Verify(q, id) must test db[id] ⊆ q, e.g. contain.Index).
+	SupergraphQueries
+)
+
+// ShortCircuit describes the §4.3 optimal cases.
+type ShortCircuit int
+
+const (
+	// NoShortCircuit: the normal three-path pipeline ran.
+	NoShortCircuit ShortCircuit = iota
+	// IdenticalHit: the query is isomorphic to a cached query; its stored
+	// answer was returned with zero dataset isomorphism tests.
+	IdenticalHit
+	// EmptyAnswerHit: a cached subquery (resp. superquery) with an empty
+	// answer proves the new query's answer is empty.
+	EmptyAnswerHit
+)
+
+// Options configures an iGQ instance. Zero values select the paper's
+// defaults (C=500, W=100, path features of length ≤ 4).
+type Options struct {
+	// CacheSize is C, the maximum number of cached query graphs.
+	CacheSize int
+	// Window is W, the batch window size (W ≤ C; paper default 100).
+	Window int
+	// MaxPathLen is the feature length for Isub/Isuper (default 4).
+	MaxPathLen int
+	// Labels is the label-domain size L of the cost model; 0 derives it
+	// from the dataset at construction.
+	Labels int
+	// Mode selects subgraph (default) or supergraph query processing.
+	Mode Mode
+	// Parallel runs the three filtering paths concurrently, as in the
+	// paper's system description (Fig 6, step 1).
+	Parallel bool
+	// DisableSub / DisableSuper switch off one knowledge path (ablation).
+	DisableSub   bool
+	DisableSuper bool
+	// Eviction selects the replacement policy (ablation of §5.1).
+	Eviction EvictionPolicy
+	// AsyncMaintenance enables the paper's §5.2 shadow-index scheme
+	// verbatim: after a window flush the replacement decision is taken
+	// immediately, but the new Isub/Isuper are built in the background
+	// while incoming queries keep being served by the previous index
+	// ("When the shadow indexing is over, Ishadow replaces I with a
+	// pointer swap"). Off by default so experiment counters stay
+	// deterministic; correctness holds either way, since any consistent
+	// cache snapshot yields correct answers.
+	AsyncMaintenance bool
+}
+
+// EvictionPolicy selects how flush picks victims.
+type EvictionPolicy int
+
+const (
+	// UtilityEviction is the paper's policy: evict minimum U(g) = C(g)/M(g).
+	UtilityEviction EvictionPolicy = iota
+	// FIFOEviction evicts the oldest entries — the "traditional cache"
+	// strawman the paper's §5.1 argues against; kept for ablation benches.
+	FIFOEviction
+	// PopularityEviction evicts the lowest hit-rate H(g)/M(g) entries —
+	// popularity without the cost terms, isolating their contribution.
+	PopularityEviction
+)
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 500
+	}
+	if o.Window <= 0 {
+		o.Window = 100
+	}
+	if o.Window > o.CacheSize {
+		o.Window = o.CacheSize
+	}
+	if o.MaxPathLen <= 0 {
+		o.MaxPathLen = 4
+	}
+	return o
+}
+
+// Outcome reports one query's processing, with the counters the paper's
+// experiments are built on.
+type Outcome struct {
+	Answer []int32 // sorted dataset graph ids
+
+	BaseCandidates  int // |CS(g)| from M alone
+	FinalCandidates int // candidates verified after iGQ pruning
+	Verified        int // final candidates that passed verification
+	DatasetIsoTests int // subgraph isomorphism tests against dataset graphs
+	CacheIsoTests   int // tests against cached (small) query graphs
+	SubHits         int // |Isub(g)| (verified)
+	SuperHits       int // |Isuper(g)| (verified)
+	Short           ShortCircuit
+
+	FilterDur time.Duration // M.Filter time
+	CacheDur  time.Duration // Isub+Isuper lookup & verification time
+	VerifyDur time.Duration // dataset verification time
+}
+
+// IGQ wraps a built index.Method with the query-graph cache.
+// Not safe for concurrent Query calls: queries mutate cache metadata, as in
+// the paper's sequential query-stream model.
+type IGQ struct {
+	m   index.Method
+	db  []*graph.Graph
+	opt Options
+
+	seq     int64 // queries processed
+	nextID  int32
+	entries []*entry
+	byID    map[int32]*entry
+	isub    *subIndex
+	isuper  *ContainmentIndex
+	window  []*entry
+	flushes int
+
+	// shadow-build state (AsyncMaintenance): while a rebuild is in flight,
+	// queries are served by the snapshot the current isub/isuper/byID
+	// describe; the swap is applied at the next Query entry after the
+	// builder goroutine delivers.
+	shadow chan shadowResult
+}
+
+// shadowResult is the payload delivered by a background index build.
+type shadowResult struct {
+	entries []*entry
+	byID    map[int32]*entry
+	isub    *subIndex
+	isuper  *ContainmentIndex
+}
+
+// New wraps method m (which must already be Built over db) with an iGQ
+// query cache.
+func New(m index.Method, db []*graph.Graph, opt Options) *IGQ {
+	opt = opt.withDefaults()
+	if opt.Labels == 0 {
+		seen := map[graph.Label]struct{}{}
+		for _, g := range db {
+			for _, l := range g.LabelSet() {
+				seen[l] = struct{}{}
+			}
+		}
+		opt.Labels = len(seen)
+	}
+	q := &IGQ{
+		m:    m,
+		db:   db,
+		opt:  opt,
+		byID: make(map[int32]*entry),
+	}
+	q.rebuildIndexes()
+	return q
+}
+
+// Method returns the wrapped method.
+func (q *IGQ) Method() index.Method { return q.m }
+
+// CacheLen returns the number of active cached queries (excluding the
+// pending window).
+func (q *IGQ) CacheLen() int { return len(q.entries) }
+
+// WindowLen returns the number of queries pending in the batch window.
+func (q *IGQ) WindowLen() int { return len(q.window) }
+
+// Flushes returns how many window flushes (shadow rebuilds) have occurred.
+func (q *IGQ) Flushes() int { return q.flushes }
+
+// Queries returns the number of queries processed.
+func (q *IGQ) Queries() int64 { return q.seq }
+
+// CacheSize returns the configured capacity C.
+func (q *IGQ) CacheSize() int { return q.opt.CacheSize }
+
+// WindowSize returns the configured batch window W.
+func (q *IGQ) WindowSize() int { return q.opt.Window }
+
+// SizeBytes reports the iGQ space overhead: both cache-side indexes, the
+// stored query graphs, their answer sets and metadata (paper Fig 18).
+func (q *IGQ) SizeBytes() int {
+	sz := q.isub.SizeBytes() + q.isuper.SizeBytes()
+	for _, e := range q.entries {
+		sz += e.g.SizeBytes() + 4*len(e.answer) + 64
+	}
+	for _, e := range q.window {
+		sz += e.g.SizeBytes() + 4*len(e.answer) + 64
+	}
+	return sz
+}
+
+// subgraphTest is the cache-side isomorphism test (small graphs; VF2).
+func subgraphTest(p, t *graph.Graph) bool { return iso.Subgraph(p, t) }
+
+// Query processes one query through the full iGQ pipeline of Fig 6 and
+// returns its outcome. The final answer is exactly what M alone would have
+// produced (paper Theorems 1 and 2), with fewer verification tests.
+func (q *IGQ) Query(g *graph.Graph) *Outcome {
+	q.applyShadow(false) // §5.2 pointer swap, if a shadow build finished
+	q.seq++
+	out := &Outcome{}
+
+	qCounts := features.Paths(g, features.PathOptions{MaxLen: q.opt.MaxPathLen}).Counts
+	qfp := graph.Fingerprint(g)
+
+	var cs []int32
+	var subHits, superHits []*entry
+	var identical *entry
+
+	lookup := func() {
+		t0 := time.Now()
+		subHits, superHits, identical = q.cacheLookup(g, qfp, qCounts, out)
+		out.CacheDur = time.Since(t0)
+	}
+	filter := func() {
+		t0 := time.Now()
+		cs = normalizeIDs(q.m.Filter(g))
+		out.FilterDur = time.Since(t0)
+	}
+	if q.opt.Parallel {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			filter()
+		}()
+		lookup()
+		wg.Wait()
+	} else {
+		filter()
+		lookup()
+	}
+	out.BaseCandidates = len(cs)
+
+	// unionSide entries contribute answers directly (formulas 3–4);
+	// intersectSide entries bound the candidate set (formula 5). §4.4: the
+	// roles swap for supergraph query processing.
+	unionSide, intersectSide := subHits, superHits
+	if q.opt.Mode == SupergraphQueries {
+		unionSide, intersectSide = superHits, subHits
+	}
+	out.SubHits, out.SuperHits = len(subHits), len(superHits)
+
+	// §4.3 optimal case 1: identical query (recognised during lookup).
+	if identical != nil {
+		out.SubHits, out.SuperHits = 1, 1 // an identical query is both
+		out.Short = IdenticalHit
+		if len(identical.answer) > 0 {
+			out.Answer = append([]int32(nil), identical.answer...)
+		}
+		identical.creditHit(g.NumVertices(), q.sizesOf(cs), q.opt.Labels)
+		return out
+	}
+
+	// §4.3 optimal case 2: an empty-answer hit on the intersect side
+	// empties the candidate set outright.
+	for _, e := range intersectSide {
+		if len(e.answer) == 0 {
+			out.Short = EmptyAnswerHit
+			out.Answer = nil
+			e.creditHit(g.NumVertices(), q.sizesOf(cs), q.opt.Labels)
+			q.admit(g, qfp, nil)
+			return out
+		}
+	}
+
+	// Formula (3): remove union-side answers from CS.
+	pruned := cs
+	for _, e := range unionSide {
+		removed := index.IntersectSorted(cs, e.answer)
+		e.creditHit(g.NumVertices(), q.sizesOf(removed), q.opt.Labels)
+		pruned = index.SubtractSorted(pruned, e.answer)
+	}
+	// Formula (5): intersect with intersect-side answers.
+	for _, e := range intersectSide {
+		removed := index.SubtractSorted(pruned, e.answer)
+		e.creditHit(g.NumVertices(), q.sizesOf(removed), q.opt.Labels)
+		pruned = index.IntersectSorted(pruned, e.answer)
+	}
+	out.FinalCandidates = len(pruned)
+
+	// Verification stage.
+	t0 := time.Now()
+	var verified []int32
+	for _, id := range pruned {
+		out.DatasetIsoTests++
+		if q.m.Verify(g, id) {
+			verified = append(verified, id)
+		}
+	}
+	out.Verified = len(verified)
+	out.VerifyDur = time.Since(t0)
+
+	// Formula (4): add union-side answers back.
+	answer := verified
+	for _, e := range unionSide {
+		answer = index.UnionSorted(answer, e.answer)
+	}
+	if len(answer) == 0 {
+		answer = nil // normalise: empty answers are nil, like index.Answer
+	}
+	out.Answer = answer
+
+	q.admit(g, qfp, answer)
+	return out
+}
+
+// cacheLookup finds and verifies the Isub and Isuper hits for query g.
+//
+// Fast path (§4.3's "easily recognized" identical case): candidates with
+// matching vertex/edge counts and structural fingerprint are tested first;
+// a confirmed identical query makes every other cache probe moot. Same-size
+// candidates whose fingerprints differ cannot be sub- or supergraph hits at
+// all (equal sizes + containment ⇒ isomorphism ⇒ equal fingerprints), so
+// the regular loops skip them without testing.
+func (q *IGQ) cacheLookup(g *graph.Graph, qfp uint64, qCounts map[string]int, out *Outcome) (subHits, superHits []*entry, identical *entry) {
+	var subCands, superCands []int32
+	if !q.opt.DisableSub {
+		subCands = q.isub.candidates(qCounts)
+	}
+	if !q.opt.DisableSuper {
+		superCands = q.isuper.candidatesFromFeatures(qCounts)
+	}
+	nv, ne := g.NumVertices(), g.NumEdges()
+	sameSize := func(e *entry) bool {
+		return e.g.NumVertices() == nv && e.g.NumEdges() == ne
+	}
+	for _, id := range index.UnionSorted(subCands, superCands) {
+		e := q.byID[id]
+		if sameSize(e) && e.fp == qfp {
+			out.CacheIsoTests++
+			if subgraphTest(g, e.g) {
+				return nil, nil, e
+			}
+		}
+	}
+	// union-side entries with empty answers neither prune nor contribute
+	// answers, so their verification is skipped; intersect-side empties are
+	// maximally useful (the §4.3 empty-answer short-circuit) and are kept.
+	subIsUnion := q.opt.Mode == SubgraphQueries
+	for _, id := range subCands {
+		e := q.byID[id]
+		if sameSize(e) || (subIsUnion && len(e.answer) == 0) {
+			continue
+		}
+		out.CacheIsoTests++
+		if subgraphTest(g, e.g) {
+			subHits = append(subHits, e)
+		}
+	}
+	for _, id := range superCands {
+		e := q.byID[id]
+		if sameSize(e) || (!subIsUnion && len(e.answer) == 0) {
+			continue
+		}
+		out.CacheIsoTests++
+		if subgraphTest(e.g, g) {
+			superHits = append(superHits, e)
+		}
+	}
+	return subHits, superHits, nil
+}
+
+// sizesOf maps dataset ids to vertex counts (cost-model input).
+func (q *IGQ) sizesOf(ids []int32) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = q.db[id].NumVertices()
+	}
+	return out
+}
+
+// admit stores the executed query and its answer in the batch window
+// (Itemp), flushing when W queries have accumulated. Exact duplicates of a
+// window member are skipped (an identical *cached* query would already have
+// short-circuited).
+func (q *IGQ) admit(g *graph.Graph, fp uint64, answer []int32) {
+	for _, e := range q.window {
+		if e.fp == fp && iso.Isomorphic(e.g, g) {
+			return
+		}
+	}
+	e := newEntry(q.nextID, g.Clone(), answer, q.seq)
+	q.nextID++
+	q.window = append(q.window, e)
+	if len(q.window) >= q.opt.Window {
+		q.flush()
+	}
+}
+
+// flush applies the replacement policy (§5.1) and rebuilds the cache-side
+// indexes (§5.2's shadow index). Synchronous by default; with
+// AsyncMaintenance the expensive index build runs in the background and
+// queries keep being served by the previous index until the swap.
+func (q *IGQ) flush() {
+	q.applyShadow(true) // at most one shadow build in flight
+	q.flushes++
+	newEntries, newByID := q.planFlush()
+	q.window = nil
+	if q.opt.AsyncMaintenance {
+		ch := make(chan shadowResult, 1)
+		q.shadow = ch
+		maxLen := q.opt.MaxPathLen
+		go func() {
+			isub, isuper := buildIndexes(newEntries, maxLen)
+			ch <- shadowResult{entries: newEntries, byID: newByID, isub: isub, isuper: isuper}
+		}()
+		return
+	}
+	q.entries, q.byID = newEntries, newByID
+	q.isub, q.isuper = buildIndexes(newEntries, q.opt.MaxPathLen)
+}
+
+// planFlush computes the post-flush entry set without touching the
+// currently served snapshot (fresh slice and map, shared entry pointers so
+// metadata credited during an async build carries over).
+func (q *IGQ) planFlush() ([]*entry, map[int32]*entry) {
+	evict := map[int32]struct{}{}
+	if overflow := len(q.entries) + len(q.window) - q.opt.CacheSize; overflow > 0 {
+		order := q.victimOrder()
+		if overflow > len(order) {
+			overflow = len(order)
+		}
+		for _, e := range order[:overflow] {
+			evict[e.id] = struct{}{}
+		}
+	}
+	newEntries := make([]*entry, 0, len(q.entries)+len(q.window))
+	newByID := make(map[int32]*entry, len(q.entries)+len(q.window))
+	for _, e := range q.entries {
+		if _, gone := evict[e.id]; !gone {
+			newEntries = append(newEntries, e)
+			newByID[e.id] = e
+		}
+	}
+	for _, e := range q.window {
+		newEntries = append(newEntries, e)
+		newByID[e.id] = e
+	}
+	return newEntries, newByID
+}
+
+// applyShadow installs a completed background build. With wait=true it
+// blocks for an in-flight build (used before a second flush or a Save);
+// with wait=false it polls (used at Query entry: "Ishadow replaces I with a
+// pointer swap").
+func (q *IGQ) applyShadow(wait bool) {
+	if q.shadow == nil {
+		return
+	}
+	if wait {
+		q.installShadow(<-q.shadow)
+		return
+	}
+	select {
+	case r := <-q.shadow:
+		q.installShadow(r)
+	default:
+	}
+}
+
+func (q *IGQ) installShadow(r shadowResult) {
+	q.entries, q.byID = r.entries, r.byID
+	q.isub, q.isuper = r.isub, r.isuper
+	q.shadow = nil
+}
+
+// normalizeIDs enforces the sorted-unique candidate invariant the pruning
+// set operations rely on. Well-behaved methods already comply (verified
+// O(n)); a sloppy method costs one sort instead of silent corruption.
+func normalizeIDs(ids []int32) []int32 {
+	sorted := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return ids
+	}
+	ids = sortIDs(append([]int32(nil), ids...))
+	out := ids[:0]
+	for i, v := range ids {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// victimOrder ranks entries for eviction (worst first) under the configured
+// policy.
+func (q *IGQ) victimOrder() []*entry {
+	switch q.opt.Eviction {
+	case FIFOEviction:
+		out := append([]*entry(nil), q.entries...)
+		sortEntriesBy(out, func(a, b *entry) bool {
+			if a.insertedAt != b.insertedAt {
+				return a.insertedAt < b.insertedAt
+			}
+			return a.id < b.id
+		})
+		return out
+	case PopularityEviction:
+		seq := q.seq
+		rate := func(e *entry) float64 {
+			m := seq - e.insertedAt
+			if m < 1 {
+				m = 1
+			}
+			return float64(e.hits) / float64(m)
+		}
+		out := append([]*entry(nil), q.entries...)
+		sortEntriesBy(out, func(a, b *entry) bool {
+			ra, rb := rate(a), rate(b)
+			if ra != rb {
+				return ra < rb
+			}
+			return a.id < b.id
+		})
+		return out
+	default:
+		return evictionOrder(q.entries, q.seq)
+	}
+}
+
+// rebuildIndexes reconstructs Isub and Isuper over the active entries.
+func (q *IGQ) rebuildIndexes() {
+	q.isub, q.isuper = buildIndexes(q.entries, q.opt.MaxPathLen)
+}
+
+// buildIndexes constructs fresh Isub/Isuper over an entry set; one feature
+// enumeration per cached graph feeds both indexes. Pure (no receiver
+// state), so it can run as the §5.2 background shadow build.
+func buildIndexes(entries []*entry, maxPathLen int) (*subIndex, *ContainmentIndex) {
+	feats := make(map[int32]map[string]int, len(entries))
+	for _, e := range entries {
+		feats[e.id] = features.Paths(e.g, features.PathOptions{MaxLen: maxPathLen}).Counts
+	}
+	isub := newSubIndex(entries, feats)
+	ci := NewContainmentIndex(maxPathLen)
+	for _, e := range entries {
+		ci.AddFromFeatures(e.id, feats[e.id])
+	}
+	return isub, ci
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/trie"
+)
+
+// subIndex is Isub: a subgraph index over the *cached query graphs*. It is
+// the familiar filter-then-verify construction — the paper points out that
+// finding supergraphs of a new query among previous queries "represents a
+// microcosm of our original problem", so any subgraph indexing method works;
+// like the dataset baselines we index labeled paths with occurrence counts.
+//
+// Given a new query g, candidates are cached graphs containing every path
+// feature of g at least as often as g does; the caller verifies g ⊆ G to
+// obtain Isub(g) (which makes formula (1) hold by construction).
+type subIndex struct {
+	tr  *trie.Trie
+	ids []int32 // all indexed entry ids, sorted
+}
+
+// newSubIndex builds Isub over the given entries' graphs using path
+// features of up to maxPathLen edges. Feature sets are supplied by the
+// caller (entryFeatures) so that a single enumeration per cached graph
+// serves both Isub and Isuper during a shadow rebuild.
+func newSubIndex(entries []*entry, entryFeatures map[int32]map[string]int) *subIndex {
+	si := &subIndex{tr: trie.New()}
+	for _, e := range entries {
+		si.ids = append(si.ids, e.id)
+		for f, c := range entryFeatures[e.id] {
+			si.tr.Insert(f, trie.Posting{Graph: e.id, Count: int32(c)})
+		}
+	}
+	si.ids = sortIDs(si.ids)
+	return si
+}
+
+// candidates returns the ids of cached graphs that may be supergraphs of a
+// query with the given path-feature occurrence counts.
+func (si *subIndex) candidates(qCounts map[string]int) []int32 {
+	if len(qCounts) == 0 {
+		// an empty query is a subgraph of every cached graph
+		return append([]int32(nil), si.ids...)
+	}
+	var cand []int32
+	first := true
+	for f, need := range qCounts {
+		var ids []int32
+		for _, p := range si.tr.Get(f) {
+			if int(p.Count) >= need {
+				ids = append(ids, p.Graph)
+			}
+		}
+		if first {
+			cand = ids
+			first = false
+		} else {
+			cand = index.IntersectSorted(cand, ids)
+		}
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	return cand
+}
+
+// SizeBytes approximates the Isub trie footprint.
+func (si *subIndex) SizeBytes() int { return si.tr.SizeBytes() + 4*len(si.ids) }
+
+// verifySub confirms q ⊆ G for a candidate entry (removing Isub false
+// positives, per the paper's §6.1).
+func verifySub(q, cached *graph.Graph) bool {
+	return subgraphTest(q, cached)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// Cache persistence: the knowledge iGQ accumulates (query graphs, answer
+// sets, replacement metadata) is expensive to re-earn, so a production
+// deployment wants it to survive restarts. Save/Load serialise the active
+// cache entries with encoding/gob; the cache-side indexes are rebuilt on
+// load (they are derived state, exactly like the paper's shadow rebuild).
+//
+// The dataset itself is NOT serialised: answers reference dataset positions,
+// so a snapshot is only valid for the same dataset (guarded by a checksum).
+
+// wireSnapshot is the gob envelope.
+type wireSnapshot struct {
+	Version    int
+	DBChecksum uint64
+	Seq        int64
+	NextID     int32
+	Flushes    int
+	Entries    []wireEntry
+}
+
+// wireEntry serialises one cache entry.
+type wireEntry struct {
+	ID         int32
+	Labels     []graph.Label
+	Edges      [][2]int32
+	Answer     []int32
+	InsertedAt int64
+	Hits       int64
+	Removed    int64
+	LogCost    float64
+}
+
+const snapshotVersion = 1
+
+// dbChecksum fingerprints the dataset a snapshot belongs to.
+func dbChecksum(db []*graph.Graph) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, g := range db {
+		h = h*1099511628211 ^ graph.Fingerprint(g)
+	}
+	return h
+}
+
+// Save writes the current cache contents (committed entries only — the
+// pending window is execution state, not knowledge) to w. A pending shadow
+// build is applied first so the snapshot reflects the latest flush.
+func (q *IGQ) Save(w io.Writer) error {
+	q.applyShadow(true)
+	snap := wireSnapshot{
+		Version:    snapshotVersion,
+		DBChecksum: dbChecksum(q.db),
+		Seq:        q.seq,
+		NextID:     q.nextID,
+		Flushes:    q.flushes,
+	}
+	for _, e := range q.entries {
+		we := wireEntry{
+			ID:         e.id,
+			Labels:     e.g.Labels(),
+			Answer:     append([]int32(nil), e.answer...),
+			InsertedAt: e.insertedAt,
+			Hits:       e.hits,
+			Removed:    e.removed,
+			LogCost:    e.logCost,
+		}
+		e.g.Edges(func(u, v int) {
+			we.Edges = append(we.Edges, [2]int32{int32(u), int32(v)})
+		})
+		snap.Entries = append(snap.Entries, we)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load restores a cache snapshot into a fresh IGQ over the same dataset and
+// method. opt must carry the desired runtime configuration (CacheSize,
+// Window, Mode...); entries beyond CacheSize are dropped lowest-utility
+// first.
+func Load(r io.Reader, m index.Method, db []*graph.Graph, opt Options) (*IGQ, error) {
+	var snap wireSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d unsupported", snap.Version)
+	}
+	if snap.DBChecksum != dbChecksum(db) {
+		return nil, fmt.Errorf("core: snapshot belongs to a different dataset")
+	}
+	q := New(m, db, opt)
+	q.seq = snap.Seq
+	q.nextID = snap.NextID
+	q.flushes = snap.Flushes
+	for _, we := range snap.Entries {
+		g := graph.New(len(we.Labels))
+		for _, l := range we.Labels {
+			g.AddVertex(l)
+		}
+		for _, e := range we.Edges {
+			if !g.AddEdge(int(e[0]), int(e[1])) {
+				return nil, fmt.Errorf("core: snapshot entry %d has invalid edge (%d,%d)", we.ID, e[0], e[1])
+			}
+		}
+		for _, a := range we.Answer {
+			if int(a) >= len(db) || a < 0 {
+				return nil, fmt.Errorf("core: snapshot entry %d references graph %d outside the dataset", we.ID, a)
+			}
+		}
+		ent := newEntry(we.ID, g, we.Answer, we.InsertedAt)
+		ent.hits = we.Hits
+		ent.removed = we.Removed
+		ent.logCost = we.LogCost
+		q.entries = append(q.entries, ent)
+		q.byID[ent.id] = ent
+	}
+	if over := len(q.entries) - q.opt.CacheSize; over > 0 {
+		order := evictionOrder(q.entries, q.seq)
+		drop := map[int32]struct{}{}
+		for _, e := range order[:over] {
+			drop[e.id] = struct{}{}
+		}
+		kept := q.entries[:0]
+		for _, e := range q.entries {
+			if _, gone := drop[e.id]; gone {
+				delete(q.byID, e.id)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		q.entries = kept
+	}
+	q.rebuildIndexes()
+	return q, nil
+}

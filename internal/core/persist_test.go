@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/index/ggsx"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	db := buildDB(rng, 20)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 15, Window: 3})
+	for _, q := range workload(rng, db, 40) {
+		ig.Query(q)
+	}
+	if ig.CacheLen() == 0 {
+		t.Fatal("nothing cached — test premise broken")
+	}
+
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, m, db, Options{CacheSize: 15, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.CacheLen() != ig.CacheLen() {
+		t.Fatalf("cache length %d != %d after restore", restored.CacheLen(), ig.CacheLen())
+	}
+	if restored.Queries() != ig.Queries() || restored.Flushes() != ig.Flushes() {
+		t.Error("counters not restored")
+	}
+
+	// behavioural equivalence: identical hits fire identically
+	for _, e := range ig.entries[:3] {
+		a := ig.Query(e.g.Clone())
+		b := restored.Query(e.g.Clone())
+		if a.Short != IdenticalHit || b.Short != IdenticalHit {
+			t.Fatalf("cached query not identical-hit after restore: %v vs %v", a.Short, b.Short)
+		}
+		if !reflect.DeepEqual(a.Answer, b.Answer) {
+			t.Fatal("restored cache returns different answers")
+		}
+	}
+}
+
+func TestLoadRejectsWrongDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	db := buildDB(rng, 10)
+	other := buildDB(rng, 10)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 5, Window: 1})
+	ig.Query(connectedQuery(rng, db[0], 3))
+
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := ggsx.New(ggsx.DefaultOptions())
+	m2.Build(other)
+	if _, err := Load(&buf, m2, other, Options{}); err == nil {
+		t.Error("snapshot accepted for a different dataset")
+	} else if !strings.Contains(err.Error(), "different dataset") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	db := buildDB(rng, 5)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	if _, err := Load(bytes.NewBufferString("not a snapshot"), m, db, Options{}); err == nil {
+		t.Error("garbage decoded successfully")
+	}
+}
+
+func TestLoadShrinksToCacheSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	db := buildDB(rng, 15)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 12, Window: 2})
+	for _, q := range workload(rng, db, 30) {
+		ig.Query(q)
+	}
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small, err := Load(&buf, m, db, Options{CacheSize: 4, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.CacheLen() > 4 {
+		t.Errorf("restored cache %d exceeds configured size 4", small.CacheLen())
+	}
+	// restored engine still answers correctly
+	q := connectedQuery(rng, db[3], 4)
+	want := small.Query(q).Answer
+	got := ig.Query(q.Clone()).Answer
+	if !reflect.DeepEqual(want, got) {
+		t.Error("answers diverge after shrinking restore")
+	}
+}
+
+func TestSaveExcludesWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	db := buildDB(rng, 10)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 10, Window: 5})
+	ig.Query(connectedQuery(rng, db[0], 3)) // stays in window (W=5)
+	if ig.WindowLen() != 1 || ig.CacheLen() != 0 {
+		t.Fatalf("premise: window=%d cache=%d", ig.WindowLen(), ig.CacheLen())
+	}
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, m, db, Options{CacheSize: 10, Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.CacheLen() != 0 || restored.WindowLen() != 0 {
+		t.Error("window entries leaked into the snapshot")
+	}
+}
+
+func TestGraphCorruptionRejected(t *testing.T) {
+	// hand-craft a snapshot with an out-of-range answer id
+	rng := rand.New(rand.NewSource(96))
+	db := buildDB(rng, 5)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 5, Window: 1})
+	ig.Query(connectedQuery(rng, db[0], 3))
+	// corrupt the in-memory answer then save
+	ig.entries[0].answer = []int32{999}
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, m, db, Options{}); err == nil {
+		t.Error("out-of-range answer id accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+	"repro/internal/index/ggsx"
+)
+
+// Property-based tests on the iGQ core invariants (testing/quick).
+
+// TestQuickTheoremHolds: for arbitrary seeds, iGQ(M) answers equal M's
+// answers over a containment-rich workload — the correctness theorems as a
+// randomized property, complementing the fixed-seed table tests.
+func TestQuickTheoremHolds(t *testing.T) {
+	f := func(seed int64, cacheSize, window uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := buildDB(rng, 12)
+		m := ggsx.New(ggsx.DefaultOptions())
+		m.Build(db)
+		ig := New(m, db, Options{
+			CacheSize: 2 + int(cacheSize%12),
+			Window:    1 + int(window%6),
+		})
+		for _, q := range workload(rng, db, 25) {
+			if !reflect.DeepEqual(ig.Query(q).Answer, index.Answer(m, q)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUtilityMonotoneInCost: crediting an entry can only raise its
+// utility, and utility decays as time passes without hits.
+func TestQuickUtilityMonotoneInCost(t *testing.T) {
+	f := func(nodes uint8, targets []uint16) bool {
+		e := newEntry(1, tinyGraph(), nil, 0)
+		seq := int64(100)
+		prev := e.logUtility(seq)
+		for _, ts := range targets {
+			size := 2 + int(ts%500)
+			e.creditHit(2+int(nodes%10), []int{size}, 10)
+			cur := e.logUtility(seq)
+			if cur < prev { // more credited cost must not lower utility
+				return false
+			}
+			prev = cur
+		}
+		// aging without hits lowers (or keeps) utility
+		return e.logUtility(seq+1000) <= e.logUtility(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEvictionOrderSorted: evictionOrder output is non-decreasing in
+// utility for arbitrary entry populations.
+func TestQuickEvictionOrderSorted(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		seq := int64(len(seeds) * 10)
+		var es []*entry
+		for i, s := range seeds {
+			e := newEntry(int32(i), tinyGraph(), nil, int64(i))
+			if s%3 != 0 {
+				e.creditHit(3, []int{5 + int(s%100)}, 4)
+			}
+			es = append(es, e)
+		}
+		order := evictionOrder(es, seq)
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1].logUtility(seq), order[i].logUtility(seq)
+			// -Inf == -Inf ties are fine; otherwise non-decreasing
+			if !(a <= b || (math.IsInf(a, -1) && math.IsInf(b, -1))) {
+				return false
+			}
+		}
+		return len(order) == len(es)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLogSumExpProperties: commutative, monotone, and ≥ max.
+func TestQuickLogSumExpProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 1) || math.IsInf(b, 1) {
+			return true
+		}
+		// clamp to a sane range to avoid float64 edge noise
+		if a > 700 || a < -700 {
+			a = math.Mod(a, 700)
+		}
+		if b > 700 || b < -700 {
+			b = math.Mod(b, 700)
+		}
+		s1 := LogSumExp(a, b)
+		s2 := LogSumExp(b, a)
+		if s1 != s2 {
+			return false
+		}
+		return s1 >= math.Max(a, b)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalizeIdempotent: normalizeIDs is idempotent and produces
+// strictly increasing output.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(ids []int32) bool {
+		once := normalizeIDs(append([]int32(nil), ids...))
+		twice := normalizeIDs(append([]int32(nil), once...))
+		if !reflect.DeepEqual(once, twice) {
+			return false
+		}
+		for i := 1; i < len(once); i++ {
+			if once[i-1] >= once[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

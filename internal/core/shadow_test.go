@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/index/ggsx"
+)
+
+// §5.2 asynchronous shadow-index maintenance tests.
+
+func TestAsyncMaintenanceCorrectness(t *testing.T) {
+	// answers must equal the method's regardless of when swaps land
+	rng := rand.New(rand.NewSource(141))
+	db := buildDB(rng, 25)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 15, Window: 4, AsyncMaintenance: true})
+	for i, q := range workload(rng, db, 120) {
+		want := index.Answer(m, q)
+		got := ig.Query(q)
+		if !reflect.DeepEqual(got.Answer, want) {
+			t.Fatalf("query %d: async iGQ answer %v != method %v", i, got.Answer, want)
+		}
+	}
+	if ig.Flushes() == 0 {
+		t.Error("no flushes — async path untested")
+	}
+}
+
+func TestAsyncMaintenanceEventuallyServesCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	db := buildDB(rng, 12)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 10, Window: 2, AsyncMaintenance: true})
+
+	q := connectedQuery(rng, db[1], 4)
+	ig.Query(q)
+	ig.Query(connectedQuery(rng, db[2], 3)) // fills window → async flush
+
+	// next flush blocks on the previous shadow, so after one more window
+	// the first flush's contents are definitely committed
+	ig.Query(connectedQuery(rng, db[3], 3))
+	ig.Query(connectedQuery(rng, db[4], 3))
+
+	o := ig.Query(q.Clone())
+	if o.Short != IdenticalHit {
+		t.Errorf("cached query not served after shadow swaps (short=%v)", o.Short)
+	}
+}
+
+func TestAsyncSaveWaitsForShadow(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	db := buildDB(rng, 10)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 10, Window: 1, AsyncMaintenance: true})
+	ig.Query(connectedQuery(rng, db[0], 4)) // flush dispatched asynchronously
+
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, m, db, Options{CacheSize: 10, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.CacheLen() != 1 {
+		t.Errorf("snapshot missed the in-flight flush: %d entries", restored.CacheLen())
+	}
+}
+
+func TestAsyncMatchesSyncAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	db := buildDB(rng, 20)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	syncIG := New(m, db, Options{CacheSize: 12, Window: 3})
+	asyncIG := New(m, db, Options{CacheSize: 12, Window: 3, AsyncMaintenance: true})
+	for i, q := range workload(rng, db, 80) {
+		a := syncIG.Query(q.Clone())
+		b := asyncIG.Query(q.Clone())
+		if !reflect.DeepEqual(a.Answer, b.Answer) {
+			t.Fatalf("query %d: sync and async answers diverge", i)
+		}
+	}
+}

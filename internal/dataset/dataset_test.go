@@ -1,0 +1,248 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := AIDS().Scaled(0.002, 1) // ~80 graphs
+	a := Generate(spec)
+	b := Generate(spec)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].NumVertices() != b[i].NumVertices() || a[i].NumEdges() != b[i].NumEdges() {
+			t.Fatalf("graph %d differs between runs", i)
+		}
+	}
+}
+
+func TestGeneratedGraphsValidAndConnected(t *testing.T) {
+	for _, spec := range []Spec{
+		AIDS().Scaled(0.001, 1),
+		PDBS().Scaled(0.05, 0.05),
+		PPI().Scaled(0.2, 0.02),
+		Synthetic().Scaled(0.01, 0.1),
+	} {
+		db := Generate(spec)
+		if len(db) < 4 {
+			t.Errorf("%s: only %d graphs", spec.Name, len(db))
+		}
+		for i, g := range db {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s graph %d invalid: %v", spec.Name, i, err)
+			}
+			if !g.IsConnected() {
+				t.Fatalf("%s graph %d disconnected", spec.Name, i)
+			}
+			if g.ID != i {
+				t.Fatalf("%s graph %d has ID %d", spec.Name, i, g.ID)
+			}
+		}
+	}
+}
+
+func TestCharacteristicsMatchSpecShape(t *testing.T) {
+	spec := AIDS().Scaled(0.01, 1) // 400 graphs, original sizes
+	db := Generate(spec)
+	c := Measure(spec.Name, db)
+	if c.Graphs != len(db) {
+		t.Errorf("graphs = %d", c.Graphs)
+	}
+	// mean vertex count within 15% of spec
+	if math.Abs(c.Nodes.Mean-spec.NodesMean) > 0.15*spec.NodesMean {
+		t.Errorf("node mean %.1f far from spec %.1f", c.Nodes.Mean, spec.NodesMean)
+	}
+	// average degree within 10%
+	if math.Abs(c.AvgDegree-spec.AvgDegree) > 0.1*spec.AvgDegree {
+		t.Errorf("avg degree %.2f far from spec %.2f", c.AvgDegree, spec.AvgDegree)
+	}
+	// labels bounded by the domain
+	if c.Labels > spec.Labels {
+		t.Errorf("labels %d exceed domain %d", c.Labels, spec.Labels)
+	}
+	if c.Connected != len(db) {
+		t.Errorf("only %d/%d connected", c.Connected, len(db))
+	}
+	if c.SizeBytesDB <= 0 {
+		t.Error("dataset size not measured")
+	}
+}
+
+func TestDenseSpecsAreDense(t *testing.T) {
+	db := Generate(Synthetic().Scaled(0.01, 0.1))
+	c := Measure("synthetic", db)
+	if c.AvgDegree < 10 {
+		t.Errorf("synthetic avg degree %.2f — expected dense (≈19.5)", c.AvgDegree)
+	}
+	sparse := Generate(AIDS().Scaled(0.001, 1))
+	cs := Measure("aids", sparse)
+	if cs.AvgDegree > 3 {
+		t.Errorf("AIDS avg degree %.2f — expected sparse (≈2.1)", cs.AvgDegree)
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	tiny := AIDS().Scaled(0.000001, 0.000001)
+	if tiny.NumGraphs < 4 || tiny.NodesMin < 3 || tiny.NodesMax <= tiny.NodesMin {
+		t.Errorf("scaled floors broken: %+v", tiny)
+	}
+	db := Generate(tiny)
+	for _, g := range db {
+		if g.NumVertices() < 3 {
+			t.Errorf("graph smaller than floor: %v", g)
+		}
+	}
+}
+
+func TestLabelSkewProducesSkew(t *testing.T) {
+	skewed := Generate(Spec{
+		Name: "sk", NumGraphs: 20, Labels: 30,
+		NodesMean: 50, NodesStd: 5, NodesMin: 30, NodesMax: 80,
+		AvgDegree: 2.1, LabelSkew: 2.0, Seed: 7,
+	})
+	counts := map[int]int{}
+	total := 0
+	for _, g := range skewed {
+		for v := 0; v < g.NumVertices(); v++ {
+			counts[int(g.Label(v))]++
+			total++
+		}
+	}
+	if counts[0] < total/4 {
+		t.Errorf("label 0 share %d/%d — expected dominant under skew", counts[0], total)
+	}
+}
+
+func TestFullScaleSpecsMatchTable1(t *testing.T) {
+	// verify the hard-coded specs carry the paper's Table 1 numbers
+	a := AIDS()
+	if a.NumGraphs != 40000 || a.Labels != 62 || a.NodesMax != 245 {
+		t.Errorf("AIDS spec drifted: %+v", a)
+	}
+	p := PDBS()
+	if p.NumGraphs != 600 || p.Labels != 10 {
+		t.Errorf("PDBS spec drifted: %+v", p)
+	}
+	i := PPI()
+	if i.NumGraphs != 20 || i.Labels != 46 {
+		t.Errorf("PPI spec drifted: %+v", i)
+	}
+	s := Synthetic()
+	if s.NumGraphs != 1000 || s.Labels != 20 {
+		t.Errorf("Synthetic spec drifted: %+v", s)
+	}
+}
+
+func TestCharacteristicsString(t *testing.T) {
+	db := Generate(AIDS().Scaled(0.0005, 1))
+	c := Measure("AIDS", db)
+	s := c.String()
+	if len(s) == 0 || c.Name != "AIDS" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMolecularStructureHasShortRings(t *testing.T) {
+	spec := AIDS().Scaled(0.002, 1) // molecular structure by default
+	db := Generate(spec)
+	withCycle := 0
+	for _, g := range db {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("molecular graph invalid: %v", err)
+		}
+		if !g.IsConnected() {
+			t.Fatal("molecular graph disconnected")
+		}
+		if g.NumEdges() >= g.NumVertices() {
+			withCycle++
+		}
+	}
+	if withCycle < len(db)/2 {
+		t.Errorf("only %d/%d molecular graphs contain rings", withCycle, len(db))
+	}
+}
+
+func TestMolecularMatchesDegreeTarget(t *testing.T) {
+	spec := AIDS().Scaled(0.005, 1)
+	db := Generate(spec)
+	c := Measure("aids", db)
+	if math.Abs(c.AvgDegree-spec.AvgDegree) > 0.15*spec.AvgDegree {
+		t.Errorf("molecular avg degree %.2f far from %.2f", c.AvgDegree, spec.AvgDegree)
+	}
+}
+
+func TestStructureFieldPreservedByScaling(t *testing.T) {
+	s := AIDS().Scaled(0.1, 0.5).WithDegree(0.9)
+	if s.Structure != StructureMolecular {
+		t.Error("Scaled/WithDegree dropped the Structure field")
+	}
+}
+
+func TestEdgeLabelGeneration(t *testing.T) {
+	spec := AIDS().Scaled(0.0005, 1)
+	spec.EdgeLabels = 3
+	db := Generate(spec)
+	sawBase, sawHigher := false, false
+	for _, g := range db {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("labeled graph invalid: %v", err)
+		}
+		if !g.HasEdgeLabels() {
+			t.Fatal("EdgeLabels spec produced unlabeled graph")
+		}
+		g.EdgesLabeled(func(u, v int, l graph.Label) {
+			switch {
+			case l == 1:
+				sawBase = true
+			case l >= 2 && l <= 3:
+				sawHigher = true
+			default:
+				t.Fatalf("edge label %d outside domain", l)
+			}
+		})
+	}
+	if !sawBase || !sawHigher {
+		t.Errorf("bond mix missing: base=%v higher=%v", sawBase, sawHigher)
+	}
+	// determinism with labels
+	db2 := Generate(spec)
+	if db[0].EdgeLabel(0, int(db[0].Neighbors(0)[0])) != db2[0].EdgeLabel(0, int(db2[0].Neighbors(0)[0])) {
+		t.Error("edge labels not deterministic")
+	}
+}
+
+func TestUniformLabelPicker(t *testing.T) {
+	// LabelSkew <= 1 must use the uniform sampler and cover the domain
+	spec := Spec{
+		Name: "uni", NumGraphs: 10, Labels: 5,
+		NodesMean: 60, NodesStd: 5, NodesMin: 40, NodesMax: 90,
+		AvgDegree: 2.1, LabelSkew: 0, Seed: 9,
+	}
+	db := Generate(spec)
+	seen := map[graph.Label]bool{}
+	for _, g := range db {
+		for v := 0; v < g.NumVertices(); v++ {
+			seen[g.Label(v)] = true
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("uniform labels covered %d/5", len(seen))
+	}
+	one := Spec{
+		Name: "one", NumGraphs: 3, Labels: 1,
+		NodesMean: 10, NodesStd: 1, NodesMin: 5, NodesMax: 15,
+		AvgDegree: 2.0, LabelSkew: 0, Seed: 9,
+	}
+	for _, g := range Generate(one) {
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Label(v) != 0 {
+				t.Fatal("single-label domain produced other labels")
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table 1: dataset characteristics, paired with the paper's full-scale
+// reference values so the shape preservation is visible at any scale.
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Characteristics of Datasets",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			specs := []dataset.Spec{
+				scaledAIDS(cfg), scaledPDBS(cfg), scaledPPI(cfg), scaledSynthetic(cfg),
+			}
+			paperRows := map[string][6]float64{
+				// labels, graphs, avg degree, nodes avg, edges avg, nodes max
+				"AIDS":      {62, 40000, 2.09, 45, 47, 245},
+				"PDBS":      {10, 600, 2.13, 2939, 3064, 16431},
+				"PPI":       {46, 20, 9.23, 4943, 26667, 10186},
+				"Synthetic": {20, 1000, 19.52, 892, 7991, 7135},
+			}
+			tb := stats.NewTable("dataset", "labels", "graphs", "avg.deg",
+				"nodes.avg", "nodes.std", "nodes.max", "edges.avg", "edges.std", "edges.max")
+			ref := stats.NewTable("dataset", "labels", "graphs", "avg.deg", "nodes.avg", "edges.avg", "nodes.max")
+			for _, s := range specs {
+				db := dataset.Generate(s)
+				c := dataset.Measure(s.Name, db)
+				tb.AddRowf(c.Name, c.Labels, c.Graphs, c.AvgDegree,
+					c.Nodes.Mean, c.Nodes.Std, c.Nodes.Max,
+					c.Edges.Mean, c.Edges.Std, c.Edges.Max)
+				p := paperRows[s.Name]
+				ref.AddRowf(s.Name, p[0], p[1], p[2], p[3], p[4], p[5])
+			}
+			fmt.Fprintf(w, "Generated datasets (scale=%.2f):\n%s\n", cfg.Scale, tb)
+			fmt.Fprintf(w, "Paper full-scale reference (Table 1):\n%s", ref)
+			return nil
+		},
+	})
+}
+
+// Fig 1: percentage of query processing time spent in filtering vs
+// verification, for GGSX / Grapes / CT-Index on AIDS and PDBS.
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Dominance of Verification Time (filtering% vs verification%)",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			tb := stats.NewTable("dataset", "method", "filter%", "verify%")
+			for _, spec := range []dataset.Spec{scaledAIDS(cfg), scaledPDBS(cfg)} {
+				db := dataset.Generate(spec)
+				qs := workload.Generate(db, workload.Spec{
+					NumQueries: sparseWorkloadLen(cfg),
+					GraphDist:  workload.Uniform, NodeDist: workload.Uniform,
+					Seed: cfg.Seed + 1000,
+				})
+				ms := threeMethods()
+				buildAll(ms, db)
+				for _, m := range ms {
+					res := runBaseline(m, qs)
+					var filter, verify float64
+					for _, qm := range res {
+						filter += float64(qm.FilterNs)
+						verify += float64(qm.VerifyNs)
+					}
+					total := filter + verify
+					if total == 0 {
+						total = 1
+					}
+					tb.AddRowf(spec.Name, m.Name(), 100*filter/total, 100*verify/total)
+				}
+			}
+			fmt.Fprint(w, tb)
+			fmt.Fprintln(w, "\nPaper shape: verification dominates on every method, and nearly")
+			fmt.Fprintln(w, "totally so on the larger PDBS graphs.")
+			return nil
+		},
+	})
+}
+
+// Figs 2 and 3: average candidate-set size, answer-set size and false
+// positives per method, for AIDS (fig2) and PDBS (fig3).
+func filteringExperiment(id, title, which string) {
+	register(Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			var spec dataset.Spec
+			if which == "AIDS" {
+				spec = scaledAIDS(cfg)
+			} else {
+				spec = scaledPDBS(cfg)
+			}
+			db := dataset.Generate(spec)
+			qs := workload.Generate(db, workload.Spec{
+				NumQueries: sparseWorkloadLen(cfg),
+				GraphDist:  workload.Uniform, NodeDist: workload.Uniform,
+				Seed: cfg.Seed + 2000,
+			})
+			ms := threeMethods()
+			buildAll(ms, db)
+			tb := stats.NewTable("method", "avg.candidates", "avg.answers", "avg.falsepos", "fp.ratio%")
+			for _, m := range ms {
+				res := runBaseline(m, qs)
+				cand := avgOf(res, func(q queryMetrics) float64 { return float64(q.Candidates) })
+				ans := avgOf(res, func(q queryMetrics) float64 { return float64(q.Answers) })
+				fp := avgOf(res, func(q queryMetrics) float64 { return float64(q.FalsePos) })
+				ratio := 0.0
+				if cand > 0 {
+					ratio = 100 * fp / cand
+				}
+				tb.AddRowf(m.Name(), cand, ans, fp, ratio)
+			}
+			fmt.Fprintf(w, "%s (%d graphs, %d queries):\n%s", spec.Name, len(db), len(qs), tb)
+			return nil
+		},
+	})
+}
+
+func init() {
+	filteringExperiment("fig2", "Avg Candidates / Answers / False Positives (AIDS)", "AIDS")
+	filteringExperiment("fig3", "Avg Candidates / Answers / False Positives (PDBS)", "PDBS")
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figs 7, 8 (speedup in number of subgraph isomorphism tests) and
+// Figs 12, 13 (speedup in query processing time): four workloads × four
+// method configurations over AIDS and PDBS, iGQ vs the method alone.
+//
+// One run computes both metrics; the figure pairs share runners and differ
+// only in which column they report.
+
+type speedupCell struct {
+	workload string
+	method   string
+	isoTests float64
+	time     float64
+}
+
+// runSpeedupGrid executes the 4×4 grid for one dataset spec.
+func runSpeedupGrid(cfg Config, spec dataset.Spec) []speedupCell {
+	db := dataset.Generate(spec)
+	n := sparseWorkloadLen(cfg)
+	cacheC, cacheW := sparseCache(cfg)
+	var cells []speedupCell
+	ms := methodSet()
+	buildAll(ms, db)
+	for _, m := range ms {
+		for _, wspec := range workload.FourWorkloads(n, 1.4, cfg.Seed+3000) {
+			qs := workload.Generate(db, wspec)
+			pr := runPair(m, db, qs, cacheW, core.Options{
+				CacheSize: cacheC, Window: cacheW,
+			})
+			cells = append(cells, speedupCell{
+				workload: wspec.Name(),
+				method:   m.Name(),
+				isoTests: pr.isoTestSpeedup(),
+				time:     pr.timeSpeedup(),
+			})
+		}
+	}
+	return cells
+}
+
+func speedupTable(cells []speedupCell, metric func(speedupCell) float64) *stats.Table {
+	// rows: workloads; columns: methods
+	var workloads, methods []string
+	seenW, seenM := map[string]bool{}, map[string]bool{}
+	for _, c := range cells {
+		if !seenW[c.workload] {
+			seenW[c.workload] = true
+			workloads = append(workloads, c.workload)
+		}
+		if !seenM[c.method] {
+			seenM[c.method] = true
+			methods = append(methods, c.method)
+		}
+	}
+	tb := stats.NewTable(append([]string{"workload"}, methods...)...)
+	for _, wl := range workloads {
+		row := []interface{}{wl}
+		for _, m := range methods {
+			for _, c := range cells {
+				if c.workload == wl && c.method == m {
+					row = append(row, metric(c))
+				}
+			}
+		}
+		tb.AddRowf(row...)
+	}
+	return tb
+}
+
+func speedupExperiment(id, title, which, metric string) {
+	register(Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			var spec dataset.Spec
+			if which == "AIDS" {
+				spec = scaledAIDS(cfg)
+			} else {
+				spec = scaledPDBS(cfg)
+			}
+			cells := runSpeedupGrid(cfg, spec)
+			var tb *stats.Table
+			if metric == "iso" {
+				tb = speedupTable(cells, func(c speedupCell) float64 { return c.isoTests })
+				fmt.Fprintf(w, "Speedup in #subgraph-isomorphism tests, %s (iGQ M / M):\n%s", spec.Name, tb)
+				fmt.Fprintln(w, "\nPaper shape: speedups well above 1x on every method and workload")
+				fmt.Fprintln(w, "(5x-11x at the paper's scale), larger with skewed workloads.")
+			} else {
+				tb = speedupTable(cells, func(c speedupCell) float64 { return c.time })
+				fmt.Fprintf(w, "Speedup in query processing time, %s:\n%s", spec.Name, tb)
+				fmt.Fprintln(w, "\nPaper shape: smaller than the iso-test speedups (unpruned large")
+				fmt.Fprintln(w, "graphs dominate residual verification). Scale note: with dataset")
+				fmt.Fprintln(w, "graphs ~7-60x smaller than the originals, verification is cheap")
+				fmt.Fprintln(w, "enough that cache overhead pushes filter-dominated cells below 1x;")
+				fmt.Fprintln(w, "the crossover reappears along the cache-size (fig14) and skew")
+				fmt.Fprintln(w, "(fig15) axes, and at larger -scale values.")
+			}
+			return nil
+		},
+	})
+}
+
+func init() {
+	speedupExperiment("fig7", "Speedup in #Iso Tests, AIDS (4 workloads x 4 methods)", "AIDS", "iso")
+	speedupExperiment("fig8", "Speedup in #Iso Tests, PDBS (4 workloads x 4 methods)", "PDBS", "iso")
+	speedupExperiment("fig12", "Speedup in Query Processing Time, AIDS", "AIDS", "time")
+	speedupExperiment("fig13", "Speedup in Query Processing Time, PDBS", "PDBS", "time")
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/index/contain"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Extension experiment: supergraph query processing speedup. The paper
+// evaluates this mode but omits the numbers "for space reasons" (§7); this
+// runner reproduces the omitted measurement with the §4.4 inverse wiring:
+// a dataset of small fragments, supergraph queries extracted as larger
+// regions, the containment method (paper Algorithms 1–2 over the dataset)
+// as Msuper, and iGQ on top.
+func init() {
+	register(Experiment{
+		ID:    "supergraph-speedup",
+		Title: "Extension: Speedups for Supergraph Query Processing (omitted in paper)",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			// fragment dataset: many small-to-medium sparse graphs. The
+			// dataset must be large for wall-clock gains: every pruned
+			// candidate saves one fragment-vs-query test, while each cache
+			// hit costs one query-vs-query test of comparable size — so the
+			// aggregate savings scale with dataset size (the same balance
+			// the paper's 40k-graph subgraph datasets provide).
+			spec := dataset.Spec{
+				Name: "Fragments", NumGraphs: cfg.scaled(1500, 300), Labels: 8,
+				NodesMean: 14, NodesStd: 5, NodesMin: 5, NodesMax: 28,
+				AvgDegree: 2.2, LabelSkew: 1.5, Seed: cfg.Seed*10 + 5,
+			}
+			db := dataset.Generate(spec)
+			m := contain.New(contain.DefaultOptions())
+			m.Build(db)
+
+			// supergraph queries: larger graphs sampled from a shared pool
+			// so nested/repeated relationships arise (zipf-zipf analogue)
+			pool := dataset.Generate(dataset.Spec{
+				Name: "pool", NumGraphs: 40, Labels: 8,
+				NodesMean: 55, NodesStd: 12, NodesMin: 30, NodesMax: 90,
+				AvgDegree: 2.4, LabelSkew: 1.5, Seed: cfg.Seed*10 + 6,
+			})
+			n := sparseWorkloadLen(cfg)
+			cacheC, cacheW := sparseCache(cfg)
+			tb := stats.NewTable("workload", "isotest.speedup", "time.speedup")
+			for _, ws := range workload.FourWorkloads(n, 1.4, cfg.Seed+9500) {
+				qs := workload.Generate(pool, workload.Spec{
+					NumQueries: ws.NumQueries, GraphDist: ws.GraphDist,
+					NodeDist: ws.NodeDist, Alpha: ws.Alpha,
+					Sizes: []int{16, 24, 32, 40, 48}, Seed: ws.Seed,
+				})
+				pr := runPair(m, db, qs, cacheW, core.Options{
+					CacheSize: cacheC, Window: cacheW,
+					Mode: core.SupergraphQueries,
+				})
+				tb.AddRowf(ws.Name(), pr.isoTestSpeedup(), pr.timeSpeedup())
+			}
+			fmt.Fprintf(w, "%d fragment graphs, containment method (Alg 1-2), %d queries/workload:\n%s",
+				len(db), n, tb)
+			fmt.Fprintln(w, "\nFinding: iso-test savings transfer to supergraph processing exactly as")
+			fmt.Fprintln(w, "§4.4 claims (and grow with skew). Wall-clock gains, however, are bounded")
+			fmt.Fprintln(w, "here because supergraph *filtering* (Algorithm 2) dominates query time —")
+			fmt.Fprintln(w, "the verification-dominance premise of Fig 1 holds for subgraph, not")
+			fmt.Fprintln(w, "supergraph, processing; consistent with the paper reporting only the")
+			fmt.Fprintln(w, "subgraph-side time speedups.")
+			return nil
+		},
+	})
+}

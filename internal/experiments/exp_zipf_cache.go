@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/index/grapes"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figs 9 and 15: effect of Zipf skew α ∈ {1.1, 1.4, 2.0} on the speedups of
+// PDBS/Grapes(6), zipf-zipf workloads. Fig 9 reports iso-test speedup,
+// Fig 15 time speedup; one grid serves both.
+func runZipfGrid(cfg Config) (map[float64]pairResult, dataset.Spec) {
+	spec := scaledPDBS(cfg)
+	db := dataset.Generate(spec)
+	m := grapes.New(grapes.Options{MaxPathLen: 4, Threads: 6})
+	m.Build(db)
+	n := sparseWorkloadLen(cfg)
+	cacheC, cacheW := sparseCache(cfg)
+	out := map[float64]pairResult{}
+	for _, alpha := range []float64{1.1, 1.4, 2.0} {
+		qs := workload.Generate(db, workload.Spec{
+			NumQueries: n,
+			GraphDist:  workload.Zipf, NodeDist: workload.Zipf,
+			Alpha: alpha, Seed: cfg.Seed + 4000,
+		})
+		out[alpha] = runPair(m, db, qs, cacheW, core.Options{
+			CacheSize: cacheC, Window: cacheW,
+		})
+	}
+	return out, spec
+}
+
+func zipfExperiment(id, title, metric string) {
+	register(Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			grid, spec := runZipfGrid(cfg)
+			tb := stats.NewTable("zipf.alpha", "speedup")
+			for _, alpha := range []float64{1.1, 1.4, 2.0} {
+				pr := grid[alpha]
+				v := pr.isoTestSpeedup()
+				if metric == "time" {
+					v = pr.timeSpeedup()
+				}
+				tb.AddRowf(alpha, v)
+			}
+			fmt.Fprintf(w, "%s, %s/Grapes(6), zipf-zipf:\n%s", title, spec.Name, tb)
+			fmt.Fprintln(w, "\nPaper shape: more skew -> more repeated/nested queries -> larger speedup.")
+			return nil
+		},
+	})
+}
+
+func init() {
+	zipfExperiment("fig9", "Iso-Test Speedup vs Zipf alpha", "iso")
+	zipfExperiment("fig15", "Query-Time Speedup vs Zipf alpha", "time")
+}
+
+// Fig 14: query-time speedup vs cache size C ∈ {500, 1000, 1500} (scaled),
+// PDBS/Grapes(6), longer workload (the paper uses 5000 queries with
+// W = C/5).
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Query-Time Speedup vs Cache Size (PDBS/Grapes(6))",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			spec := scaledPDBS(cfg)
+			db := dataset.Generate(spec)
+			m := grapes.New(grapes.Options{MaxPathLen: 4, Threads: 6})
+			m.Build(db)
+			n := cfg.scaled(600, 200)
+			qs := workload.Generate(db, workload.Spec{
+				NumQueries: n,
+				GraphDist:  workload.Zipf, NodeDist: workload.Zipf,
+				Alpha: 1.4, Seed: cfg.Seed + 5000,
+			})
+			base := cfg.scaled(60, 30)
+			tb := stats.NewTable("cache.C", "window.W", "time.speedup", "isotest.speedup")
+			for _, mult := range []int{1, 2, 3} { // paper's 500/1000/1500 ratio
+				c := base * mult
+				win := c / 5
+				pr := runPair(m, db, qs, win, core.Options{CacheSize: c, Window: win})
+				tb.AddRowf(c, win, pr.timeSpeedup(), pr.isoTestSpeedup())
+			}
+			fmt.Fprintf(w, "%d queries over %s:\n%s", n, spec.Name, tb)
+			fmt.Fprintln(w, "\nPaper shape: bigger caches prune more large graphs -> speedup rises with C.")
+			return nil
+		},
+	})
+}

@@ -1,0 +1,255 @@
+// Package features extracts the graph substructures ("features") that the
+// filter-then-verify indexes of the paper are built from:
+//
+//   - labeled simple paths up to a maximum edge length (GraphGrepSX and
+//     Grapes index paths of length ≤ 4; the iGQ Isub/Isuper components use
+//     the same feature family over query graphs),
+//   - labeled subtrees up to a maximum vertex count (CT-Index, trees ≤ 6),
+//   - labeled simple cycles up to a maximum length (CT-Index, cycles ≤ 8).
+//
+// Every feature is reduced to a canonical string key so that two occurrences
+// of the same abstract substructure — anywhere, in any vertex order — map to
+// the same key. For paths the canonical form is the lexicographic minimum of
+// the label sequence and its reverse; for cycles, the minimum over all
+// rotations of both directions; for trees, the AHU canonical encoding
+// (linear-time for trees, which is exactly why CT-Index restricts itself to
+// trees and cycles).
+package features
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// A Key is the canonical string form of a feature. Keys from different
+// families never collide: they are namespaced by a one-byte prefix
+// ("p:" path, "t:" tree, "c:" cycle).
+type Key = string
+
+// PathSet holds, for a single graph, every canonical path feature with its
+// occurrence count and (optionally) the set of vertices touched by any
+// occurrence — the "location information" Grapes stores.
+type PathSet struct {
+	Counts    map[Key]int
+	Locations map[Key][]int32 // sorted vertex ids; nil when not recorded
+}
+
+// PathOptions configures path enumeration.
+type PathOptions struct {
+	MaxLen    int  // maximum number of edges per path (paper default: 4)
+	Locations bool // record per-feature vertex locations (Grapes)
+}
+
+// pathKey builds the canonical key for a sequence of labels: the smaller of
+// the sequence and its reverse, joined with '.' and prefixed "p:".
+func pathKey(labels []graph.Label) Key {
+	n := len(labels)
+	rev := make([]graph.Label, n)
+	for i, l := range labels {
+		rev[n-1-i] = l
+	}
+	a := joinLabels(labels)
+	b := joinLabels(rev)
+	if b < a {
+		a = b
+	}
+	return "p:" + a
+}
+
+// pathKeyLabeled canonicalises a path whose edges carry labels: vertex and
+// edge labels interleave (v0 e01 v1 e12 ... vk) and the key is the smaller
+// of the forward and reversed interleavings. The "!" marker keeps labeled
+// keys disjoint from unlabeled ones (an interleaved sequence could
+// otherwise collide with a longer unlabeled path's key). Zero-labeled
+// occurrences use the legacy unlabeled form, so graphs mixing labeled and
+// unlabeled edges filter correctly against each other.
+func pathKeyLabeled(labels, elabs []graph.Label) Key {
+	if allZero(elabs) {
+		return pathKey(labels)
+	}
+	inter := interleave(labels, elabs)
+	n := len(labels)
+	revV := make([]graph.Label, n)
+	for i, l := range labels {
+		revV[n-1-i] = l
+	}
+	revE := make([]graph.Label, len(elabs))
+	for i, l := range elabs {
+		revE[len(elabs)-1-i] = l
+	}
+	a := inter
+	if b := interleave(revV, revE); b < a {
+		a = b
+	}
+	return "p:!" + a
+}
+
+func allZero(ls []graph.Label) bool {
+	for _, l := range ls {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// interleave renders v0.e0.v1.e1...vk.
+func interleave(vs, es []graph.Label) string {
+	var b strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte('.')
+			b.WriteString(strconv.Itoa(int(es[i-1])))
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	return b.String()
+}
+
+func joinLabels(ls []graph.Label) string {
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(int(l)))
+	}
+	return b.String()
+}
+
+// Paths enumerates every simple path of 0..MaxLen edges in g (a 0-edge path
+// is a single vertex). Each *directed* traversal is found once; because a
+// path and its reverse share a canonical key, undirected occurrences are
+// counted twice except single vertices — consistently for dataset and query
+// graphs, so count-based filter comparisons remain valid.
+func Paths(g *graph.Graph, opt PathOptions) *PathSet {
+	return PathsRange(g, opt, 0, g.NumVertices())
+}
+
+// PathsRange enumerates the paths whose *start vertex* lies in [lo, hi).
+// Because every directed path is discovered exactly once from its start
+// vertex, partitioning the vertex range across workers and merging the
+// per-worker sets (MergePathSets) reproduces Paths exactly — this is the
+// Grapes parallel index construction strategy, where each thread works on a
+// portion of the graph and the per-thread tries are merged.
+func PathsRange(g *graph.Graph, opt PathOptions, lo, hi int) *PathSet {
+	if opt.MaxLen < 0 {
+		opt.MaxLen = 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > g.NumVertices() {
+		hi = g.NumVertices()
+	}
+	ps := &PathSet{Counts: make(map[Key]int)}
+	if opt.Locations {
+		ps.Locations = make(map[Key][]int32)
+	}
+	n := g.NumVertices()
+	labeled := g.HasEdgeLabels()
+	inPath := make([]bool, n)
+	pathV := make([]int32, 0, opt.MaxLen+1)
+	labels := make([]graph.Label, 0, opt.MaxLen+1)
+	elabs := make([]graph.Label, 0, opt.MaxLen)
+
+	var locAdd func(k Key)
+	if opt.Locations {
+		locAdd = func(k Key) {
+			ps.Locations[k] = append(ps.Locations[k], pathV...)
+		}
+	}
+
+	var dfs func(v int)
+	dfs = func(v int) {
+		var k Key
+		if labeled {
+			k = pathKeyLabeled(labels, elabs)
+		} else {
+			k = pathKey(labels)
+		}
+		ps.Counts[k]++
+		if locAdd != nil {
+			locAdd(k)
+		}
+		if len(labels) == opt.MaxLen+1 {
+			return
+		}
+		for _, w := range g.Neighbors(v) {
+			if inPath[w] {
+				continue
+			}
+			inPath[w] = true
+			pathV = append(pathV, w)
+			labels = append(labels, g.Label(int(w)))
+			if labeled {
+				elabs = append(elabs, g.EdgeLabel(v, int(w)))
+			}
+			dfs(int(w))
+			labels = labels[:len(labels)-1]
+			if labeled {
+				elabs = elabs[:len(elabs)-1]
+			}
+			pathV = pathV[:len(pathV)-1]
+			inPath[w] = false
+		}
+	}
+	_ = n
+	for v := lo; v < hi; v++ {
+		inPath[v] = true
+		pathV = append(pathV[:0], int32(v))
+		labels = append(labels[:0], g.Label(v))
+		dfs(v)
+		inPath[v] = false
+	}
+	if opt.Locations {
+		for k, vs := range ps.Locations {
+			ps.Locations[k] = dedupSorted(vs)
+		}
+	}
+	return ps
+}
+
+// MergePathSets folds src into dst: counts add, locations union. dst must
+// have been produced with the same PathOptions as src.
+func MergePathSets(dst, src *PathSet) {
+	for k, c := range src.Counts {
+		dst.Counts[k] += c
+	}
+	if dst.Locations != nil && src.Locations != nil {
+		for k, vs := range src.Locations {
+			dst.Locations[k] = dedupSorted(append(dst.Locations[k], vs...))
+		}
+	}
+}
+
+func dedupSorted(vs []int32) []int32 {
+	if len(vs) == 0 {
+		return vs
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	out := vs[:1]
+	for _, v := range vs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SizeBytes approximates the in-memory footprint of the path set, for the
+// paper's index-size accounting (Fig 18).
+func (ps *PathSet) SizeBytes() int {
+	sz := 48
+	for k := range ps.Counts {
+		sz += len(k) + 16 + 8
+	}
+	for k, vs := range ps.Locations {
+		sz += len(k) + 24 + 4*len(vs)
+	}
+	return sz
+}

@@ -1,0 +1,285 @@
+package features
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Tree enumeration for CT-Index-style fingerprints.
+//
+// A tree feature is an edge subset of the graph that forms a tree with at
+// most MaxVertices vertices. Enumeration grows trees by leaf additions from
+// every root (requiring the root to be the tree's minimum vertex, so each
+// tree is examined from exactly one root) and deduplicates growth orders
+// with an exact edge-set signature. The canonical key is the AHU encoding
+// rooted at the tree's center (or centered edge), which is unique per
+// labeled tree isomorphism class — the linear-time canonical form that makes
+// trees attractive index features (CT-Index's core observation).
+//
+// On dense graphs the tree count explodes combinatorially; TreeOptions.
+// Budget caps the number of distinct trees examined per graph. Overflow
+// handling is left to the caller (see ctindex: dataset graphs saturate the
+// fingerprint — sound, never lossy in the false-negative direction).
+
+// TreeOptions configures subtree enumeration.
+type TreeOptions struct {
+	MaxVertices int // maximum vertices per tree (paper default: 6)
+	Budget      int // max distinct trees per graph; <=0 means unlimited
+}
+
+// TreeSet is the result of enumerating a graph's tree features.
+type TreeSet struct {
+	Counts map[Key]int
+	// Overflowed is true when the Budget was hit; callers must treat the
+	// Counts as a truncated under-approximation.
+	Overflowed bool
+}
+
+// Trees enumerates the distinct tree features of g.
+func Trees(g *graph.Graph, opt TreeOptions) *TreeSet {
+	if opt.MaxVertices < 1 {
+		opt.MaxVertices = 1
+	}
+	ts := &TreeSet{Counts: make(map[Key]int)}
+	n := g.NumVertices()
+	seen := make(map[string]struct{}) // edge-set signatures, per root
+	total := 0
+
+	for r := 0; r < n; r++ {
+		// single-vertex tree
+		ts.Counts["t:"+strconv.Itoa(int(g.Label(r)))]++
+		total++
+		if opt.Budget > 0 && total > opt.Budget {
+			ts.Overflowed = true
+			return ts
+		}
+		if opt.MaxVertices == 1 {
+			continue
+		}
+		clearMap(seen)
+		inTree := map[int32]bool{int32(r): true}
+		var treeV []int32
+		var treeE [][2]int32
+		treeV = append(treeV, int32(r))
+
+		var grow func() bool // returns false when budget exhausted
+		grow = func() bool {
+			if len(treeE) > 0 {
+				sig := edgeSignature(treeE)
+				if _, dup := seen[sig]; dup {
+					return true
+				}
+				seen[sig] = struct{}{}
+				ts.Counts[treeKey(g, treeV, treeE)]++
+				total++
+				if opt.Budget > 0 && total > opt.Budget {
+					ts.Overflowed = true
+					return false
+				}
+			}
+			if len(treeV) == opt.MaxVertices {
+				return true
+			}
+			for i := 0; i < len(treeV); i++ {
+				u := treeV[i]
+				for _, v := range g.Neighbors(int(u)) {
+					if int(v) <= r || inTree[v] {
+						continue
+					}
+					inTree[v] = true
+					treeV = append(treeV, v)
+					treeE = append(treeE, orderedEdge(u, v))
+					ok := grow()
+					treeE = treeE[:len(treeE)-1]
+					treeV = treeV[:len(treeV)-1]
+					delete(inTree, v)
+					if !ok {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if !grow() {
+			return ts
+		}
+	}
+	return ts
+}
+
+func clearMap(m map[string]struct{}) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func orderedEdge(u, v int32) [2]int32 {
+	if u < v {
+		return [2]int32{u, v}
+	}
+	return [2]int32{v, u}
+}
+
+// edgeSignature packs the sorted edge list into a string for exact
+// growth-order deduplication.
+func edgeSignature(edges [][2]int32) string {
+	es := append([][2]int32(nil), edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	var b strings.Builder
+	b.Grow(len(es) * 8)
+	for _, e := range es {
+		b.WriteByte(byte(e[0]))
+		b.WriteByte(byte(e[0] >> 8))
+		b.WriteByte(byte(e[0] >> 16))
+		b.WriteByte(byte(e[0] >> 24))
+		b.WriteByte(byte(e[1]))
+		b.WriteByte(byte(e[1] >> 8))
+		b.WriteByte(byte(e[1] >> 16))
+		b.WriteByte(byte(e[1] >> 24))
+	}
+	return b.String()
+}
+
+// treeKey computes the canonical AHU key for the labeled tree given by the
+// vertex list and edge list (vertex ids refer to g, labels taken from g).
+// Trees containing labeled edges get a distinct "!"-marked key family whose
+// AHU encoding carries the edge labels.
+func treeKey(g *graph.Graph, vs []int32, es [][2]int32) Key {
+	// local adjacency, with edge labels alongside
+	idx := make(map[int32]int, len(vs))
+	for i, v := range vs {
+		idx[v] = i
+	}
+	n := len(vs)
+	adj := make([][]int, n)
+	eadj := make([][]graph.Label, n)
+	anyLabel := false
+	for _, e := range es {
+		a, b := idx[e[0]], idx[e[1]]
+		l := g.EdgeLabel(int(e[0]), int(e[1]))
+		if l != 0 {
+			anyLabel = true
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+		eadj[a] = append(eadj[a], l)
+		eadj[b] = append(eadj[b], l)
+	}
+	labels := make([]graph.Label, n)
+	for i, v := range vs {
+		labels[i] = g.Label(int(v))
+	}
+	if anyLabel {
+		return "t:!" + ahuCanonicalLabeled(n, adj, eadj, labels)
+	}
+	return "t:" + ahuCanonical(n, adj, labels)
+}
+
+// ahuCanonicalLabeled is ahuCanonical with edge labels woven into the
+// encoding (each child subtree is prefixed by the label of the edge
+// reaching it; the two-centre form carries the centre edge's label).
+func ahuCanonicalLabeled(n int, adj [][]int, eadj [][]graph.Label, labels []graph.Label) string {
+	if n == 1 {
+		return encodeLabel(labels[0])
+	}
+	centers := treeCenters(n, adj)
+	if len(centers) == 1 {
+		return ahuEncodeLabeled(centers[0], -1, adj, eadj, labels)
+	}
+	a := ahuEncodeLabeled(centers[0], centers[1], adj, eadj, labels)
+	b := ahuEncodeLabeled(centers[1], centers[0], adj, eadj, labels)
+	if b < a {
+		a, b = b, a
+	}
+	var centerEdge graph.Label
+	for i, w := range adj[centers[0]] {
+		if w == centers[1] {
+			centerEdge = eadj[centers[0]][i]
+			break
+		}
+	}
+	return a + "=" + encodeLabel(centerEdge) + "=" + b
+}
+
+// ahuEncodeLabeled encodes the subtree rooted at v, excluding the parent
+// edge; children sort by (edge label, encoding).
+func ahuEncodeLabeled(v, parent int, adj [][]int, eadj [][]graph.Label, labels []graph.Label) string {
+	var kids []string
+	for i, w := range adj[v] {
+		if w != parent {
+			kids = append(kids, encodeLabel(eadj[v][i])+"_"+ahuEncodeLabeled(w, v, adj, eadj, labels))
+		}
+	}
+	sort.Strings(kids)
+	return encodeLabel(labels[v]) + "(" + strings.Join(kids, ",") + ")"
+}
+
+// ahuCanonical returns the canonical encoding of a labeled free tree:
+// centre(s) are found by leaf peeling; for one centre the AHU encoding
+// rooted there is canonical, for two centres the two half-encodings are
+// sorted and joined.
+func ahuCanonical(n int, adj [][]int, labels []graph.Label) string {
+	if n == 1 {
+		return encodeLabel(labels[0])
+	}
+	centers := treeCenters(n, adj)
+	if len(centers) == 1 {
+		return ahuEncode(centers[0], -1, adj, labels)
+	}
+	a := ahuEncode(centers[0], centers[1], adj, labels)
+	b := ahuEncode(centers[1], centers[0], adj, labels)
+	if b < a {
+		a, b = b, a
+	}
+	return a + "=" + b
+}
+
+func treeCenters(n int, adj [][]int) []int {
+	deg := make([]int, n)
+	var leaves []int
+	for v := range adj {
+		deg[v] = len(adj[v])
+		if deg[v] <= 1 {
+			leaves = append(leaves, v)
+		}
+	}
+	remaining := n
+	for remaining > 2 {
+		var next []int
+		remaining -= len(leaves)
+		for _, l := range leaves {
+			for _, w := range adj[l] {
+				deg[w]--
+				if deg[w] == 1 {
+					next = append(next, w)
+				}
+			}
+			deg[l] = 0
+		}
+		leaves = next
+	}
+	sort.Ints(leaves)
+	return leaves
+}
+
+// ahuEncode encodes the subtree rooted at v, excluding the parent edge.
+func ahuEncode(v, parent int, adj [][]int, labels []graph.Label) string {
+	var kids []string
+	for _, w := range adj[v] {
+		if w != parent {
+			kids = append(kids, ahuEncode(w, v, adj, labels))
+		}
+	}
+	sort.Strings(kids)
+	return encodeLabel(labels[v]) + "(" + strings.Join(kids, ",") + ")"
+}
+
+func encodeLabel(l graph.Label) string { return strconv.Itoa(int(l)) }

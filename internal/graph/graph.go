@@ -1,0 +1,419 @@
+// Package graph provides the labeled undirected graph type that underpins
+// every component of the iGQ reproduction: the dataset graphs, the query
+// graphs, and the feature-extraction and isomorphism machinery built on top.
+//
+// Graphs are vertex-labeled (the paper's Definition 1); labels are small
+// integers. Vertices are dense indices 0..N-1, which keeps adjacency
+// structures compact and makes the graph cheap to copy and hash.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Label is a vertex label. The paper's formal model uses an arbitrary label
+// domain U; all algorithms here only require equality, so a small integer
+// domain loses no generality (string label vocabularies can be interned).
+type Label int32
+
+// Graph is a labeled undirected graph G = (V, E, l) per Definition 1 of the
+// paper. The zero value is an empty graph ready for use.
+//
+// Edges may optionally carry labels too — the paper notes that all results
+// "straightforwardly generalize to graphs with edge labels", and this
+// implementation realises that: edge labels default to 0 (unlabeled) and
+// participate in feature canonical forms and isomorphism feasibility when
+// set.
+//
+// Invariants maintained by the mutators:
+//   - adjacency lists are kept sorted and duplicate-free,
+//   - there are no self-loops,
+//   - len(labels) == number of vertices,
+//   - elabels[v] is aligned index-by-index with adj[v].
+type Graph struct {
+	// ID is an optional caller-assigned identifier (e.g. position in a
+	// dataset). It is carried through serialization but has no semantic
+	// role in any algorithm.
+	ID int
+
+	labels  []Label
+	adj     [][]int32
+	elabels [][]Label // edge labels aligned with adj; nil when all zero
+	edges   int
+}
+
+// New returns an empty graph with capacity hints for n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		labels: make([]Label, 0, n),
+		adj:    make([][]int32, 0, n),
+	}
+}
+
+// NumVertices returns |V(G)|.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns |E(G)| (each undirected edge counted once).
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddVertex appends a vertex with the given label and returns its index.
+func (g *Graph) AddVertex(l Label) int {
+	g.labels = append(g.labels, l)
+	g.adj = append(g.adj, nil)
+	if g.elabels != nil {
+		g.elabels = append(g.elabels, nil)
+	}
+	return len(g.labels) - 1
+}
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v int) Label { return g.labels[v] }
+
+// SetLabel replaces the label of vertex v.
+func (g *Graph) SetLabel(v int, l Label) { g.labels[v] = l }
+
+// Degree returns the number of neighbours of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// AddEdge inserts the undirected unlabeled edge (u, v). It reports whether
+// the edge was newly added; self-loops and duplicates are rejected
+// (returning false), matching the simple-graph model of the paper.
+func (g *Graph) AddEdge(u, v int) bool { return g.AddEdgeLabeled(u, v, 0) }
+
+// AddEdgeLabeled inserts the undirected edge (u, v) carrying label l.
+// Storage for edge labels is materialised lazily on the first non-zero
+// label, so unlabeled graphs pay nothing.
+func (g *Graph) AddEdgeLabeled(u, v int, l Label) bool {
+	if u == v || u < 0 || v < 0 || u >= len(g.labels) || v >= len(g.labels) {
+		return false
+	}
+	if g.HasEdge(u, v) {
+		return false
+	}
+	if l != 0 && g.elabels == nil {
+		g.elabels = make([][]Label, len(g.labels))
+		for i, a := range g.adj {
+			g.elabels[i] = make([]Label, len(a))
+		}
+	}
+	var iu, iv int
+	g.adj[u], iu = insertSorted(g.adj[u], int32(v))
+	g.adj[v], iv = insertSorted(g.adj[v], int32(u))
+	if g.elabels != nil {
+		g.elabels[u] = insertLabelAt(g.elabels[u], iu, l)
+		g.elabels[v] = insertLabelAt(g.elabels[v], iv, l)
+	}
+	g.edges++
+	return true
+}
+
+// EdgeLabel returns the label of edge (u, v), or 0 if the edge is absent or
+// unlabeled.
+func (g *Graph) EdgeLabel(u, v int) Label {
+	if g.elabels == nil || u < 0 || u >= len(g.labels) {
+		return 0
+	}
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	if i < len(a) && a[i] == int32(v) {
+		return g.elabels[u][i]
+	}
+	return 0
+}
+
+// HasEdgeLabels reports whether any edge carries a non-zero label.
+func (g *Graph) HasEdgeLabels() bool {
+	for _, ls := range g.elabels {
+		for _, l := range ls {
+			if l != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func insertLabelAt(ls []Label, i int, l Label) []Label {
+	ls = append(ls, 0)
+	copy(ls[i+1:], ls[i:])
+	ls[i] = l
+	return ls
+}
+
+// HasEdge reports whether the undirected edge (u, v) is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.labels) || v >= len(g.labels) {
+		return false
+	}
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
+}
+
+func insertSorted(a []int32, x int32) ([]int32, int) {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = x
+	return a, i
+}
+
+// Edges calls fn for every undirected edge exactly once, with u < v.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// EdgeList returns all edges as (u, v) pairs with u < v, in deterministic
+// order.
+func (g *Graph) EdgeList() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	g.Edges(func(u, v int) { out = append(out, [2]int{u, v}) })
+	return out
+}
+
+// Clone returns a deep copy of g (including ID and edge labels).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		ID:     g.ID,
+		labels: append([]Label(nil), g.labels...),
+		adj:    make([][]int32, len(g.adj)),
+		edges:  g.edges,
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]int32(nil), a...)
+	}
+	if g.elabels != nil {
+		c.elabels = make([][]Label, len(g.elabels))
+		for i, ls := range g.elabels {
+			c.elabels[i] = append([]Label(nil), ls...)
+		}
+	}
+	return c
+}
+
+// EdgesLabeled calls fn for every undirected edge exactly once, with u < v
+// and the edge's label.
+func (g *Graph) EdgesLabeled(fn func(u, v int, l Label)) {
+	for u := range g.adj {
+		for i, w := range g.adj[u] {
+			if int(w) > u {
+				var l Label
+				if g.elabels != nil {
+					l = g.elabels[u][i]
+				}
+				fn(u, int(w), l)
+			}
+		}
+	}
+}
+
+// Labels returns a copy of the label slice indexed by vertex.
+func (g *Graph) Labels() []Label { return append([]Label(nil), g.labels...) }
+
+// LabelSet returns the set of distinct labels appearing in g, sorted.
+func (g *Graph) LabelSet() []Label {
+	seen := map[Label]struct{}{}
+	for _, l := range g.labels {
+		seen[l] = struct{}{}
+	}
+	out := make([]Label, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LabelCounts returns a histogram of vertex labels.
+func (g *Graph) LabelCounts() map[Label]int {
+	h := make(map[Label]int)
+	for _, l := range g.labels {
+		h[l]++
+	}
+	return h
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, a := range g.adj {
+		if len(a) > m {
+			m = len(a)
+		}
+	}
+	return m
+}
+
+// AvgDegree returns the average vertex degree (2|E|/|V|), 0 for empty graphs.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.labels) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.labels))
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// along with the mapping from new vertex index to original vertex index.
+// Vertices keep their labels; edges with both ends in the set are retained.
+func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
+	idx := make(map[int]int, len(vs))
+	sub := New(len(vs))
+	orig := make([]int, 0, len(vs))
+	for _, v := range vs {
+		if _, dup := idx[v]; dup {
+			continue
+		}
+		idx[v] = sub.AddVertex(g.labels[v])
+		orig = append(orig, v)
+	}
+	for v, nv := range idx {
+		for i, w := range g.adj[v] {
+			if nw, ok := idx[int(w)]; ok && nv < nw {
+				var l Label
+				if g.elabels != nil {
+					l = g.elabels[v][i]
+				}
+				sub.AddEdgeLabeled(nv, nw, l)
+			}
+		}
+	}
+	return sub, orig
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted ascending, ordered by their smallest vertex.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := len(g.labels)
+	seen := make([]bool, n)
+	var comps [][]int
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], int32(s))
+		comp := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, int(w))
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether g is connected (the empty graph counts as
+// connected; a single vertex does too).
+func (g *Graph) IsConnected() bool {
+	if len(g.labels) <= 1 {
+		return true
+	}
+	return len(g.ConnectedComponents()) == 1
+}
+
+// BFSOrder returns vertices reachable from start in breadth-first order.
+func (g *Graph) BFSOrder(start int) []int {
+	if start < 0 || start >= len(g.labels) {
+		return nil
+	}
+	seen := make([]bool, len(g.labels))
+	order := make([]int, 0, len(g.labels))
+	queue := []int32{int32(start)}
+	seen[start] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, int(v))
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+// SizeBytes returns the approximate in-memory footprint of the graph
+// structure, used for the index-size accounting of the paper's Figure 18.
+func (g *Graph) SizeBytes() int {
+	sz := 16 + 4*len(g.labels) // labels + header
+	for _, a := range g.adj {
+		sz += 24 + 4*len(a)
+	}
+	for _, ls := range g.elabels {
+		sz += 24 + 4*len(ls)
+	}
+	return sz
+}
+
+// String returns a compact human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{id=%d |V|=%d |E|=%d}", g.ID, len(g.labels), g.edges)
+}
+
+// Validate checks the structural invariants and returns a descriptive error
+// if any is violated. Intended for tests and for data loaded from files.
+func (g *Graph) Validate() error {
+	if len(g.labels) != len(g.adj) {
+		return fmt.Errorf("graph: %d labels but %d adjacency lists", len(g.labels), len(g.adj))
+	}
+	count := 0
+	for u, a := range g.adj {
+		for i, w := range a {
+			if int(w) == u {
+				return fmt.Errorf("graph: self-loop at vertex %d", u)
+			}
+			if w < 0 || int(w) >= len(g.labels) {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", u, w)
+			}
+			if i > 0 && a[i-1] >= w {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", u)
+			}
+			if !g.HasEdge(int(w), u) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", u, w)
+			}
+			count++
+		}
+	}
+	if count != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency total %d", g.edges, count)
+	}
+	if g.elabels != nil {
+		if len(g.elabels) != len(g.adj) {
+			return fmt.Errorf("graph: %d edge-label lists but %d adjacency lists", len(g.elabels), len(g.adj))
+		}
+		for u := range g.adj {
+			if len(g.elabels[u]) != len(g.adj[u]) {
+				return fmt.Errorf("graph: vertex %d has %d edge labels for %d neighbours",
+					u, len(g.elabels[u]), len(g.adj[u]))
+			}
+			for i, w := range g.adj[u] {
+				if g.elabels[u][i] != g.EdgeLabel(int(w), u) {
+					return fmt.Errorf("graph: edge (%d,%d) label asymmetric", u, w)
+				}
+			}
+		}
+	}
+	return nil
+}

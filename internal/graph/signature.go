@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Fingerprint is an order-invariant structural hash of a graph. Two
+// isomorphic graphs always produce the same fingerprint; distinct graphs may
+// collide (it is a hash), so it is a fast pre-filter for exact-duplicate
+// detection in the iGQ cache, never a substitute for an isomorphism test.
+//
+// The construction is a short Weisfeiler-Lehman colour refinement: vertices
+// start coloured by label, each round recolours a vertex by hashing its
+// colour with the sorted multiset of neighbour colours, and the final
+// fingerprint hashes the sorted colour multiset with |V| and |E|.
+func Fingerprint(g *Graph) uint64 {
+	n := g.NumVertices()
+	cur := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		cur[v] = mix(14695981039346656037, uint64(g.Label(v))+0x9e37)
+	}
+	next := make([]uint64, n)
+	neigh := make([]uint64, 0, 16)
+	rounds := 3
+	if n < 3 {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			neigh = neigh[:0]
+			for _, w := range g.Neighbors(v) {
+				// edge labels flow into the colour so fingerprints separate
+				// graphs differing only in bond types
+				neigh = append(neigh, mix(cur[w], uint64(g.EdgeLabel(v, int(w)))+0x51ed))
+			}
+			sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
+			h := mix(cur[v], 0x85ebca6b)
+			for _, x := range neigh {
+				h = mix(h, x)
+			}
+			next[v] = h
+		}
+		cur, next = next, cur
+	}
+	final := append([]uint64(nil), cur...)
+	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(n))
+	put(uint64(g.NumEdges()))
+	for _, x := range final {
+		put(x)
+	}
+	return h.Sum64()
+}
+
+// mix is a 64-bit hash combiner (xorshift-multiply, splitmix64 finaliser).
+func mix(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// DegreeSequence returns the sorted (descending) degree sequence of g.
+// Equal degree sequences are a necessary condition for isomorphism and a
+// cheap pre-filter used in tests.
+func DegreeSequence(g *Graph) []int {
+	ds := make([]int, g.NumVertices())
+	for v := range ds {
+		ds[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}
+
+// SameSignature reports whether a and b agree on the cheap isomorphism
+// invariants: vertex count, edge count, label histogram and degree sequence.
+func SameSignature(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ha, hb := a.LabelCounts(), b.LabelCounts()
+	if len(ha) != len(hb) {
+		return false
+	}
+	for l, c := range ha {
+		if hb[l] != c {
+			return false
+		}
+	}
+	da, db := DegreeSequence(a), DegreeSequence(b)
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}

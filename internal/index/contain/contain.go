@@ -1,0 +1,71 @@
+// Package contain provides a standalone *supergraph* query processing
+// method (the paper's Msuper of §4.4), built from the same trie-based
+// containment structure that iGQ uses as its Isuper component (paper
+// Algorithms 1 and 2) — the paper designed that structure precisely so it
+// could "perform both subgraph and supergraph query indexing and
+// processing".
+//
+// Semantics are the inverse of the subgraph methods: Filter(q) returns the
+// dataset graphs that may be *contained in* q, and Verify(q, id) tests
+// db[id] ⊆ q. The index.Method interface is shared; iGQ distinguishes the
+// two via core.Options.Mode.
+package contain
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/iso"
+)
+
+// Options configures the containment method.
+type Options struct {
+	// MaxPathLen is the feature path length in edges (default 4).
+	MaxPathLen int
+}
+
+// DefaultOptions mirrors the feature configuration of the path baselines.
+func DefaultOptions() Options { return Options{MaxPathLen: 4} }
+
+// Index answers supergraph queries over a fixed dataset.
+type Index struct {
+	opt Options
+	db  []*graph.Graph
+	ci  *core.ContainmentIndex
+}
+
+var _ index.Method = (*Index)(nil)
+
+// New returns an unbuilt containment method.
+func New(opt Options) *Index {
+	if opt.MaxPathLen <= 0 {
+		opt.MaxPathLen = 4
+	}
+	return &Index{opt: opt}
+}
+
+// Name implements index.Method.
+func (x *Index) Name() string { return "Contain" }
+
+// Build implements index.Method (Algorithm 1 over the dataset).
+func (x *Index) Build(db []*graph.Graph) {
+	x.db = db
+	x.ci = core.NewContainmentIndex(x.opt.MaxPathLen)
+	for i, g := range db {
+		x.ci.Add(int32(i), g)
+	}
+}
+
+// Filter implements index.Method (Algorithm 2): candidates that may be
+// subgraphs of q. No false negatives.
+func (x *Index) Filter(q *graph.Graph) []int32 {
+	return x.ci.CandidateSubgraphs(q)
+}
+
+// Verify implements index.Method with the inverted test db[id] ⊆ q.
+func (x *Index) Verify(q *graph.Graph, id int32) bool {
+	return iso.Subgraph(x.db[id], q)
+}
+
+// SizeBytes implements index.Method.
+func (x *Index) SizeBytes() int { return x.ci.SizeBytes() }

@@ -1,0 +1,79 @@
+package contain
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/iso"
+)
+
+func randomGraph(rng *rand.Rand, n int, p float64, labels int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(rng.Intn(labels)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	db := make([]*graph.Graph, 20)
+	for i := range db {
+		db[i] = randomGraph(rng, 2+rng.Intn(4), 0.5, 3)
+	}
+	x := New(DefaultOptions())
+	x.Build(db)
+	for trial := 0; trial < 30; trial++ {
+		q := randomGraph(rng, 4+rng.Intn(5), 0.4, 3)
+		cs := map[int32]bool{}
+		for _, id := range x.Filter(q) {
+			cs[id] = true
+		}
+		for i, g := range db {
+			if iso.Reference(g, q) && !cs[int32(i)] {
+				t.Fatalf("trial %d: contained graph %d missing from CS", trial, i)
+			}
+		}
+	}
+}
+
+func TestVerifyDirectionInverted(t *testing.T) {
+	small := randomGraph(rand.New(rand.NewSource(1)), 3, 1, 1) // triangle, label 0
+	x := New(DefaultOptions())
+	x.Build([]*graph.Graph{small})
+	big := randomGraph(rand.New(rand.NewSource(2)), 6, 0.8, 1)
+	// Verify must test db[0] ⊆ q, not q ⊆ db[0]
+	want := iso.Subgraph(small, big)
+	if got := x.Verify(big, 0); got != want {
+		t.Errorf("Verify = %v, want %v (inverted direction)", got, want)
+	}
+}
+
+func TestOptionsAndName(t *testing.T) {
+	x := New(Options{})
+	if x.opt.MaxPathLen != 4 {
+		t.Errorf("default MaxPathLen = %d", x.opt.MaxPathLen)
+	}
+	if x.Name() != "Contain" {
+		t.Errorf("name = %q", x.Name())
+	}
+	if DefaultOptions().MaxPathLen != 4 {
+		t.Error("DefaultOptions drifted")
+	}
+}
+
+func TestSizePositiveAfterBuild(t *testing.T) {
+	x := New(DefaultOptions())
+	x.Build([]*graph.Graph{randomGraph(rand.New(rand.NewSource(3)), 5, 0.5, 2)})
+	if x.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}

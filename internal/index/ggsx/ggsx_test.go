@@ -1,0 +1,138 @@
+package ggsx
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/trie"
+)
+
+func pathGraph(labels ...graph.Label) *graph.Graph {
+	g := graph.New(len(labels))
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestDefaultOptions(t *testing.T) {
+	if DefaultOptions().MaxPathLen != 4 {
+		t.Errorf("default MaxPathLen = %d", DefaultOptions().MaxPathLen)
+	}
+	// zero options normalised by New
+	x := New(Options{})
+	if x.opt.MaxPathLen != 4 {
+		t.Errorf("New normalised MaxPathLen = %d", x.opt.MaxPathLen)
+	}
+}
+
+func TestFilterCountSemantics(t *testing.T) {
+	// db[0] has one 1-2 edge, db[1] has two disjoint 1-2 edges; a query
+	// needing two occurrences must keep only db[1]
+	one := pathGraph(1, 2)
+	two := graph.New(4)
+	two.AddVertex(1)
+	two.AddVertex(2)
+	two.AddVertex(1)
+	two.AddVertex(2)
+	two.AddEdge(0, 1)
+	two.AddEdge(2, 3)
+
+	x := New(DefaultOptions())
+	x.Build([]*graph.Graph{one, two})
+
+	q := two.Clone()
+	cs := x.Filter(q)
+	if !reflect.DeepEqual(cs, []int32{1}) {
+		t.Errorf("CS = %v, want [1]", cs)
+	}
+	// single-edge query matches both
+	if cs := x.Filter(pathGraph(1, 2)); !reflect.DeepEqual(cs, []int32{0, 1}) {
+		t.Errorf("CS = %v, want [0 1]", cs)
+	}
+}
+
+func TestFilterUnknownFeature(t *testing.T) {
+	x := New(DefaultOptions())
+	x.Build([]*graph.Graph{pathGraph(1, 2, 3)})
+	if cs := x.Filter(pathGraph(9, 9)); len(cs) != 0 {
+		t.Errorf("unknown-label query produced candidates: %v", cs)
+	}
+}
+
+func TestVerifyDelegatesToVF2(t *testing.T) {
+	x := New(DefaultOptions())
+	host := pathGraph(1, 2, 3, 4)
+	x.Build([]*graph.Graph{host})
+	if !x.Verify(pathGraph(2, 3), 0) {
+		t.Error("contained pattern rejected")
+	}
+	if x.Verify(pathGraph(4, 1), 0) {
+		t.Error("non-contained pattern accepted")
+	}
+}
+
+func TestFilterByCountsEmptyWant(t *testing.T) {
+	tr := trie.New()
+	got := FilterByCounts(tr, nil, 3)
+	if !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Errorf("empty-want filter = %v", got)
+	}
+}
+
+func TestFilterByCountsIntersection(t *testing.T) {
+	tr := trie.New()
+	tr.Insert("a", trie.Posting{Graph: 0, Count: 2})
+	tr.Insert("a", trie.Posting{Graph: 1, Count: 1})
+	tr.Insert("b", trie.Posting{Graph: 0, Count: 1})
+	tr.Insert("b", trie.Posting{Graph: 2, Count: 1})
+	// needs a×2 and b×1 → only graph 0
+	got := FilterByCounts(tr, map[string]int{"a": 2, "b": 1}, 3)
+	if !reflect.DeepEqual(got, []int32{0}) {
+		t.Errorf("filter = %v", got)
+	}
+	// needs a×3 → nobody
+	if got := FilterByCounts(tr, map[string]int{"a": 3}, 3); len(got) != 0 {
+		t.Errorf("over-count filter = %v", got)
+	}
+}
+
+func TestLongerPathsFilterTighter(t *testing.T) {
+	// maxLen 5 indexes longer features than maxLen 2, so its candidate
+	// sets are never larger
+	rng := rand.New(rand.NewSource(9))
+	var db []*graph.Graph
+	for i := 0; i < 15; i++ {
+		g := graph.New(10)
+		for v := 0; v < 10; v++ {
+			g.AddVertex(graph.Label(rng.Intn(3)))
+		}
+		for v := 1; v < 10; v++ {
+			g.AddEdge(v, rng.Intn(v))
+		}
+		db = append(db, g)
+	}
+	short := New(Options{MaxPathLen: 2})
+	long := New(Options{MaxPathLen: 5})
+	short.Build(db)
+	long.Build(db)
+	for trial := 0; trial < 20; trial++ {
+		src := db[rng.Intn(len(db))]
+		order := src.BFSOrder(rng.Intn(src.NumVertices()))
+		if len(order) > 6 {
+			order = order[:6]
+		}
+		q, _ := src.InducedSubgraph(order)
+		if len(long.Filter(q)) > len(short.Filter(q)) {
+			t.Fatalf("trial %d: longer features produced a larger candidate set", trial)
+		}
+	}
+	if long.SizeBytes() <= short.SizeBytes() {
+		t.Error("longer feature index should be bigger")
+	}
+}

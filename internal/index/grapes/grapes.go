@@ -1,0 +1,212 @@
+// Package grapes reimplements Grapes (Giugno et al., PLoS One 2013), the
+// multi-core path index the paper uses as its strongest baseline
+// (Grapes(1) and Grapes(6) denote 1 and 6 build/query threads).
+//
+// Like GGSX, Grapes exhaustively enumerates labeled simple paths up to
+// MaxLen edges — but it additionally records *location information*: the
+// set of vertices touched by each feature's occurrences in each graph.
+// Index construction is parallel: each worker enumerates the paths starting
+// from its share of the vertices and the per-worker results are merged
+// (exactly the paper's description of per-thread tries merged into the
+// graph's path index).
+//
+// Location information pays off at verification: the query can only embed
+// among vertices where its features occur, so Grapes induces the subgraph
+// of the candidate on the located vertices, splits it into connected
+// components, and runs VF2 only on components large enough to host the
+// query — typically small, which is what makes Grapes fast on large graphs.
+package grapes
+
+import (
+	"sync"
+
+	"repro/internal/features"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/index/ggsx"
+	"repro/internal/iso"
+	"repro/internal/trie"
+)
+
+// Options configures a Grapes index.
+type Options struct {
+	// MaxPathLen is the maximum path length in edges (paper default 4).
+	MaxPathLen int
+	// Threads is the build/verification parallelism (paper: 1 and 6).
+	Threads int
+}
+
+// DefaultOptions mirrors the paper's Grapes(1) configuration.
+func DefaultOptions() Options { return Options{MaxPathLen: 4, Threads: 1} }
+
+// Index is the Grapes method. Create with New, then Build.
+type Index struct {
+	opt Options
+	db  []*graph.Graph
+	tr  *trie.Trie
+
+	// memo of the last query's features: Verify runs once per candidate of
+	// the same query, so re-enumerating per candidate would be wasteful.
+	mu    sync.Mutex
+	lastQ *graph.Graph
+	lastF *features.PathSet
+}
+
+var _ index.Method = (*Index)(nil)
+
+// New returns an unbuilt Grapes index.
+func New(opt Options) *Index {
+	if opt.MaxPathLen <= 0 {
+		opt.MaxPathLen = 4
+	}
+	if opt.Threads <= 0 {
+		opt.Threads = 1
+	}
+	return &Index{opt: opt, tr: trie.New()}
+}
+
+// Name implements index.Method, including the thread count as in the paper.
+func (x *Index) Name() string {
+	if x.opt.Threads == 1 {
+		return "Grapes"
+	}
+	return "Grapes(" + itoa(x.opt.Threads) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Build implements index.Method with the per-vertex-range parallel strategy.
+func (x *Index) Build(db []*graph.Graph) {
+	x.db = db
+	opt := features.PathOptions{MaxLen: x.opt.MaxPathLen, Locations: true}
+	for i, g := range db {
+		ps := x.enumerate(g, opt)
+		for k, c := range ps.Counts {
+			x.tr.Insert(k, trie.Posting{
+				Graph: int32(i),
+				Count: int32(c),
+				Locs:  ps.Locations[k],
+			})
+		}
+	}
+}
+
+// enumerate splits the start-vertex range across Threads workers and merges
+// the per-worker path sets.
+func (x *Index) enumerate(g *graph.Graph, opt features.PathOptions) *features.PathSet {
+	n := g.NumVertices()
+	w := x.opt.Threads
+	if w == 1 || n < 2*w {
+		return features.Paths(g, opt)
+	}
+	parts := make([]*features.PathSet, w)
+	var wg sync.WaitGroup
+	for t := 0; t < w; t++ {
+		lo := t * n / w
+		hi := (t + 1) * n / w
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			parts[t] = features.PathsRange(g, opt, lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	out := parts[0]
+	for _, p := range parts[1:] {
+		features.MergePathSets(out, p)
+	}
+	return out
+}
+
+// Filter implements index.Method: identical count-based filtering to GGSX
+// (the two share the path feature family).
+func (x *Index) Filter(q *graph.Graph) []int32 {
+	ps := features.Paths(q, features.PathOptions{MaxLen: x.opt.MaxPathLen})
+	return ggsx.FilterByCounts(x.tr, ps.Counts, len(x.db))
+}
+
+// Verify implements index.Method using location-restricted components.
+//
+// The located vertex set is the union of the candidate's occurrences of the
+// query's features; since every vertex of an embedding occurs in some query
+// feature occurrence (at minimum its single-vertex label path), the image of
+// any embedding lies inside the located set, and — for a connected query —
+// inside one connected component of the induced subgraph.
+func (x *Index) Verify(q *graph.Graph, id int32) bool {
+	g := x.db[id]
+	if q.NumVertices() == 0 {
+		return true // the empty pattern embeds everywhere
+	}
+	if !q.IsConnected() {
+		// Component restriction is unsound for disconnected queries;
+		// fall back to a whole-graph test (RI, Grapes' matcher).
+		return iso.SubgraphAlg(q, g, iso.RI)
+	}
+	qf := x.queryFeatures(q)
+	var located []int32
+	for k := range qf.Counts {
+		for _, p := range x.tr.Get(k) {
+			if p.Graph == id {
+				located = unionInto(located, p.Locs)
+				break
+			}
+		}
+	}
+	vs := make([]int, len(located))
+	for i, v := range located {
+		vs[i] = int(v)
+	}
+	sub, _ := g.InducedSubgraph(vs)
+	return iso.SubgraphConnectedComponents(q, sub, sub.ConnectedComponents())
+}
+
+// queryFeatures returns (and memoises) the path features of q.
+func (x *Index) queryFeatures(q *graph.Graph) *features.PathSet {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.lastQ != q {
+		x.lastQ = q
+		x.lastF = features.Paths(q, features.PathOptions{MaxLen: x.opt.MaxPathLen})
+	}
+	return x.lastF
+}
+
+// SizeBytes implements index.Method.
+func (x *Index) SizeBytes() int { return x.tr.SizeBytes() }
+
+func unionInto(dst, src []int32) []int32 {
+	if len(dst) == 0 {
+		return append(dst, src...)
+	}
+	out := make([]int32, 0, len(dst)+len(src))
+	i, j := 0, 0
+	for i < len(dst) && j < len(src) {
+		switch {
+		case dst[i] < src[j]:
+			out = append(out, dst[i])
+			i++
+		case dst[i] > src[j]:
+			out = append(out, src[j])
+			j++
+		default:
+			out = append(out, dst[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, dst[i:]...)
+	out = append(out, src[j:]...)
+	return out
+}

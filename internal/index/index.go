@@ -1,0 +1,160 @@
+// Package index defines the common contract for the filter-then-verify
+// subgraph query processing methods the paper evaluates (the "method M" of
+// the iGQ framework), plus a brute-force reference used as a ground-truth
+// oracle in tests and experiments.
+//
+// A Method indexes a fixed dataset of graphs and answers subgraph queries in
+// two stages:
+//
+//	Filter(q)  → candidate set CS(q): ids of graphs that may contain q
+//	             (guaranteed superset of the true answer — no false
+//	             negatives; false positives allowed),
+//	Verify(q, id) → subgraph isomorphism test of q against one candidate.
+//
+// iGQ (package core) wraps any Method, pruning CS(q) with knowledge from
+// previously executed queries before verification.
+package index
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/iso"
+)
+
+// Method is a subgraph query processing method over a fixed graph dataset.
+// Implementations must be safe for concurrent Filter/Verify calls after
+// Build has returned.
+type Method interface {
+	// Name identifies the method in experiment output (e.g. "Grapes(6)").
+	Name() string
+	// Build constructs the dataset index. It must be called exactly once,
+	// before any queries.
+	Build(db []*graph.Graph)
+	// Filter returns the candidate set for query q as sorted dataset
+	// positions. It must never omit a true answer.
+	Filter(q *graph.Graph) []int32
+	// Verify performs the subgraph isomorphism test of q against the
+	// dataset graph at position id, stopping at the first embedding.
+	Verify(q *graph.Graph, id int32) bool
+	// SizeBytes reports the approximate index footprint (paper Fig 18).
+	SizeBytes() int
+}
+
+// Answer runs the full filter-then-verify pipeline and returns the sorted
+// answer set of q.
+func Answer(m Method, q *graph.Graph) []int32 {
+	var ans []int32
+	for _, id := range m.Filter(q) {
+		if m.Verify(q, id) {
+			ans = append(ans, id)
+		}
+	}
+	return ans
+}
+
+// BruteForce is the index-free reference method: every graph is a candidate
+// and verification is a plain VF2 test. It is the ground-truth oracle for
+// the correctness properties of the real methods, and doubles as the
+// "no filtering" baseline in ablation benchmarks.
+type BruteForce struct {
+	db []*graph.Graph
+}
+
+// NewBruteForce returns an unbuilt brute-force method.
+func NewBruteForce() *BruteForce { return &BruteForce{} }
+
+// Name implements Method.
+func (b *BruteForce) Name() string { return "BruteForce" }
+
+// Build implements Method.
+func (b *BruteForce) Build(db []*graph.Graph) { b.db = db }
+
+// Filter implements Method: all graphs are candidates.
+func (b *BruteForce) Filter(q *graph.Graph) []int32 {
+	out := make([]int32, len(b.db))
+	for i := range b.db {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// Verify implements Method.
+func (b *BruteForce) Verify(q *graph.Graph, id int32) bool {
+	return iso.Subgraph(q, b.db[id])
+}
+
+// SizeBytes implements Method: no index.
+func (b *BruteForce) SizeBytes() int { return 0 }
+
+// SortIDs sorts a candidate id slice ascending, in place, and returns it.
+// Shared helper for Method implementations.
+func SortIDs(ids []int32) []int32 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// IntersectSorted returns the intersection of two ascending id slices.
+func IntersectSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SubtractSorted returns a \ b for ascending id slices.
+func SubtractSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// UnionSorted returns a ∪ b for ascending id slices.
+func UnionSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package iso
+
+import (
+	"repro/internal/graph"
+)
+
+// bruteForceExists decides pattern ⊆ target by unpruned enumeration of
+// injective label-respecting vertex assignments. Exponential; it exists as
+// the independent ground-truth oracle for the property tests of the two
+// real engines and for the brute-force query answering used by the index
+// tests. Exported within the module via Reference().
+func bruteForceExists(p, t *graph.Graph) bool {
+	np, nt := p.NumVertices(), t.NumVertices()
+	if np == 0 {
+		return true
+	}
+	if np > nt {
+		return false
+	}
+	mapping := make([]int, np)
+	used := make([]bool, nt)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == np {
+			return true
+		}
+		for c := 0; c < nt; c++ {
+			if used[c] || p.Label(i) != t.Label(c) {
+				continue
+			}
+			ok := true
+			for _, w := range p.Neighbors(i) {
+				if int(w) < i && (!t.HasEdge(c, mapping[w]) ||
+					p.EdgeLabel(i, int(w)) != t.EdgeLabel(c, mapping[w])) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[i] = c
+			used[c] = true
+			if rec(i + 1) {
+				return true
+			}
+			used[c] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// Reference reports pattern ⊆ target using the brute-force oracle. Only
+// suitable for small graphs; used by tests across the module.
+func Reference(pattern, target *graph.Graph) bool {
+	return bruteForceExists(pattern, target)
+}

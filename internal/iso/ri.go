@@ -1,0 +1,241 @@
+package iso
+
+import (
+	"repro/internal/graph"
+)
+
+// riState holds the backtracking search state. The engine follows the VF2
+// discipline — incremental core mapping with feasibility rules — specialised
+// to labeled monomorphism:
+//
+//   - syntactic feasibility: the candidate target vertex carries the right
+//     label, is unused, has degree ≥ the pattern vertex's degree, and every
+//     already-mapped pattern neighbour maps to a target neighbour;
+//   - the matching order is connectivity-first (each pattern vertex after
+//     the first within a component is adjacent to an earlier one), so
+//     candidates are drawn from the adjacency of a mapped neighbour instead
+//     of the whole target.
+type riState struct {
+	p, t    *graph.Graph
+	order   []int   // pattern vertices in matching order
+	parent  []int   // parent[i]: pattern neighbour of order[i] ordered earlier, else -1
+	mapping []int32 // pattern vertex -> target vertex, -1 if unmapped
+	used    []bool  // target vertex already in the core
+	stats   *Stats
+	emit    func([]int32) bool
+	done    bool
+}
+
+// riExists reports whether p ⊆ t, optionally accumulating stats.
+func riExists(p, t *graph.Graph, st *Stats) bool {
+	found := false
+	s := newRI(p, t, st, func([]int32) bool {
+		found = true
+		return false
+	})
+	if s != nil {
+		s.match(0)
+	}
+	return found
+}
+
+// enumerate runs the VF2 engine calling fn per embedding; limit <= 0 means
+// no limit (fn controls termination).
+func enumerate(p, t *graph.Graph, limit int, fn func([]int32) bool) {
+	count := 0
+	s := newRI(p, t, nil, func(m []int32) bool {
+		count++
+		if !fn(m) {
+			return false
+		}
+		return limit <= 0 || count < limit
+	})
+	if s == nil {
+		return
+	}
+	s.match(0)
+}
+
+// newRI builds the search state, or returns nil if trivial pruning already
+// refutes the existence of an embedding.
+func newRI(p, t *graph.Graph, st *Stats, emit func([]int32) bool) *riState {
+	np, nt := p.NumVertices(), t.NumVertices()
+	if np == 0 {
+		// The empty pattern embeds everywhere: emit the empty mapping once.
+		emit(nil)
+		return nil
+	}
+	if np > nt || p.NumEdges() > t.NumEdges() {
+		return nil
+	}
+	// Label histogram pruning: target must carry every pattern label at
+	// least as many times.
+	tc := t.LabelCounts()
+	for l, c := range p.LabelCounts() {
+		if tc[l] < c {
+			return nil
+		}
+	}
+	s := &riState{
+		p:       p,
+		t:       t,
+		mapping: make([]int32, np),
+		used:    make([]bool, nt),
+		stats:   st,
+		emit:    emit,
+	}
+	for i := range s.mapping {
+		s.mapping[i] = -1
+	}
+	s.order, s.parent = matchingOrder(p, t)
+	return s
+}
+
+// matchingOrder produces a connectivity-first order over pattern vertices.
+// Roots are chosen by (rarest target label, then highest pattern degree);
+// subsequent vertices maximise the number of already-ordered neighbours
+// (most-constrained-first), tie-broken by degree. parent[i] is an already
+// ordered pattern neighbour used to restrict the candidate set.
+func matchingOrder(p, t *graph.Graph) (order, parent []int) {
+	np := p.NumVertices()
+	order = make([]int, 0, np)
+	parent = make([]int, 0, np)
+	placed := make([]bool, np)
+	rank := make([]int, np) // number of ordered neighbours
+	tCounts := t.LabelCounts()
+
+	better := func(a, b int) bool { // is a a better next pick than b?
+		if rank[a] != rank[b] {
+			return rank[a] > rank[b]
+		}
+		fa, fb := tCounts[p.Label(a)], tCounts[p.Label(b)]
+		if fa != fb {
+			return fa < fb
+		}
+		if p.Degree(a) != p.Degree(b) {
+			return p.Degree(a) > p.Degree(b)
+		}
+		return a < b
+	}
+
+	for len(order) < np {
+		best := -1
+		for v := 0; v < np; v++ {
+			if placed[v] {
+				continue
+			}
+			if best == -1 || better(v, best) {
+				best = v
+			}
+		}
+		// find an ordered neighbour to act as parent
+		par := -1
+		for _, w := range p.Neighbors(best) {
+			if placed[w] {
+				par = int(w)
+				break
+			}
+		}
+		order = append(order, best)
+		parent = append(parent, par)
+		placed[best] = true
+		for _, w := range p.Neighbors(best) {
+			rank[w]++
+		}
+	}
+	return order, parent
+}
+
+// match extends the core mapping at depth d; returns false if the search
+// should stop entirely (emit asked to halt).
+func (s *riState) match(d int) bool {
+	if d == len(s.order) {
+		return s.emit(s.mapping)
+	}
+	u := s.order[d]
+	if par := s.parent[d]; par >= 0 {
+		// Candidates restricted to neighbours of the parent's image.
+		for _, c := range s.t.Neighbors(int(s.mapping[par])) {
+			if !s.tryPair(d, u, int(c)) {
+				return false
+			}
+			if s.done {
+				return false
+			}
+		}
+		return true
+	}
+	// No ordered neighbour (component root): all target vertices.
+	for c := 0; c < s.t.NumVertices(); c++ {
+		if !s.tryPair(d, u, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// tryPair attempts the assignment u→c and recurses on success. It returns
+// false to abort the entire search.
+func (s *riState) tryPair(d, u, c int) bool {
+	if s.used[c] || !s.feasible(u, c) {
+		return true
+	}
+	if s.stats != nil {
+		s.stats.Assignments++
+	}
+	s.mapping[u] = int32(c)
+	s.used[c] = true
+	ok := s.match(d + 1)
+	s.mapping[u] = -1
+	s.used[c] = false
+	if s.stats != nil {
+		s.stats.Backtracks++
+	}
+	return ok
+}
+
+// feasible applies the monomorphism feasibility rules for mapping u→c.
+func (s *riState) feasible(u, c int) bool {
+	if s.p.Label(u) != s.t.Label(c) {
+		return false
+	}
+	if s.t.Degree(c) < s.p.Degree(u) {
+		return false
+	}
+	// Every mapped pattern neighbour must be adjacent in the target with a
+	// matching edge label. (For monomorphism there is no converse
+	// requirement.)
+	for _, w := range s.p.Neighbors(u) {
+		if m := s.mapping[w]; m >= 0 {
+			if !s.t.HasEdge(c, int(m)) ||
+				s.p.EdgeLabel(u, int(w)) != s.t.EdgeLabel(c, int(m)) {
+				return false
+			}
+		}
+	}
+	// 1-look-ahead: c must have enough unused neighbours left to host u's
+	// unmapped neighbours. Sound for monomorphism because every unmapped
+	// pattern neighbour of u must eventually map to a distinct unused
+	// target neighbour of c.
+	needed := 0
+	for _, w := range s.p.Neighbors(u) {
+		if s.mapping[w] < 0 {
+			needed++
+		}
+	}
+	if needed > 0 {
+		avail := 0
+		for _, x := range s.t.Neighbors(c) {
+			if !s.used[x] {
+				avail++
+				if avail >= needed {
+					break
+				}
+			}
+		}
+		if avail < needed {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package iso
+
+import (
+	"repro/internal/graph"
+)
+
+// Ullmann's algorithm (J. ACM 1976), the classic matrix formulation the
+// paper cites as the root of most subgraph isomorphism algorithms [39].
+//
+// A boolean candidate matrix M (|V(P)| × |V(T)|) starts with M[i][j] = 1
+// when pattern vertex i may map to target vertex j (label equal, degree
+// compatible). The search assigns rows in order, and after each tentative
+// assignment applies Ullmann's refinement: M[i][j] survives only if every
+// pattern neighbour x of i retains some candidate among j's target
+// neighbours. Refinement iterates to a fixpoint; an empty row refutes the
+// branch. Rows are bitsets for cache-friendly AND/test operations.
+
+type ullmannState struct {
+	p, t    *graph.Graph
+	words   int        // words per row
+	tAdj    [][]uint64 // target adjacency bitsets
+	labeled bool       // either graph carries edge labels
+	tAdjLab map[adjKey][]uint64
+	used    []uint64 // target column usage bitset
+	stats   *Stats
+}
+
+// adjKey addresses the per-(target vertex, edge label) adjacency bitsets
+// used when refining labeled-edge instances.
+type adjKey struct {
+	v int32
+	l graph.Label
+}
+
+// adjSet returns the bitset of target neighbours of j reachable via edges
+// labeled l (the plain adjacency when the instance is unlabeled).
+func (s *ullmannState) adjSet(j int, l graph.Label) []uint64 {
+	if !s.labeled {
+		return s.tAdj[j]
+	}
+	return s.tAdjLab[adjKey{int32(j), l}]
+}
+
+func ullmannExists(p, t *graph.Graph, st *Stats) bool {
+	np, nt := p.NumVertices(), t.NumVertices()
+	if np == 0 {
+		return true
+	}
+	if np > nt || p.NumEdges() > t.NumEdges() {
+		return false
+	}
+	tc := t.LabelCounts()
+	for l, c := range p.LabelCounts() {
+		if tc[l] < c {
+			return false
+		}
+	}
+	words := (nt + 63) / 64
+	s := &ullmannState{
+		p:     p,
+		t:     t,
+		words: words,
+		tAdj:  make([][]uint64, nt),
+		used:  make([]uint64, words),
+		stats: st,
+	}
+	s.labeled = p.HasEdgeLabels() || t.HasEdgeLabels()
+	if s.labeled {
+		s.tAdjLab = make(map[adjKey][]uint64)
+	}
+	for j := 0; j < nt; j++ {
+		row := make([]uint64, words)
+		for _, w := range t.Neighbors(j) {
+			row[w/64] |= 1 << (uint(w) % 64)
+			if s.labeled {
+				k := adjKey{int32(j), t.EdgeLabel(j, int(w))}
+				lr := s.tAdjLab[k]
+				if lr == nil {
+					lr = make([]uint64, words)
+					s.tAdjLab[k] = lr
+				}
+				lr[w/64] |= 1 << (uint(w) % 64)
+			}
+		}
+		s.tAdj[j] = row
+	}
+	rows := make([][]uint64, np)
+	for i := 0; i < np; i++ {
+		row := make([]uint64, words)
+		for j := 0; j < nt; j++ {
+			if p.Label(i) == t.Label(j) && t.Degree(j) >= p.Degree(i) {
+				row[j/64] |= 1 << (uint(j) % 64)
+			}
+		}
+		if bitsEmpty(row) {
+			return false
+		}
+		rows[i] = row
+	}
+	if !s.refine(rows) {
+		return false
+	}
+	return s.search(0, rows)
+}
+
+// refine applies Ullmann's neighbourhood-consistency rule until fixpoint.
+// rows must hold one row per pattern vertex (absolute indexing). Returns
+// false if some row becomes empty.
+func (s *ullmannState) refine(rows [][]uint64) bool {
+	np := s.p.NumVertices()
+	nt := s.t.NumVertices()
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < np; i++ {
+			row := rows[i]
+			for j := 0; j < nt; j++ {
+				if row[j/64]&(1<<(uint(j)%64)) == 0 {
+					continue
+				}
+				// every pattern neighbour x of i must have a candidate
+				// among the target neighbours of j (via a matching-label
+				// edge when the instance is labeled)
+				ok := true
+				for _, x := range s.p.Neighbors(i) {
+					if !bitsIntersect(rows[x], s.adjSet(j, s.p.EdgeLabel(i, int(x)))) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					row[j/64] &^= 1 << (uint(j) % 64)
+					changed = true
+				}
+			}
+			if bitsEmpty(row) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// search assigns pattern row i to some unused candidate column, copying and
+// re-refining the candidate matrix per branch (the textbook formulation;
+// quadratic copies are acceptable for a baseline engine).
+func (s *ullmannState) search(i int, rows [][]uint64) bool {
+	if i == s.p.NumVertices() {
+		return true
+	}
+	row := rows[i]
+	for w := 0; w < s.words; w++ {
+		avail := row[w] &^ s.used[w]
+		for avail != 0 {
+			bit := avail & (-avail)
+			avail &^= bit
+			if s.stats != nil {
+				s.stats.Assignments++
+			}
+			next := make([][]uint64, len(rows))
+			for k := range rows {
+				next[k] = append([]uint64(nil), rows[k]...)
+			}
+			// fix row i to the single column, remove it from other rows
+			for x := range next[i] {
+				next[i][x] = 0
+			}
+			next[i][w] = bit
+			okBranch := true
+			for k := range next {
+				if k == i {
+					continue
+				}
+				next[k][w] &^= bit
+				if bitsEmpty(next[k]) {
+					okBranch = false
+					break
+				}
+			}
+			if okBranch && s.refine(next) {
+				s.used[w] |= bit
+				if s.search(i+1, next) {
+					return true
+				}
+				s.used[w] &^= bit
+			}
+			if s.stats != nil {
+				s.stats.Backtracks++
+			}
+		}
+	}
+	return false
+}
+
+func bitsEmpty(b []uint64) bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func bitsIntersect(a, b []uint64) bool {
+	if b == nil {
+		return false // absent labeled-adjacency set: no such edges at all
+	}
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

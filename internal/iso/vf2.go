@@ -1,0 +1,311 @@
+package iso
+
+import (
+	"repro/internal/graph"
+)
+
+// The VF2 engine (Cordella, Foggia, Sansone, Vento, TPAMI 2004 — the
+// paper's [9]), specialised to labeled undirected monomorphism.
+//
+// VF2 grows a core mapping incrementally. Around the core it maintains the
+// *terminal sets*: T1 = unmapped pattern vertices adjacent to the mapped
+// core, T2 = the analogous target frontier. Candidate pairs are drawn from
+// (T1 × T2) while the frontiers are non-empty (keeping the expansion
+// connected), otherwise from the unmapped remainder.
+//
+// Feasibility of a pair (n, m):
+//
+//	labels:   l(n) == l(m)
+//	core:     every mapped pattern neighbour of n maps to a target
+//	          neighbour of m (monomorphism needs no converse check)
+//	terminal: |N(n) ∩ T1| ≤ |N(m) ∩ T2| — a frontier pattern neighbour's
+//	          image must be adjacent both to m and to the mapped core, so
+//	          it lies in T2
+//	new:      |N(n) \ (core ∪ T1)| ≤ |N(m) \ (core ∪ T2)| + slack is NOT
+//	          sound for monomorphism in its induced form; the sound rule is
+//	          |unmapped N(n)| ≤ |unmapped N(m)| (every unmapped pattern
+//	          neighbour needs a distinct unmapped target neighbour)
+//
+// The induced-isomorphism cut rules that compare the "new" sets exactly are
+// deliberately omitted: with extra target edges allowed, only the ≤ forms
+// above remain sound.
+type vf2State struct {
+	p, t    *graph.Graph
+	rank    []int   // pattern vertex → static priority (lower = match first)
+	mapping []int32 // pattern → target, -1 when unmapped
+	inverse []int32 // target → pattern, -1 when unmapped
+	depth1  []int   // pattern terminal membership: depth the vertex entered T1, 0 = not in
+	depth2  []int   // target terminal membership
+	t1Size  int
+	t2Size  int
+	stats   *Stats
+	emit    func([]int32) bool
+}
+
+// vf2Exists reports whether p ⊆ t, optionally accumulating stats.
+func vf2Exists(p, t *graph.Graph, st *Stats) bool {
+	np, nt := p.NumVertices(), t.NumVertices()
+	if np == 0 {
+		return true
+	}
+	if np > nt || p.NumEdges() > t.NumEdges() {
+		return false
+	}
+	tc := t.LabelCounts()
+	for l, c := range p.LabelCounts() {
+		if tc[l] < c {
+			return false
+		}
+	}
+	found := false
+	s := &vf2State{
+		p:       p,
+		t:       t,
+		rank:    staticRank(p, tc),
+		mapping: filled(np),
+		inverse: filled(nt),
+		depth1:  make([]int, np),
+		depth2:  make([]int, nt),
+		stats:   st,
+		emit: func([]int32) bool {
+			found = true
+			return false
+		},
+	}
+	s.match(1)
+	return found
+}
+
+// staticRank orders pattern vertices most-constrained-first (rarest target
+// label, then highest degree). The classic VF2 breaks frontier ties by
+// vertex index; ranking by constraint instead is the standard practical
+// refinement (formalised later as VF2++) and prunes homogeneous-label
+// instances dramatically.
+func staticRank(p *graph.Graph, targetCounts map[graph.Label]int) []int {
+	np := p.NumVertices()
+	order := make([]int, np)
+	for i := range order {
+		order[i] = i
+	}
+	less := func(a, b int) bool {
+		fa, fb := targetCounts[p.Label(a)], targetCounts[p.Label(b)]
+		if fa != fb {
+			return fa < fb
+		}
+		if p.Degree(a) != p.Degree(b) {
+			return p.Degree(a) > p.Degree(b)
+		}
+		return a < b
+	}
+	// simple insertion sort: patterns are small
+	for i := 1; i < np; i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	rank := make([]int, np)
+	for r, v := range order {
+		rank[v] = r
+	}
+	return rank
+}
+
+func filled(n int) []int32 {
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = -1
+	}
+	return xs
+}
+
+// match extends the mapping at recursion depth d (1-based, so depth values
+// stored in depth1/depth2 are non-zero).
+func (s *vf2State) match(d int) bool {
+	if d-1 == s.p.NumVertices() {
+		return s.emit(s.mapping)
+	}
+	n := s.nextPatternVertex()
+	if n < 0 {
+		return true
+	}
+	// Candidate generation. When n touches the mapped core, every feasible
+	// image must be adjacent to the image of each mapped pattern neighbour
+	// of n — so it suffices to scan the adjacency of one such image (the
+	// smallest-degree one): a strict subset of the textbook T1×T2
+	// enumeration with the same outcomes.
+	if anchor := s.bestAnchor(n); anchor >= 0 {
+		for _, m := range s.t.Neighbors(anchor) {
+			if s.inverse[m] >= 0 {
+				continue
+			}
+			if !s.tryPair(n, int(m), d) {
+				return false
+			}
+		}
+		return true
+	}
+	// component root: all unmapped target vertices are candidates
+	nt := s.t.NumVertices()
+	for m := 0; m < nt; m++ {
+		if s.inverse[m] >= 0 {
+			continue
+		}
+		if !s.tryPair(n, m, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// tryPair tests and, if feasible, commits the pair and recurses. Returns
+// false to abort the whole search (emit stop).
+func (s *vf2State) tryPair(n, m, d int) bool {
+	if !s.feasible(n, m) {
+		return true
+	}
+	if s.stats != nil {
+		s.stats.Assignments++
+	}
+	undo1, undo2 := s.add(n, m, d)
+	if !s.match(d + 1) {
+		return false
+	}
+	s.remove(n, m, undo1, undo2)
+	if s.stats != nil {
+		s.stats.Backtracks++
+	}
+	return true
+}
+
+// bestAnchor returns the image of the mapped pattern neighbour of n whose
+// target adjacency is smallest, or -1 when n has no mapped neighbour.
+func (s *vf2State) bestAnchor(n int) int {
+	best := -1
+	bestDeg := 0
+	for _, w := range s.p.Neighbors(n) {
+		if mw := s.mapping[w]; mw >= 0 {
+			if d := s.t.Degree(int(mw)); best < 0 || d < bestDeg {
+				best = int(mw)
+				bestDeg = d
+			}
+		}
+	}
+	return best
+}
+
+// nextPatternVertex picks the pattern vertex to extend with: the best-
+// ranked terminal vertex if the frontier is non-empty (VF2's connected
+// expansion), otherwise the best-ranked unmapped vertex (new component).
+func (s *vf2State) nextPatternVertex() int {
+	best := -1
+	if s.t1Size > 0 {
+		for v := range s.depth1 {
+			if s.mapping[v] < 0 && s.depth1[v] > 0 &&
+				(best < 0 || s.rank[v] < s.rank[best]) {
+				best = v
+			}
+		}
+		return best
+	}
+	for v := range s.mapping {
+		if s.mapping[v] < 0 && (best < 0 || s.rank[v] < s.rank[best]) {
+			best = v
+		}
+	}
+	return best
+}
+
+// feasible applies the monomorphism feasibility rules for the pair (n, m).
+func (s *vf2State) feasible(n, m int) bool {
+	if s.p.Label(n) != s.t.Label(m) {
+		return false
+	}
+	if s.t.Degree(m) < s.p.Degree(n) {
+		return false
+	}
+	// core rule + counts for the look-ahead rules in one pass
+	termN, freshN := 0, 0
+	for _, w := range s.p.Neighbors(n) {
+		if mw := s.mapping[w]; mw >= 0 {
+			if !s.t.HasEdge(m, int(mw)) ||
+				s.p.EdgeLabel(n, int(w)) != s.t.EdgeLabel(m, int(mw)) {
+				return false
+			}
+		} else if s.depth1[w] > 0 {
+			termN++
+		} else {
+			freshN++
+		}
+	}
+	termM, freshM := 0, 0
+	for _, x := range s.t.Neighbors(m) {
+		if s.inverse[x] >= 0 {
+			continue
+		}
+		if s.depth2[x] > 0 {
+			termM++
+		} else {
+			freshM++
+		}
+	}
+	// terminal look-ahead: frontier pattern neighbours must land on the
+	// target frontier
+	if termN > termM {
+		return false
+	}
+	// total look-ahead: every unmapped pattern neighbour needs a distinct
+	// unmapped target neighbour (fresh pattern neighbours may land on the
+	// target frontier too, hence the combined comparison)
+	if termN+freshN > termM+freshM {
+		return false
+	}
+	return true
+}
+
+// add commits the pair (n, m) at depth d, growing the terminal sets; it
+// returns the vertices newly added to each frontier for undo.
+func (s *vf2State) add(n, m, d int) (news1, news2 []int32) {
+	s.mapping[n] = int32(m)
+	s.inverse[m] = int32(n)
+	if s.depth1[n] > 0 {
+		s.t1Size--
+	}
+	if s.depth2[m] > 0 {
+		s.t2Size--
+	}
+	for _, w := range s.p.Neighbors(n) {
+		if s.mapping[w] < 0 && s.depth1[w] == 0 {
+			s.depth1[w] = d
+			s.t1Size++
+			news1 = append(news1, w)
+		}
+	}
+	for _, x := range s.t.Neighbors(m) {
+		if s.inverse[x] < 0 && s.depth2[x] == 0 {
+			s.depth2[x] = d
+			s.t2Size++
+			news2 = append(news2, x)
+		}
+	}
+	return news1, news2
+}
+
+// remove undoes add.
+func (s *vf2State) remove(n, m int, news1, news2 []int32) {
+	for _, w := range news1 {
+		s.depth1[w] = 0
+		s.t1Size--
+	}
+	for _, x := range news2 {
+		s.depth2[x] = 0
+		s.t2Size--
+	}
+	s.mapping[n] = -1
+	s.inverse[m] = -1
+	if s.depth1[n] > 0 {
+		s.t1Size++
+	}
+	if s.depth2[m] > 0 {
+		s.t2Size++
+	}
+}

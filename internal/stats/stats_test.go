@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 || s.Sum != 40 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 { // classic population-σ example
+		t.Errorf("std = %v, want 2", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Sum != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Errorf("int summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// percentile of an unsorted input must match sorted
+	if Percentile([]float64{5, 1, 3, 2, 4}, 50) != 3 {
+		t.Error("unsorted input mishandled")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 2) != 5 {
+		t.Error("10/2")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Error("0/0 should be 1 (no change)")
+	}
+	if !math.IsInf(Ratio(3, 0), 1) {
+		t.Error("3/0 should be +Inf")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("method", "speedup")
+	tb.AddRowf("Grapes(6)", 5.25)
+	tb.AddRowf("GGSX", 11)
+	out := tb.String()
+	if !strings.Contains(out, "Grapes(6)") || !strings.Contains(out, "5.25") || !strings.Contains(out, "11") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Errorf("table has %d lines", len(lines))
+	}
+	// columns aligned: header and first row start at same offset
+	if strings.Index(lines[0], "speedup") != strings.Index(lines[2], "5.25") {
+		t.Error("columns misaligned")
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("x")                // short row padded
+	tb.AddRow("1", "2", "3", "4") // long row truncated
+	out := tb.String()
+	if strings.Contains(out, "4") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:           "3",
+		3.14159:     "3.14",
+		12345.678:   "12345.7",
+		0.5:         "0.50",
+		math.Inf(1): "inf",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatFloat(math.NaN()); got != "-" {
+		t.Errorf("NaN = %q", got)
+	}
+}

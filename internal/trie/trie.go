@@ -1,0 +1,203 @@
+// Package trie implements the byte-level feature trie shared by the
+// GraphGrepSX and Grapes dataset indexes and by iGQ's Isuper query index
+// (the paper's Algorithm 1 stores query features "in a trie").
+//
+// Keys are canonical feature strings (package features); terminal nodes
+// carry postings: one entry per graph containing the feature, with its
+// occurrence count and, optionally, the vertex locations the feature touches
+// (the Grapes location information).
+//
+// Children are kept in sorted compact slices: feature alphabets are tiny
+// (digits, '.', ':' and a few letters), so binary search over a slice beats
+// per-node maps on both memory and cache behaviour — and index size is
+// itself a reported experimental quantity (paper Fig 18).
+package trie
+
+import (
+	"sort"
+)
+
+// Posting records one graph's occurrences of a feature.
+type Posting struct {
+	Graph int32   // graph identifier (dataset position or cache slot)
+	Count int32   // number of occurrences of the feature in the graph
+	Locs  []int32 // optional sorted vertex locations (Grapes); may be nil
+}
+
+type node struct {
+	labels   []byte
+	children []*node
+	postings []Posting
+	terminal bool
+}
+
+func (n *node) child(b byte) *node {
+	i := sort.Search(len(n.labels), func(i int) bool { return n.labels[i] >= b })
+	if i < len(n.labels) && n.labels[i] == b {
+		return n.children[i]
+	}
+	return nil
+}
+
+func (n *node) ensureChild(b byte) *node {
+	i := sort.Search(len(n.labels), func(i int) bool { return n.labels[i] >= b })
+	if i < len(n.labels) && n.labels[i] == b {
+		return n.children[i]
+	}
+	c := &node{}
+	n.labels = append(n.labels, 0)
+	copy(n.labels[i+1:], n.labels[i:])
+	n.labels[i] = b
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	return c
+}
+
+// Trie maps canonical feature keys to postings lists.
+type Trie struct {
+	root  node
+	keys  int
+	nodes int
+}
+
+// New returns an empty trie.
+func New() *Trie { return &Trie{} }
+
+// Len returns the number of distinct keys stored.
+func (t *Trie) Len() int { return t.keys }
+
+// NodeCount returns the number of internal trie nodes (excluding the root),
+// an index-size proxy.
+func (t *Trie) NodeCount() int { return t.nodes }
+
+// Insert adds (or merges) a posting for key. Postings for a key are kept
+// sorted by graph id; inserting the same (key, graph) twice accumulates the
+// count and unions locations.
+func (t *Trie) Insert(key string, p Posting) {
+	n := &t.root
+	for i := 0; i < len(key); i++ {
+		before := len(n.labels)
+		c := n.ensureChild(key[i])
+		if len(n.labels) != before {
+			t.nodes++
+		}
+		n = c
+	}
+	if !n.terminal {
+		n.terminal = true
+		t.keys++
+	}
+	i := sort.Search(len(n.postings), func(i int) bool { return n.postings[i].Graph >= p.Graph })
+	if i < len(n.postings) && n.postings[i].Graph == p.Graph {
+		n.postings[i].Count += p.Count
+		n.postings[i].Locs = unionSorted(n.postings[i].Locs, p.Locs)
+		return
+	}
+	n.postings = append(n.postings, Posting{})
+	copy(n.postings[i+1:], n.postings[i:])
+	n.postings[i] = Posting{Graph: p.Graph, Count: p.Count, Locs: append([]int32(nil), p.Locs...)}
+}
+
+// Get returns the postings for key, or nil if absent. The returned slice is
+// owned by the trie; callers must not modify it.
+func (t *Trie) Get(key string) []Posting {
+	n := &t.root
+	for i := 0; i < len(key); i++ {
+		n = n.child(key[i])
+		if n == nil {
+			return nil
+		}
+	}
+	if !n.terminal {
+		return nil
+	}
+	return n.postings
+}
+
+// Contains reports whether key is present.
+func (t *Trie) Contains(key string) bool { return t.Get(key) != nil }
+
+// Walk visits every (key, postings) pair in lexicographic key order.
+func (t *Trie) Walk(fn func(key string, postings []Posting)) {
+	var buf []byte
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n.terminal {
+			fn(string(buf), n.postings)
+		}
+		for i, b := range n.labels {
+			buf = append(buf, b)
+			rec(n.children[i])
+			buf = buf[:len(buf)-1]
+		}
+	}
+	rec(&t.root)
+}
+
+// RemoveGraph deletes every posting of the given graph id across all keys.
+// Keys left with no postings remain in the trie structurally but report no
+// postings; Rebuild (constructing a fresh trie) is the intended compaction
+// path, matching the paper's shadow-index maintenance where the query index
+// is rebuilt over the retained cache contents.
+func (t *Trie) RemoveGraph(id int32) {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n.terminal {
+			i := sort.Search(len(n.postings), func(i int) bool { return n.postings[i].Graph >= id })
+			if i < len(n.postings) && n.postings[i].Graph == id {
+				n.postings = append(n.postings[:i], n.postings[i+1:]...)
+			}
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(&t.root)
+}
+
+// SizeBytes approximates the in-memory footprint of the trie (nodes,
+// postings and location lists), used for the paper's Fig 18 accounting.
+func (t *Trie) SizeBytes() int {
+	sz := 0
+	var rec func(n *node)
+	rec = func(n *node) {
+		sz += 64 + len(n.labels) + 8*len(n.children)
+		for _, p := range n.postings {
+			sz += 12 + 4*len(p.Locs)
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(&t.root)
+	return sz
+}
+
+func unionSorted(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]int32(nil), b...)
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
