@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/features"
 	"repro/internal/graph"
 	"repro/internal/trie"
@@ -20,6 +22,10 @@ import (
 // count equals NF[gi]. The candidate set has no false negatives (see the
 // paper's §6.2 argument); callers verify gi ⊆ g to remove false positives.
 //
+// Postings are probed by interned FeatureID. Query features unknown to the
+// dictionary are harmless here: they can only make the query *larger*, and
+// Algorithm 2 only requires every *indexed* feature to appear in the query.
+//
 // iGQ uses a ContainmentIndex over cached query graphs as Isuper; package
 // index/contain wraps one over the dataset graphs to obtain a standalone
 // supergraph query processing method (the paper's §4.4 Msuper).
@@ -27,29 +33,63 @@ type ContainmentIndex struct {
 	maxPathLen int
 	tr         *trie.Trie
 	nf         map[int32]int // NF[gi]: distinct feature count per graph
+
+	// pool of scratch state for the public (concurrency-safe) entry points;
+	// iGQ's sequential hot path passes its own scratch instead.
+	pool sync.Pool
 }
 
-// NewContainmentIndex returns an empty containment index using labeled
-// simple paths of up to maxPathLen edges as the feature family.
+// ciScratch is the reusable state of one Algorithm 2 pass.
+type ciScratch struct {
+	feat    *features.Scratch
+	matched map[int32]int32
+	res     []int32
+}
+
+// NewContainmentIndex returns an empty containment index with a private
+// feature dictionary, using labeled simple paths of up to maxPathLen edges
+// as the feature family.
 func NewContainmentIndex(maxPathLen int) *ContainmentIndex {
+	return NewContainmentIndexWithDict(maxPathLen, features.NewDict())
+}
+
+// NewContainmentIndexWithDict returns an empty containment index whose
+// features are interned through d (shared with other indexes over the same
+// feature family).
+func NewContainmentIndexWithDict(maxPathLen int, d *features.Dict) *ContainmentIndex {
 	if maxPathLen <= 0 {
 		maxPathLen = 4
 	}
-	return &ContainmentIndex{
+	ci := &ContainmentIndex{
 		maxPathLen: maxPathLen,
-		tr:         trie.New(),
+		tr:         trie.NewWithDict(d),
 		nf:         make(map[int32]int),
 	}
+	ci.pool.New = func() any {
+		return &ciScratch{feat: features.NewScratch(), matched: make(map[int32]int32)}
+	}
+	return ci
 }
 
 // Add indexes graph g under identifier id (Algorithm 1's loop body).
 func (ci *ContainmentIndex) Add(id int32, g *graph.Graph) {
-	fs := features.Paths(g, features.PathOptions{MaxLen: ci.maxPathLen})
-	ci.AddFromFeatures(id, fs.Counts)
+	s := ci.pool.Get().(*ciScratch)
+	qf := features.PathsID(g, features.PathOptions{MaxLen: ci.maxPathLen}, ci.tr.Dict(), s.feat, true)
+	ci.AddFromIDCounts(id, qf)
+	ci.pool.Put(s)
 }
 
-// AddFromFeatures indexes a graph by its precomputed feature occurrence
-// counts, letting callers share one enumeration across several indexes.
+// AddFromIDCounts indexes a graph by its pre-enumerated, interned feature
+// occurrences, letting callers share one enumeration across several indexes.
+func (ci *ContainmentIndex) AddFromIDCounts(id int32, qf features.IDSet) {
+	ci.nf[id] = len(qf.Counts)
+	for _, fc := range qf.Counts {
+		ci.tr.InsertID(fc.ID, trie.Posting{Graph: id, Count: fc.Count})
+	}
+}
+
+// AddFromFeatures indexes a graph by its string-keyed feature occurrence
+// counts (legacy entry point; the hot path is AddFromIDCounts).
 func (ci *ContainmentIndex) AddFromFeatures(id int32, counts map[string]int) {
 	ci.nf[id] = len(counts)
 	for f, o := range counts {
@@ -57,31 +97,60 @@ func (ci *ContainmentIndex) AddFromFeatures(id int32, counts map[string]int) {
 	}
 }
 
+// Dict returns the index's feature dictionary.
+func (ci *ContainmentIndex) Dict() *features.Dict { return ci.tr.Dict() }
+
+// MaxPathLen returns the feature length the index was built with.
+func (ci *ContainmentIndex) MaxPathLen() int { return ci.maxPathLen }
+
 // Len returns the number of indexed graphs.
 func (ci *ContainmentIndex) Len() int { return len(ci.nf) }
 
 // CandidateSubgraphs implements Algorithm 2: the ids of indexed graphs that
-// may satisfy gi ⊆ g. The result is sorted ascending and contains no false
-// negatives.
+// may satisfy gi ⊆ g. The result is sorted ascending, freshly allocated,
+// and contains no false negatives. Safe for concurrent use.
 func (ci *ContainmentIndex) CandidateSubgraphs(g *graph.Graph) []int32 {
-	qf := features.Paths(g, features.PathOptions{MaxLen: ci.maxPathLen})
-	return ci.candidatesFromFeatures(qf.Counts)
+	s := ci.pool.Get().(*ciScratch)
+	defer ci.pool.Put(s)
+	// Lookup-only enumeration: unknown features cannot disqualify an
+	// indexed subgraph, they only enlarge the query.
+	qf := features.PathsID(g, features.PathOptions{MaxLen: ci.maxPathLen}, ci.tr.Dict(), s.feat, false)
+	cs := ci.candidatesFromIDs(qf, s)
+	if len(cs) == 0 {
+		return nil
+	}
+	return append([]int32(nil), cs...)
 }
 
-// candidatesFromFeatures is Algorithm 2 given precomputed query occurrence
-// counts O[f, g].
-func (ci *ContainmentIndex) candidatesFromFeatures(occur map[string]int) []int32 {
-	matched := make(map[int32]int)
-	for f, oq := range occur {
-		for _, p := range ci.tr.Get(f) {
-			if int(p.Count) <= oq {
+// CandidatesFromIDSet is Algorithm 2 given a query already enumerated
+// against this index's dictionary (lookup-only enumeration is sufficient:
+// unknown features only enlarge the query). The result is freshly
+// allocated and sorted. Safe for concurrent use.
+func (ci *ContainmentIndex) CandidatesFromIDSet(qf features.IDSet) []int32 {
+	s := ci.pool.Get().(*ciScratch)
+	defer ci.pool.Put(s)
+	cs := ci.candidatesFromIDs(qf, s)
+	if len(cs) == 0 {
+		return nil
+	}
+	return append([]int32(nil), cs...)
+}
+
+// candidatesFromIDs is Algorithm 2 given pre-enumerated query occurrences
+// O[f, g]. The result aliases s and is valid until the scratch is reused.
+func (ci *ContainmentIndex) candidatesFromIDs(qf features.IDSet, s *ciScratch) []int32 {
+	matched := s.matched
+	clear(matched)
+	for _, fc := range qf.Counts {
+		for _, p := range ci.tr.GetByID(fc.ID) {
+			if p.Count <= fc.Count {
 				matched[p.Graph]++
 			}
 		}
 	}
-	var cs []int32
+	cs := s.res[:0]
 	for id, cnt := range matched {
-		if cnt == ci.nf[id] {
+		if int(cnt) == ci.nf[id] {
 			cs = append(cs, id)
 		}
 	}
@@ -92,7 +161,8 @@ func (ci *ContainmentIndex) candidatesFromFeatures(occur map[string]int) []int32
 			cs = append(cs, id)
 		}
 	}
-	return sortIDs(cs)
+	s.res = sortIDs(cs)
+	return s.res
 }
 
 // SizeBytes approximates the index footprint (trie plus NF table).

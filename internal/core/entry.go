@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -57,7 +57,7 @@ func (e *entry) creditHit(queryNodes int, targetSizes []int, labels int) {
 
 // sortIDs sorts a slice of graph ids ascending, in place, returning it.
 func sortIDs(ids []int32) []int32 {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -66,20 +66,29 @@ func sortIDs(ids []int32) []int32 {
 // determinism.
 func evictionOrder(entries []*entry, seq int64) []*entry {
 	out := append([]*entry(nil), entries...)
-	sort.Slice(out, func(i, j int) bool {
-		ui, uj := out[i].logUtility(seq), out[j].logUtility(seq)
-		if ui != uj {
-			return ui < uj
+	sortEntriesBy(out, func(a, b *entry) bool {
+		ua, ub := a.logUtility(seq), b.logUtility(seq)
+		if ua != ub {
+			return ua < ub
 		}
-		if out[i].insertedAt != out[j].insertedAt {
-			return out[i].insertedAt < out[j].insertedAt
+		if a.insertedAt != b.insertedAt {
+			return a.insertedAt < b.insertedAt
 		}
-		return out[i].id < out[j].id
+		return a.id < b.id
 	})
 	return out
 }
 
 // sortEntriesBy sorts entries in place with the given less function.
 func sortEntriesBy(es []*entry, less func(a, b *entry) bool) {
-	sort.Slice(es, func(i, j int) bool { return less(es[i], es[j]) })
+	slices.SortFunc(es, func(a, b *entry) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
 }

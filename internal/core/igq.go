@@ -153,6 +153,17 @@ type IGQ struct {
 	window  []*entry
 	flushes int
 
+	// Interned-feature machinery: the dictionary is shared with the wrapped
+	// method when it exposes one (index.DictProvider), so a query graph is
+	// canonicalised exactly once for dataset filtering and cache lookup.
+	// The scratch buffers are reused across queries (Query is sequential by
+	// contract); shadow builds allocate their own.
+	dict        *features.Dict
+	methodDict  bool // dict is the method's: its filter understands our IDs
+	featScratch *features.Scratch
+	subScratch  *index.CountFilterScratch
+	superScr    *ciScratch
+
 	// shadow-build state (AsyncMaintenance): while a rebuild is in flight,
 	// queries are served by the snapshot the current isub/isuper/byID
 	// describe; the swap is applied at the next Query entry after the
@@ -187,6 +198,15 @@ func New(m index.Method, db []*graph.Graph, opt Options) *IGQ {
 		opt:  opt,
 		byID: make(map[int32]*entry),
 	}
+	if dp, ok := m.(index.DictProvider); ok {
+		q.dict = dp.FeatureDict()
+		q.methodDict = true
+	} else {
+		q.dict = features.NewDict()
+	}
+	q.featScratch = features.NewScratch()
+	q.subScratch = &index.CountFilterScratch{}
+	q.superScr = &ciScratch{feat: features.NewScratch(), matched: make(map[int32]int32)}
 	q.rebuildIndexes()
 	return q
 }
@@ -237,8 +257,18 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 	q.seq++
 	out := &Outcome{}
 
-	qCounts := features.Paths(g, features.PathOptions{MaxLen: q.opt.MaxPathLen}).Counts
+	// One lookup-only enumeration serves the cache probe and (when the
+	// method shares our dictionary) dataset filtering. The dictionary is
+	// not grown here: features of g enter it at admission/flush time.
+	qf := features.PathsID(g, features.PathOptions{MaxLen: q.opt.MaxPathLen}, q.dict, q.featScratch, false)
 	qfp := graph.Fingerprint(g)
+
+	// The count-based fast path is only sound when the method's index was
+	// built over the same dictionary at the same feature length.
+	countFilter, _ := q.m.(index.CountFilterer)
+	if countFilter != nil && (!q.methodDict || countFilter.FeatureMaxPathLen() != q.opt.MaxPathLen) {
+		countFilter = nil
+	}
 
 	var cs []int32
 	var subHits, superHits []*entry
@@ -246,12 +276,16 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 
 	lookup := func() {
 		t0 := time.Now()
-		subHits, superHits, identical = q.cacheLookup(g, qfp, qCounts, out)
+		subHits, superHits, identical = q.cacheLookup(g, qfp, qf, out)
 		out.CacheDur = time.Since(t0)
 	}
 	filter := func() {
 		t0 := time.Now()
-		cs = normalizeIDs(q.m.Filter(g))
+		if countFilter != nil {
+			cs = normalizeIDs(countFilter.FilterByFeatureCounts(qf))
+		} else {
+			cs = normalizeIDs(q.m.Filter(g))
+		}
 		out.FilterDur = time.Since(t0)
 	}
 	if q.opt.Parallel {
@@ -350,13 +384,13 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 // candidates whose fingerprints differ cannot be sub- or supergraph hits at
 // all (equal sizes + containment ⇒ isomorphism ⇒ equal fingerprints), so
 // the regular loops skip them without testing.
-func (q *IGQ) cacheLookup(g *graph.Graph, qfp uint64, qCounts map[string]int, out *Outcome) (subHits, superHits []*entry, identical *entry) {
+func (q *IGQ) cacheLookup(g *graph.Graph, qfp uint64, qf features.IDSet, out *Outcome) (subHits, superHits []*entry, identical *entry) {
 	var subCands, superCands []int32
 	if !q.opt.DisableSub {
-		subCands = q.isub.candidates(qCounts)
+		subCands = q.isub.candidates(qf, q.subScratch)
 	}
 	if !q.opt.DisableSuper {
-		superCands = q.isuper.candidatesFromFeatures(qCounts)
+		superCands = q.isuper.candidatesFromIDs(qf, q.superScr)
 	}
 	nv, ne := g.NumVertices(), g.NumEdges()
 	sameSize := func(e *entry) bool {
@@ -438,14 +472,15 @@ func (q *IGQ) flush() {
 		ch := make(chan shadowResult, 1)
 		q.shadow = ch
 		maxLen := q.opt.MaxPathLen
+		dict := q.dict
 		go func() {
-			isub, isuper := buildIndexes(newEntries, maxLen)
+			isub, isuper := buildIndexes(dict, newEntries, maxLen)
 			ch <- shadowResult{entries: newEntries, byID: newByID, isub: isub, isuper: isuper}
 		}()
 		return
 	}
 	q.entries, q.byID = newEntries, newByID
-	q.isub, q.isuper = buildIndexes(newEntries, q.opt.MaxPathLen)
+	q.isub, q.isuper = buildIndexes(q.dict, newEntries, q.opt.MaxPathLen)
 }
 
 // planFlush computes the post-flush entry set without touching the
@@ -564,21 +599,24 @@ func (q *IGQ) victimOrder() []*entry {
 
 // rebuildIndexes reconstructs Isub and Isuper over the active entries.
 func (q *IGQ) rebuildIndexes() {
-	q.isub, q.isuper = buildIndexes(q.entries, q.opt.MaxPathLen)
+	q.isub, q.isuper = buildIndexes(q.dict, q.entries, q.opt.MaxPathLen)
 }
 
-// buildIndexes constructs fresh Isub/Isuper over an entry set; one feature
-// enumeration per cached graph feeds both indexes. Pure (no receiver
-// state), so it can run as the §5.2 background shadow build.
-func buildIndexes(entries []*entry, maxPathLen int) (*subIndex, *ContainmentIndex) {
-	feats := make(map[int32]map[string]int, len(entries))
+// buildIndexes constructs fresh Isub/Isuper over an entry set; one
+// (interning) feature enumeration per cached graph feeds both indexes.
+// Pure apart from dictionary growth — the dictionary serialises interning
+// against concurrent lookups, so this can run as the §5.2 background shadow
+// build while queries keep probing the previous indexes.
+func buildIndexes(dict *features.Dict, entries []*entry, maxPathLen int) (*subIndex, *ContainmentIndex) {
+	isub := newSubIndex(dict)
+	ci := NewContainmentIndexWithDict(maxPathLen, dict)
+	scratch := features.NewScratch()
+	opt := features.PathOptions{MaxLen: maxPathLen}
 	for _, e := range entries {
-		feats[e.id] = features.Paths(e.g, features.PathOptions{MaxLen: maxPathLen}).Counts
+		qf := features.PathsID(e.g, opt, dict, scratch, true)
+		isub.add(e.id, qf)
+		ci.AddFromIDCounts(e.id, qf)
 	}
-	isub := newSubIndex(entries, feats)
-	ci := NewContainmentIndex(maxPathLen)
-	for _, e := range entries {
-		ci.AddFromFeatures(e.id, feats[e.id])
-	}
+	isub.finish()
 	return isub, ci
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/features"
 	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/trie"
@@ -14,55 +15,43 @@ import (
 //
 // Given a new query g, candidates are cached graphs containing every path
 // feature of g at least as often as g does; the caller verifies g ⊆ G to
-// obtain Isub(g) (which makes formula (1) hold by construction).
+// obtain Isub(g) (which makes formula (1) hold by construction). Postings
+// are keyed by interned FeatureID; the feature dictionary is shared with
+// Isuper (and, when the wrapped method exposes one, with the dataset index),
+// so one enumeration of the query serves every probe.
 type subIndex struct {
 	tr  *trie.Trie
 	ids []int32 // all indexed entry ids, sorted
 }
 
-// newSubIndex builds Isub over the given entries' graphs using path
-// features of up to maxPathLen edges. Feature sets are supplied by the
-// caller (entryFeatures) so that a single enumeration per cached graph
-// serves both Isub and Isuper during a shadow rebuild.
-func newSubIndex(entries []*entry, entryFeatures map[int32]map[string]int) *subIndex {
-	si := &subIndex{tr: trie.New()}
-	for _, e := range entries {
-		si.ids = append(si.ids, e.id)
-		for f, c := range entryFeatures[e.id] {
-			si.tr.Insert(f, trie.Posting{Graph: e.id, Count: int32(c)})
-		}
-	}
-	si.ids = sortIDs(si.ids)
-	return si
+// newSubIndex returns an empty Isub whose features are interned through d.
+func newSubIndex(d *features.Dict) *subIndex {
+	return &subIndex{tr: trie.NewWithDict(d)}
 }
 
+// add indexes one cached graph's pre-enumerated features.
+func (si *subIndex) add(id int32, qf features.IDSet) {
+	si.ids = append(si.ids, id)
+	for _, fc := range qf.Counts {
+		si.tr.InsertID(fc.ID, trie.Posting{Graph: id, Count: fc.Count})
+	}
+}
+
+// finish sorts the id universe after all entries were added.
+func (si *subIndex) finish() { sortIDs(si.ids) }
+
 // candidates returns the ids of cached graphs that may be supergraphs of a
-// query with the given path-feature occurrence counts.
-func (si *subIndex) candidates(qCounts map[string]int) []int32 {
-	if len(qCounts) == 0 {
+// query with the given path-feature occurrences, via the shared
+// selectivity-ordered count filter (index.FilterCountGE). The result may
+// alias s and is valid until the scratch is reused. iGQ owns one scratch
+// per cache-side index: queries are sequential by contract, but Isub and
+// Isuper results must coexist within one query.
+func (si *subIndex) candidates(qf features.IDSet, s *index.CountFilterScratch) []int32 {
+	if len(qf.Counts) == 0 && qf.Unknown == 0 {
 		// an empty query is a subgraph of every cached graph
-		return append([]int32(nil), si.ids...)
+		return si.ids
 	}
-	var cand []int32
-	first := true
-	for f, need := range qCounts {
-		var ids []int32
-		for _, p := range si.tr.Get(f) {
-			if int(p.Count) >= need {
-				ids = append(ids, p.Graph)
-			}
-		}
-		if first {
-			cand = ids
-			first = false
-		} else {
-			cand = index.IntersectSorted(cand, ids)
-		}
-		if len(cand) == 0 {
-			return nil
-		}
-	}
-	return cand
+	return index.FilterCountGE(si.tr, qf, s)
 }
 
 // SizeBytes approximates the Isub trie footprint.

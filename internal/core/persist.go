@@ -26,6 +26,14 @@ type wireSnapshot struct {
 	NextID     int32
 	Flushes    int
 	Entries    []wireEntry
+	// DictKeys is the feature dictionary in ID order (version ≥ 2).
+	// Re-interning the keys in order reproduces the same FeatureIDs, so a
+	// restored standalone cache assigns identical IDs to identical
+	// features. When the dictionary is shared with an already-built method
+	// index the keys are merged into it instead (IDs may then differ —
+	// they are process-local handles; all persisted state is keyed by
+	// canonical strings, never by raw IDs).
+	DictKeys []string
 }
 
 // wireEntry serialises one cache entry.
@@ -40,7 +48,7 @@ type wireEntry struct {
 	LogCost    float64
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // dbChecksum fingerprints the dataset a snapshot belongs to.
 func dbChecksum(db []*graph.Graph) uint64 {
@@ -62,6 +70,12 @@ func (q *IGQ) Save(w io.Writer) error {
 		Seq:        q.seq,
 		NextID:     q.nextID,
 		Flushes:    q.flushes,
+	}
+	if !q.methodDict {
+		// Only a private dictionary is worth persisting: it round-trips to
+		// identical IDs. A method-owned dictionary carries the whole
+		// dataset vocabulary and is rebuilt by the method itself on load.
+		snap.DictKeys = q.dict.Keys()
 	}
 	for _, e := range q.entries {
 		we := wireEntry{
@@ -90,13 +104,20 @@ func Load(r io.Reader, m index.Method, db []*graph.Graph, opt Options) (*IGQ, er
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version < 1 || snap.Version > snapshotVersion {
 		return nil, fmt.Errorf("core: snapshot version %d unsupported", snap.Version)
 	}
 	if snap.DBChecksum != dbChecksum(db) {
 		return nil, fmt.Errorf("core: snapshot belongs to a different dataset")
 	}
 	q := New(m, db, opt)
+	// Restore the feature dictionary before rebuilding the indexes: with a
+	// fresh (unshared) dictionary, interning the saved keys in order
+	// reproduces the exact ID assignment of the saving process. Version-1
+	// snapshots carry no dictionary; the rebuild below re-derives it.
+	for _, k := range snap.DictKeys {
+		q.dict.Intern(k)
+	}
 	q.seq = snap.Seq
 	q.nextID = snap.NextID
 	q.flushes = snap.Flushes

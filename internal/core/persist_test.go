@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/index"
 	"repro/internal/index/ggsx"
 )
 
@@ -47,6 +48,44 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(a.Answer, b.Answer) {
 			t.Fatal("restored cache returns different answers")
+		}
+	}
+}
+
+func TestDictionaryRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	db := buildDB(rng, 15)
+	// BruteForce shares no dictionary, so the IGQ owns a private one and a
+	// restore must reproduce the exact key → FeatureID assignment.
+	m := index.NewBruteForce()
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 10, Window: 2})
+	for _, q := range workload(rng, db, 20) {
+		ig.Query(q)
+	}
+	if ig.dict.Len() == 0 {
+		t.Fatal("dictionary empty — test premise broken")
+	}
+
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := index.NewBruteForce()
+	m2.Build(db)
+	restored, err := Load(&buf, m2, db, Options{CacheSize: 10, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.dict.Keys(), ig.dict.Keys()) {
+		t.Fatalf("dictionary did not round-trip: %d keys vs %d",
+			restored.dict.Len(), ig.dict.Len())
+	}
+	for _, k := range ig.dict.Keys() {
+		a, _ := ig.dict.Lookup(k)
+		b, ok := restored.dict.Lookup(k)
+		if !ok || a != b {
+			t.Fatalf("key %q: id %d vs %d (ok=%v)", k, a, b, ok)
 		}
 	}
 }

@@ -1,0 +1,113 @@
+package features
+
+import "sync"
+
+// FeatureID is a dense interned identifier for a canonical feature key.
+// IDs are assigned sequentially from 0 by a Dict, so they can index flat
+// per-feature tables (postings arrays, per-query count scratch) without
+// hashing the canonical string.
+type FeatureID uint32
+
+// IDCount pairs an interned feature with its occurrence count in one graph.
+type IDCount struct {
+	ID    FeatureID
+	Count int32
+}
+
+// IDSet is the result of an ID-based feature enumeration over one graph: the
+// multiset of canonical features, expressed as interned IDs. Unknown counts
+// the path occurrences whose canonical key was absent from the dictionary
+// (possible only in lookup-only enumeration) — for count-based subgraph
+// filters a single unknown feature proves an empty candidate set, since no
+// indexed graph contains it.
+type IDSet struct {
+	Counts  []IDCount
+	Unknown int
+}
+
+// Dict interns canonical feature keys into dense FeatureIDs. One Dict is
+// typically shared by every index over the same feature family (the dataset
+// trie and iGQ's cache-side Isub/Isuper), so a query graph is canonicalised
+// and interned exactly once per query and every index probes it by integer
+// ID.
+//
+// Interning (Intern, and ID-mode enumeration with intern=true) takes a write
+// lock; lookups take a read lock, so concurrent read-only filtering is safe
+// even while a background shadow rebuild interns new keys.
+type Dict struct {
+	mu   sync.RWMutex
+	ids  map[string]FeatureID
+	keys []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]FeatureID)}
+}
+
+// Len returns the number of interned keys.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.keys)
+}
+
+// Intern returns the ID of key, assigning the next dense ID on first sight.
+func (d *Dict) Intern(key string) FeatureID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.internLocked(key)
+}
+
+func (d *Dict) internLocked(key string) FeatureID {
+	if id, ok := d.ids[key]; ok {
+		return id
+	}
+	id := FeatureID(len(d.keys))
+	d.ids[key] = id
+	d.keys = append(d.keys, key)
+	return id
+}
+
+// internBytesLocked is the hot-path interning step: the map probe converts
+// the byte buffer without allocating; only a genuinely new key materialises
+// a string. Caller holds the write lock.
+func (d *Dict) internBytesLocked(key []byte) FeatureID {
+	if id, ok := d.ids[string(key)]; ok {
+		return id
+	}
+	k := string(key)
+	id := FeatureID(len(d.keys))
+	d.ids[k] = id
+	d.keys = append(d.keys, k)
+	return id
+}
+
+// Lookup returns the ID of key without interning it.
+func (d *Dict) Lookup(key string) (FeatureID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[key]
+	return id, ok
+}
+
+// lookupBytesLocked probes without allocating. Caller holds a read lock.
+func (d *Dict) lookupBytesLocked(key []byte) (FeatureID, bool) {
+	id, ok := d.ids[string(key)]
+	return id, ok
+}
+
+// Key returns the canonical string for an interned ID.
+func (d *Dict) Key(id FeatureID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.keys[id]
+}
+
+// Keys returns a copy of all interned keys in ID order, for persistence:
+// re-interning the slice into a fresh Dict reproduces the same IDs.
+func (d *Dict) Keys() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.keys...)
+}

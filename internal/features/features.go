@@ -14,10 +14,25 @@
 // rotations of both directions; for trees, the AHU canonical encoding
 // (linear-time for trees, which is exactly why CT-Index restricts itself to
 // trees and cycles).
+//
+// # Feature dictionary
+//
+// Canonical strings are the persistent, order-defining representation; the
+// per-query hot path runs on interned integers instead. A Dict assigns each
+// canonical key a dense FeatureID (uint32), and PathsID enumerates a graph's
+// path features directly as (FeatureID, count) pairs: the canonical form is
+// rendered into a reusable byte buffer (forward and reverse renderings
+// compared as bytes — no string pair, no Itoa allocations) and resolved
+// against the dictionary with an allocation-free map probe; occurrence
+// counts accumulate in a flat per-ID scratch table rather than a string map.
+// Indexes that share one Dict (the dataset trie and iGQ's cache-side
+// Isub/Isuper) therefore canonicalise a query once and afterwards exchange
+// only integer IDs — postings are stored and probed by FeatureID, and the
+// canonical strings are needed only for trie walks and persistence.
 package features
 
 import (
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -231,7 +246,7 @@ func dedupSorted(vs []int32) []int32 {
 	if len(vs) == 0 {
 		return vs
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	slices.Sort(vs)
 	out := vs[:1]
 	for _, v := range vs[1:] {
 		if v != out[len(out)-1] {

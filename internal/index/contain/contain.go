@@ -13,6 +13,7 @@ package contain
 
 import (
 	"repro/internal/core"
+	"repro/internal/features"
 	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/iso"
@@ -34,23 +35,42 @@ type Index struct {
 	ci  *core.ContainmentIndex
 }
 
-var _ index.Method = (*Index)(nil)
+var (
+	_ index.Method        = (*Index)(nil)
+	_ index.DictProvider  = (*Index)(nil)
+	_ index.CountFilterer = (*Index)(nil)
+)
 
 // New returns an unbuilt containment method.
 func New(opt Options) *Index {
 	if opt.MaxPathLen <= 0 {
 		opt.MaxPathLen = 4
 	}
-	return &Index{opt: opt}
+	return &Index{opt: opt, ci: core.NewContainmentIndex(opt.MaxPathLen)}
 }
 
 // Name implements index.Method.
 func (x *Index) Name() string { return "Contain" }
 
-// Build implements index.Method (Algorithm 1 over the dataset).
+// FeatureDict implements index.DictProvider, letting a wrapping iGQ share
+// the dataset index's interner.
+func (x *Index) FeatureDict() *features.Dict { return x.ci.Dict() }
+
+// FeatureMaxPathLen implements index.CountFilterer.
+func (x *Index) FeatureMaxPathLen() int { return x.opt.MaxPathLen }
+
+// FilterByFeatureCounts implements index.CountFilterer: Algorithm 2 from a
+// query already enumerated against the shared dictionary.
+func (x *Index) FilterByFeatureCounts(qf features.IDSet) []int32 {
+	return x.ci.CandidatesFromIDSet(qf)
+}
+
+// Build implements index.Method (Algorithm 1 over the dataset). The index
+// is reset on entry (keeping the dictionary handed out by FeatureDict), so
+// Build is idempotent.
 func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
-	x.ci = core.NewContainmentIndex(x.opt.MaxPathLen)
+	x.ci = core.NewContainmentIndexWithDict(x.opt.MaxPathLen, x.ci.Dict())
 	for i, g := range db {
 		x.ci.Add(int32(i), g)
 	}

@@ -45,6 +45,34 @@ func TestFilterNoFalseNegatives(t *testing.T) {
 	}
 }
 
+func TestRebuildIsIdempotent(t *testing.T) {
+	// Build must reset the index (keeping the shared dictionary): a second
+	// Build used to double posting counts, dropping valid candidates.
+	rng := rand.New(rand.NewSource(43))
+	db := make([]*graph.Graph, 12)
+	for i := range db {
+		db[i] = randomGraph(rng, 2+rng.Intn(4), 0.5, 3)
+	}
+	x := New(DefaultOptions())
+	dict := x.FeatureDict()
+	x.Build(db)
+	q := randomGraph(rng, 7, 0.5, 3)
+	want := x.Filter(q)
+	x.Build(db)
+	got := x.Filter(q)
+	if len(got) != len(want) {
+		t.Fatalf("Filter after rebuild = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Filter after rebuild = %v, want %v", got, want)
+		}
+	}
+	if x.FeatureDict() != dict {
+		t.Error("rebuild replaced the shared dictionary")
+	}
+}
+
 func TestVerifyDirectionInverted(t *testing.T) {
 	small := randomGraph(rand.New(rand.NewSource(1)), 3, 1, 1) // triangle, label 0
 	x := New(DefaultOptions())

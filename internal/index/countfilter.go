@@ -1,0 +1,82 @@
+package index
+
+import (
+	"sync"
+
+	"repro/internal/features"
+	"repro/internal/trie"
+)
+
+// CountFilterScratch holds the reusable buffers of one count-filter pass:
+// the feature-enumeration scratch, the filtered per-feature id lists
+// (backed by one flat arena), and the intersection ping-pong buffers.
+type CountFilterScratch struct {
+	Feat  *features.Scratch
+	lists [][]int32
+	offs  [][2]int
+	arena []int32
+	buf   [2][]int32
+}
+
+var countFilterPool = sync.Pool{
+	New: func() any { return &CountFilterScratch{Feat: features.NewScratch()} },
+}
+
+// GetCountFilterScratch borrows a scratch from the shared pool.
+func GetCountFilterScratch() *CountFilterScratch {
+	return countFilterPool.Get().(*CountFilterScratch)
+}
+
+// PutCountFilterScratch returns a scratch to the pool. Any FilterCountGE
+// result aliasing it must have been copied out first.
+func PutCountFilterScratch(s *CountFilterScratch) { countFilterPool.Put(s) }
+
+// FilterCountGE computes the candidate ids for a count-based feature filter
+// over tr: graphs holding every feature of qf with at least the wanted
+// multiplicity. Features are intersected in ascending order of
+// filtered-list length, galloping on skewed pairs. The result may alias s
+// and is only valid until the scratch is reused.
+//
+// Callers must handle the empty-feature case (len(qf.Counts) == 0 &&
+// qf.Unknown == 0) themselves: the matching universe (all dataset
+// positions, all cached entries, ...) differs per index. Shared by GGSX,
+// Grapes and iGQ's Isub.
+func FilterCountGE(tr *trie.Trie, qf features.IDSet, s *CountFilterScratch) []int32 {
+	if qf.Unknown > 0 {
+		// Some query feature was never seen by this index's dictionary, so
+		// no indexed graph contains it.
+		return nil
+	}
+	arena := s.arena[:0]
+	offs := s.offs[:0]
+	for _, fc := range qf.Counts {
+		start := len(arena)
+		for _, p := range tr.GetByID(fc.ID) {
+			if p.Count >= fc.Count {
+				arena = append(arena, p.Graph)
+			}
+		}
+		if len(arena) == start {
+			s.arena, s.offs = arena, offs
+			return nil
+		}
+		offs = append(offs, [2]int{start, len(arena)})
+	}
+	s.arena, s.offs = arena, offs
+	lists := s.lists[:0]
+	for _, o := range offs {
+		lists = append(lists, arena[o[0]:o[1]])
+	}
+	s.lists = lists
+	return IntersectMany(lists, &s.buf)
+}
+
+// AllIDs returns the identity universe [0, n) — the empty-query candidate
+// set for dense dataset indexes.
+func AllIDs(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package index
+
+import "repro/internal/features"
+
+// Optional Method extensions for the interned-feature fast path. A method
+// that exposes its feature dictionary lets iGQ share one interner between
+// dataset filtering and cache lookup: the query is canonicalised once, and
+// both sides probe postings by integer FeatureID.
+
+// DictProvider is implemented by methods whose filter is built on a
+// features.Dict (the path-based indexes). iGQ adopts the provided
+// dictionary so query features are interned once for both sides.
+type DictProvider interface {
+	FeatureDict() *features.Dict
+}
+
+// CountFilterer is implemented by methods that can filter directly from a
+// pre-enumerated feature IDSet. FeatureMaxPathLen reports the feature
+// length the index was built with; callers must only use
+// FilterByFeatureCounts when their enumeration used the same length and the
+// same dictionary, and fall back to Filter otherwise.
+type CountFilterer interface {
+	FeatureMaxPathLen() int
+	// FilterByFeatureCounts returns the sorted candidate ids for a query
+	// with the given feature occurrences. The result is freshly allocated.
+	FilterByFeatureCounts(qf features.IDSet) []int32
+}

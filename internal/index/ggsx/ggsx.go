@@ -7,6 +7,11 @@
 // graph is decomposed the same way; a dataset graph survives filtering only
 // if it contains every query path feature at least as many times as the
 // query does. Verification is a VF2 subgraph isomorphism test.
+//
+// Filtering runs on interned feature IDs: the query is canonicalised once
+// against the index's dictionary (read-only, allocation-free), the
+// per-feature candidate lists are intersected rarest-first, and each
+// intersection step gallops when the list lengths are skewed.
 package ggsx
 
 import (
@@ -32,28 +37,43 @@ func DefaultOptions() Options { return Options{MaxPathLen: 4, VerifyAlg: iso.VF2
 
 // Index is the GGSX method. Create with New, then Build.
 type Index struct {
-	opt Options
-	db  []*graph.Graph
-	tr  *trie.Trie
+	opt  Options
+	db   []*graph.Graph
+	dict *features.Dict
+	tr   *trie.Trie
 }
 
-var _ index.Method = (*Index)(nil)
+var (
+	_ index.Method        = (*Index)(nil)
+	_ index.DictProvider  = (*Index)(nil)
+	_ index.CountFilterer = (*Index)(nil)
+)
 
 // New returns an unbuilt GGSX index.
 func New(opt Options) *Index {
 	if opt.MaxPathLen <= 0 {
 		opt.MaxPathLen = 4
 	}
-	return &Index{opt: opt, tr: trie.New()}
+	d := features.NewDict()
+	return &Index{opt: opt, dict: d, tr: trie.NewWithDict(d)}
 }
 
 // Name implements index.Method.
 func (x *Index) Name() string { return "GGSX" }
 
+// FeatureDict implements index.DictProvider.
+func (x *Index) FeatureDict() *features.Dict { return x.dict }
+
+// FeatureMaxPathLen implements index.CountFilterer.
+func (x *Index) FeatureMaxPathLen() int { return x.opt.MaxPathLen }
+
 // Build implements index.Method: enumerate paths of every dataset graph
-// into the shared trie.
+// into the shared trie (interning every feature into the dictionary). The
+// trie is reset on entry (keeping the dictionary handed out by
+// FeatureDict), so Build is idempotent.
 func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
+	x.tr = trie.NewWithDict(x.dict)
 	for i, g := range db {
 		ps := features.Paths(g, features.PathOptions{MaxLen: x.opt.MaxPathLen})
 		for k, c := range ps.Counts {
@@ -65,8 +85,28 @@ func (x *Index) Build(db []*graph.Graph) {
 // Filter implements index.Method. A graph is a candidate iff for every
 // query feature f: count_G(f) >= count_q(f).
 func (x *Index) Filter(q *graph.Graph) []int32 {
-	ps := features.Paths(q, features.PathOptions{MaxLen: x.opt.MaxPathLen})
-	return FilterByCounts(x.tr, ps.Counts, len(x.db))
+	s := index.GetCountFilterScratch()
+	defer index.PutCountFilterScratch(s)
+	qf := features.PathsID(q, features.PathOptions{MaxLen: x.opt.MaxPathLen}, x.dict, s.Feat, false)
+	return FilterFresh(x.tr, qf, len(x.db), s)
+}
+
+// FilterByFeatureCounts implements index.CountFilterer: filtering from a
+// query already enumerated against this index's dictionary.
+func (x *Index) FilterByFeatureCounts(qf features.IDSet) []int32 {
+	s := index.GetCountFilterScratch()
+	defer index.PutCountFilterScratch(s)
+	return FilterFresh(x.tr, qf, len(x.db), s)
+}
+
+// FilterFresh runs the shared count filter and copies the result out of the
+// scratch (an empty query matches every dataset position). Shared with
+// Grapes, whose filter is identical.
+func FilterFresh(tr *trie.Trie, qf features.IDSet, nGraphs int, s *index.CountFilterScratch) []int32 {
+	if len(qf.Counts) == 0 && qf.Unknown == 0 {
+		return index.AllIDs(nGraphs)
+	}
+	return copyIDs(index.FilterCountGE(tr, qf, s))
 }
 
 // Verify implements index.Method with a first-match test on the configured
@@ -78,13 +118,18 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 // SizeBytes implements index.Method.
 func (x *Index) SizeBytes() int { return x.tr.SizeBytes() }
 
-// FilterByCounts computes the candidate ids for a count-based feature
-// filter over tr: graphs holding every feature in want with at least the
-// wanted multiplicity. nGraphs bounds the id space. Shared by GGSX and
-// Grapes (and by iGQ's Isub, which indexes query graphs the same way).
+func copyIDs(ids []int32) []int32 {
+	if len(ids) == 0 {
+		return nil
+	}
+	return append([]int32(nil), ids...)
+}
+
+// FilterByCounts is the legacy string-keyed count filter, kept for callers
+// holding a map of canonical keys (tests, tooling). The hot path is
+// FilterFresh over index.FilterCountGE.
 func FilterByCounts(tr *trie.Trie, want map[string]int, nGraphs int) []int32 {
 	if len(want) == 0 {
-		// No features (empty query): every graph qualifies.
 		out := make([]int32, nGraphs)
 		for i := range out {
 			out[i] = int32(i)

@@ -15,9 +15,14 @@
 // of the candidate on the located vertices, splits it into connected
 // components, and runs VF2 only on components large enough to host the
 // query — typically small, which is what makes Grapes fast on large graphs.
+//
+// Filtering and location lookup run on interned feature IDs (see package
+// ggsx); the string-based enumeration is only used at build time, where the
+// location records are produced.
 package grapes
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/features"
@@ -41,18 +46,24 @@ func DefaultOptions() Options { return Options{MaxPathLen: 4, Threads: 1} }
 
 // Index is the Grapes method. Create with New, then Build.
 type Index struct {
-	opt Options
-	db  []*graph.Graph
-	tr  *trie.Trie
+	opt  Options
+	db   []*graph.Graph
+	dict *features.Dict
+	tr   *trie.Trie
 
 	// memo of the last query's features: Verify runs once per candidate of
 	// the same query, so re-enumerating per candidate would be wasteful.
 	mu    sync.Mutex
 	lastQ *graph.Graph
-	lastF *features.PathSet
+	lastF []features.IDCount
+	memoS *features.Scratch
 }
 
-var _ index.Method = (*Index)(nil)
+var (
+	_ index.Method        = (*Index)(nil)
+	_ index.DictProvider  = (*Index)(nil)
+	_ index.CountFilterer = (*Index)(nil)
+)
 
 // New returns an unbuilt Grapes index.
 func New(opt Options) *Index {
@@ -62,7 +73,8 @@ func New(opt Options) *Index {
 	if opt.Threads <= 0 {
 		opt.Threads = 1
 	}
-	return &Index{opt: opt, tr: trie.New()}
+	d := features.NewDict()
+	return &Index{opt: opt, dict: d, tr: trie.NewWithDict(d), memoS: features.NewScratch()}
 }
 
 // Name implements index.Method, including the thread count as in the paper.
@@ -87,9 +99,22 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
-// Build implements index.Method with the per-vertex-range parallel strategy.
+// FeatureDict implements index.DictProvider.
+func (x *Index) FeatureDict() *features.Dict { return x.dict }
+
+// FeatureMaxPathLen implements index.CountFilterer.
+func (x *Index) FeatureMaxPathLen() int { return x.opt.MaxPathLen }
+
+// Build implements index.Method with the per-vertex-range parallel
+// strategy. The trie and the query-feature memo are reset on entry
+// (keeping the dictionary handed out by FeatureDict), so Build is
+// idempotent.
 func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
+	x.tr = trie.NewWithDict(x.dict)
+	x.mu.Lock()
+	x.lastQ, x.lastF = nil, nil
+	x.mu.Unlock()
 	opt := features.PathOptions{MaxLen: x.opt.MaxPathLen, Locations: true}
 	for i, g := range db {
 		ps := x.enumerate(g, opt)
@@ -131,10 +156,19 @@ func (x *Index) enumerate(g *graph.Graph, opt features.PathOptions) *features.Pa
 }
 
 // Filter implements index.Method: identical count-based filtering to GGSX
-// (the two share the path feature family).
+// (the two share the path feature family and the shared count filter).
 func (x *Index) Filter(q *graph.Graph) []int32 {
-	ps := features.Paths(q, features.PathOptions{MaxLen: x.opt.MaxPathLen})
-	return ggsx.FilterByCounts(x.tr, ps.Counts, len(x.db))
+	s := index.GetCountFilterScratch()
+	defer index.PutCountFilterScratch(s)
+	qf := features.PathsID(q, features.PathOptions{MaxLen: x.opt.MaxPathLen}, x.dict, s.Feat, false)
+	return ggsx.FilterFresh(x.tr, qf, len(x.db), s)
+}
+
+// FilterByFeatureCounts implements index.CountFilterer.
+func (x *Index) FilterByFeatureCounts(qf features.IDSet) []int32 {
+	s := index.GetCountFilterScratch()
+	defer index.PutCountFilterScratch(s)
+	return ggsx.FilterFresh(x.tr, qf, len(x.db), s)
 }
 
 // Verify implements index.Method using location-restricted components.
@@ -156,12 +190,11 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 	}
 	qf := x.queryFeatures(q)
 	var located []int32
-	for k := range qf.Counts {
-		for _, p := range x.tr.Get(k) {
-			if p.Graph == id {
-				located = unionInto(located, p.Locs)
-				break
-			}
+	for _, fc := range qf {
+		ps := x.tr.GetByID(fc.ID)
+		i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= id })
+		if i < len(ps) && ps[i].Graph == id {
+			located = unionInto(located, ps[i].Locs)
 		}
 	}
 	vs := make([]int, len(located))
@@ -172,13 +205,18 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 	return iso.SubgraphConnectedComponents(q, sub, sub.ConnectedComponents())
 }
 
-// queryFeatures returns (and memoises) the path features of q.
-func (x *Index) queryFeatures(q *graph.Graph) *features.PathSet {
+// queryFeatures returns (and memoises) the interned path features of q.
+// Unknown features carry no location information, so lookup-only
+// enumeration is sufficient here. The returned slice is freshly allocated
+// per distinct query and never mutated afterwards, so concurrent Verify
+// calls may keep using a snapshot after the memo moves on.
+func (x *Index) queryFeatures(q *graph.Graph) []features.IDCount {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.lastQ != q {
+		qf := features.PathsID(q, features.PathOptions{MaxLen: x.opt.MaxPathLen}, x.dict, x.memoS, false)
 		x.lastQ = q
-		x.lastF = features.Paths(q, features.PathOptions{MaxLen: x.opt.MaxPathLen})
+		x.lastF = append([]features.IDCount(nil), qf.Counts...)
 	}
 	return x.lastF
 }

@@ -2,6 +2,7 @@ package grapes
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/features"
@@ -134,14 +135,18 @@ func TestQueryFeatureMemoReuse(t *testing.T) {
 	x := New(DefaultOptions())
 	x.Build(db)
 	q := randomGraph(rng, 4, 0.6, 3)
-	f1 := x.queryFeatures(q)
+	f1 := append([]features.IDCount(nil), x.queryFeatures(q)...)
 	f2 := x.queryFeatures(q)
-	if f1 != f2 {
-		t.Error("same query re-enumerated")
+	if !slices.Equal(f1, f2) {
+		t.Error("same query returned different features")
+	}
+	if x.lastQ != q {
+		t.Error("memo does not hold the last query")
 	}
 	q2 := randomGraph(rng, 4, 0.6, 3)
-	if x.queryFeatures(q2) == f1 {
-		t.Error("different query served stale features")
+	x.queryFeatures(q2)
+	if x.lastQ != q2 {
+		t.Error("different query served stale memo")
 	}
 }
 

@@ -16,7 +16,7 @@
 package index
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/iso"
@@ -90,7 +90,7 @@ func (b *BruteForce) SizeBytes() int { return 0 }
 // SortIDs sorts a candidate id slice ascending, in place, and returns it.
 // Shared helper for Method implementations.
 func SortIDs(ids []int32) []int32 {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 

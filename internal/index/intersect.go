@@ -1,0 +1,121 @@
+package index
+
+import (
+	"slices"
+	"sort"
+)
+
+// Set-intersection strategies for the candidate pruning pipeline. All id
+// slices are ascending and duplicate-free.
+//
+// The linear merge (IntersectSorted) is optimal when the inputs have similar
+// lengths; when one side is much shorter — the common case once feature
+// lists are processed in ascending-selectivity order — a galloping
+// (exponential-probe) search over the longer side does O(|a|·log|b|/|a|)
+// work instead of O(|a|+|b|).
+
+// gallopRatio is the length skew at which IntersectInto switches from the
+// linear merge to galloping. Below the switchover the merge's branch-
+// predictable scan wins; above it the probe count dominates.
+const gallopRatio = 8
+
+// IntersectSortedGalloping returns the intersection of two ascending id
+// slices, galloping over the longer one. Exported for benchmarking against
+// IntersectSorted; most callers want IntersectInto, which picks a strategy
+// from the length skew.
+func IntersectSortedGalloping(a, b []int32) []int32 {
+	return intersectGalloping(make([]int32, 0, min(len(a), len(b))), a, b)
+}
+
+// IntersectInto appends the intersection of a and b to dst[:0] and returns
+// it, choosing between the linear merge and the galloping search by length
+// skew. dst may alias neither a nor b.
+func IntersectInto(dst, a, b []int32) []int32 {
+	dst = dst[:0]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return intersectGalloping(dst, a, b)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// intersectGalloping appends a ∩ b to dst for len(a) ≤ len(b): for each
+// element of a, probe positions j+1, j+2, j+4, ... in b to bracket it, then
+// binary-search the bracket. The probe cursor only moves forward, so the
+// whole pass is O(|a|·log(|b|/|a|)) on average.
+func intersectGalloping(dst, a, b []int32) []int32 {
+	j := 0
+	for _, x := range a {
+		if j >= len(b) {
+			break
+		}
+		if b[j] < x {
+			// gallop: find the first probe at or beyond x
+			step := 1
+			lo := j
+			for j+step < len(b) && b[j+step] < x {
+				lo = j + step
+				step *= 2
+			}
+			hi := j + step
+			if hi > len(b) {
+				hi = len(b)
+			}
+			// binary search in (lo, hi]
+			j = lo + 1 + sort.Search(hi-lo-1, func(k int) bool { return b[lo+1+k] >= x })
+			if j >= len(b) {
+				break
+			}
+		}
+		if b[j] == x {
+			dst = append(dst, x)
+			j++
+		}
+	}
+	return dst
+}
+
+// IntersectMany intersects several ascending id lists, processing them in
+// ascending length order (rarest feature first) so the running candidate set
+// shrinks as early as possible; each fold step picks merge vs gallop from
+// the skew. lists is reordered in place. buf provides two reusable
+// ping-pong buffers; the result aliases one of them (or the single input
+// list) and is valid until the buffers are reused.
+func IntersectMany(lists [][]int32, buf *[2][]int32) []int32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	slices.SortFunc(lists, func(a, b []int32) int { return len(a) - len(b) })
+	cur := lists[0]
+	which := 0
+	for _, l := range lists[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		buf[which] = IntersectInto(buf[which], cur, l)
+		cur = buf[which]
+		which = 1 - which
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+	return cur
+}

@@ -1,0 +1,150 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sortedUnique(rng *rand.Rand, n, max int) []int32 {
+	seen := map[int32]bool{}
+	for len(seen) < n {
+		seen[int32(rng.Intn(max))] = true
+	}
+	out := make([]int32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	return SortIDs(out)
+}
+
+func TestGallopingMatchesLinear(t *testing.T) {
+	f := func(seedA, seedB uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seedA)*65536 + int64(seedB)))
+		a := sortedUnique(rng, 1+rng.Intn(20), 4000)
+		b := sortedUnique(rng, 1+rng.Intn(800), 4000)
+		want := IntersectSorted(a, b)
+		if got := IntersectSortedGalloping(a, b); !equalIDs(got, want) {
+			t.Logf("gallop a=%v b=%v got=%v want=%v", a, b, got, want)
+			return false
+		}
+		if got := IntersectInto(nil, a, b); !equalIDs(got, want) {
+			return false
+		}
+		if got := IntersectInto(nil, b, a); !equalIDs(got, want) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntersectManySelectivityOrder(t *testing.T) {
+	lists := [][]int32{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{2, 4, 6, 8},
+		{4, 8},
+	}
+	var buf [2][]int32
+	got := IntersectMany(lists, &buf)
+	if !equalIDs(got, []int32{4, 8}) {
+		t.Errorf("IntersectMany = %v", got)
+	}
+	// disjoint lists → nil
+	if got := IntersectMany([][]int32{{1, 3}, {2, 4}}, &buf); got != nil {
+		t.Errorf("disjoint IntersectMany = %v", got)
+	}
+	// single list passes through
+	if got := IntersectMany([][]int32{{5, 9}}, &buf); !equalIDs(got, []int32{5, 9}) {
+		t.Errorf("single-list IntersectMany = %v", got)
+	}
+	if IntersectMany(nil, &buf) != nil {
+		t.Error("empty IntersectMany not nil")
+	}
+}
+
+func TestIntersectManyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(5)
+		lists := make([][]int32, k)
+		for i := range lists {
+			lists[i] = sortedUnique(rng, 1+rng.Intn(60), 120)
+		}
+		want := lists[0]
+		for _, l := range lists[1:] {
+			want = IntersectSorted(want, l)
+		}
+		var buf [2][]int32
+		got := IntersectMany(lists, &buf)
+		if len(want) == 0 {
+			if got != nil {
+				t.Fatalf("trial %d: got %v, want nil", trial, got)
+			}
+			continue
+		}
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// Benchmarks: a skewed pair (the shape selectivity ordering produces) and a
+// balanced pair (where the linear merge should win).
+
+func benchLists(nA, nB int) (a, b []int32) {
+	rng := rand.New(rand.NewSource(3))
+	return sortedUnique(rng, nA, 10*nB), sortedUnique(rng, nB, 10*nB)
+}
+
+func BenchmarkIntersectSortedSkewed(b *testing.B) {
+	x, y := benchLists(16, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectSorted(x, y)
+	}
+}
+
+func BenchmarkIntersectGallopingSkewed(b *testing.B) {
+	x, y := benchLists(16, 8192)
+	var buf []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = IntersectInto(buf, x, y)
+	}
+}
+
+func BenchmarkIntersectSortedBalanced(b *testing.B) {
+	x, y := benchLists(4096, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectSorted(x, y)
+	}
+}
+
+func BenchmarkIntersectIntoBalanced(b *testing.B) {
+	x, y := benchLists(4096, 4096)
+	var buf []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = IntersectInto(buf, x, y)
+	}
+}

@@ -1,0 +1,51 @@
+package trie
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/features"
+)
+
+func benchTrie(nKeys, nGraphs int) (*Trie, []string, []features.FeatureID) {
+	tr := New()
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]string, nKeys)
+	ids := make([]features.FeatureID, nKeys)
+	for i := range keys {
+		k := "p:" + strconv.Itoa(rng.Intn(9)) + "." + strconv.Itoa(rng.Intn(9)) +
+			"." + strconv.Itoa(rng.Intn(9)) + "." + strconv.Itoa(i)
+		keys[i] = k
+		for g := 0; g < 1+rng.Intn(nGraphs); g++ {
+			tr.Insert(k, Posting{Graph: int32(g), Count: int32(1 + rng.Intn(4))})
+		}
+		ids[i], _ = tr.Dict().Lookup(k)
+	}
+	return tr, keys, ids
+}
+
+// BenchmarkGetString probes the trie by canonical string (dictionary hash
+// per probe) — the seed lookup path.
+func BenchmarkGetString(b *testing.B) {
+	tr, keys, _ := benchTrie(2000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.Get(keys[i%len(keys)]) == nil {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+// BenchmarkGetByID probes by interned FeatureID — the hot lookup path.
+func BenchmarkGetByID(b *testing.B) {
+	tr, _, ids := benchTrie(2000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.GetByID(ids[i%len(ids)]) == nil {
+			b.Fatal("missing id")
+		}
+	}
+}

@@ -1,20 +1,25 @@
-// Package trie implements the byte-level feature trie shared by the
-// GraphGrepSX and Grapes dataset indexes and by iGQ's Isuper query index
-// (the paper's Algorithm 1 stores query features "in a trie").
+// Package trie implements the feature-keyed postings store shared by the
+// GraphGrepSX and Grapes dataset indexes and by iGQ's Isub/Isuper query
+// indexes (the paper's Algorithm 1 stores query features "in a trie").
 //
-// Keys are canonical feature strings (package features); terminal nodes
-// carry postings: one entry per graph containing the feature, with its
-// occurrence count and, optionally, the vertex locations the feature touches
-// (the Grapes location information).
+// Keys are canonical feature strings (package features), interned into dense
+// FeatureIDs by a features.Dict — shared across indexes or private to one
+// trie. The hot lookup path is ID-keyed: postings live in a flat
+// map[FeatureID][]Posting probed by integer, so a query canonicalised once
+// can be checked against any number of tries without re-hashing strings.
+// The byte-level trie over the canonical keys is kept for what genuinely
+// needs strings: lexicographic Walk, persistence, and the node-count /
+// size accounting the paper reports (Fig 18).
 //
 // Children are kept in sorted compact slices: feature alphabets are tiny
 // (digits, '.', ':' and a few letters), so binary search over a slice beats
-// per-node maps on both memory and cache behaviour — and index size is
-// itself a reported experimental quantity (paper Fig 18).
+// per-node maps on both memory and cache behaviour.
 package trie
 
 import (
 	"sort"
+
+	"repro/internal/features"
 )
 
 // Posting records one graph's occurrences of a feature.
@@ -27,7 +32,7 @@ type Posting struct {
 type node struct {
 	labels   []byte
 	children []*node
-	postings []Posting
+	id       features.FeatureID
 	terminal bool
 }
 
@@ -54,27 +59,36 @@ func (n *node) ensureChild(b byte) *node {
 	return c
 }
 
-// Trie maps canonical feature keys to postings lists.
+// Trie maps canonical feature keys to postings lists, with an ID-keyed fast
+// path for callers that have already interned their features.
 type Trie struct {
+	dict  *features.Dict
 	root  node
-	keys  int
+	posts map[features.FeatureID][]Posting
 	nodes int
 }
 
-// New returns an empty trie.
-func New() *Trie { return &Trie{} }
+// New returns an empty trie with a private feature dictionary.
+func New() *Trie { return NewWithDict(features.NewDict()) }
+
+// NewWithDict returns an empty trie whose keys are interned through d —
+// shared with other tries so that all of them are probed by the same IDs.
+func NewWithDict(d *features.Dict) *Trie {
+	return &Trie{dict: d, posts: make(map[features.FeatureID][]Posting)}
+}
+
+// Dict returns the trie's feature dictionary.
+func (t *Trie) Dict() *features.Dict { return t.dict }
 
 // Len returns the number of distinct keys stored.
-func (t *Trie) Len() int { return t.keys }
+func (t *Trie) Len() int { return len(t.posts) }
 
 // NodeCount returns the number of internal trie nodes (excluding the root),
 // an index-size proxy.
 func (t *Trie) NodeCount() int { return t.nodes }
 
-// Insert adds (or merges) a posting for key. Postings for a key are kept
-// sorted by graph id; inserting the same (key, graph) twice accumulates the
-// count and unions locations.
-func (t *Trie) Insert(key string, p Posting) {
+// insertPath records key in the byte trie with its interned ID.
+func (t *Trie) insertPath(key string, id features.FeatureID) {
 	n := &t.root
 	for i := 0; i < len(key); i++ {
 		before := len(n.labels)
@@ -84,39 +98,63 @@ func (t *Trie) Insert(key string, p Posting) {
 		}
 		n = c
 	}
-	if !n.terminal {
-		n.terminal = true
-		t.keys++
+	n.terminal = true
+	n.id = id
+}
+
+// Insert adds (or merges) a posting for key, interning it into the
+// dictionary. Postings for a key are kept sorted by graph id; inserting the
+// same (key, graph) twice accumulates the count and unions locations.
+func (t *Trie) Insert(key string, p Posting) {
+	id := t.dict.Intern(key)
+	if _, seen := t.posts[id]; !seen {
+		t.insertPath(key, id)
 	}
-	i := sort.Search(len(n.postings), func(i int) bool { return n.postings[i].Graph >= p.Graph })
-	if i < len(n.postings) && n.postings[i].Graph == p.Graph {
-		n.postings[i].Count += p.Count
-		n.postings[i].Locs = unionSorted(n.postings[i].Locs, p.Locs)
+	t.addPosting(id, p)
+}
+
+// InsertID adds (or merges) a posting for an already-interned feature — the
+// hot build path for callers enumerating features as IDs.
+func (t *Trie) InsertID(id features.FeatureID, p Posting) {
+	if _, seen := t.posts[id]; !seen {
+		t.insertPath(t.dict.Key(id), id)
+	}
+	t.addPosting(id, p)
+}
+
+func (t *Trie) addPosting(id features.FeatureID, p Posting) {
+	ps := t.posts[id]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= p.Graph })
+	if i < len(ps) && ps[i].Graph == p.Graph {
+		ps[i].Count += p.Count
+		ps[i].Locs = unionSorted(ps[i].Locs, p.Locs)
+		t.posts[id] = ps
 		return
 	}
-	n.postings = append(n.postings, Posting{})
-	copy(n.postings[i+1:], n.postings[i:])
-	n.postings[i] = Posting{Graph: p.Graph, Count: p.Count, Locs: append([]int32(nil), p.Locs...)}
+	ps = append(ps, Posting{})
+	copy(ps[i+1:], ps[i:])
+	ps[i] = Posting{Graph: p.Graph, Count: p.Count, Locs: append([]int32(nil), p.Locs...)}
+	t.posts[id] = ps
 }
 
-// Get returns the postings for key, or nil if absent. The returned slice is
-// owned by the trie; callers must not modify it.
+// Get returns the postings for key, or nil if the key was never inserted
+// into this trie. The returned slice is owned by the trie; callers must not
+// modify it.
 func (t *Trie) Get(key string) []Posting {
-	n := &t.root
-	for i := 0; i < len(key); i++ {
-		n = n.child(key[i])
-		if n == nil {
-			return nil
-		}
-	}
-	if !n.terminal {
+	id, ok := t.dict.Lookup(key)
+	if !ok {
 		return nil
 	}
-	return n.postings
+	return t.posts[id]
 }
 
-// Contains reports whether key is present.
-func (t *Trie) Contains(key string) bool { return t.Get(key) != nil }
+// GetByID returns the postings for an interned feature, or nil if this trie
+// holds none. The returned slice is owned by the trie.
+func (t *Trie) GetByID(id features.FeatureID) []Posting { return t.posts[id] }
+
+// Contains reports whether key currently has at least one posting. A key
+// whose postings were all drained by RemoveGraph is no longer contained.
+func (t *Trie) Contains(key string) bool { return len(t.Get(key)) > 0 }
 
 // Walk visits every (key, postings) pair in lexicographic key order.
 func (t *Trie) Walk(fn func(key string, postings []Posting)) {
@@ -124,7 +162,7 @@ func (t *Trie) Walk(fn func(key string, postings []Posting)) {
 	var rec func(n *node)
 	rec = func(n *node) {
 		if n.terminal {
-			fn(string(buf), n.postings)
+			fn(string(buf), t.posts[n.id])
 		}
 		for i, b := range n.labels {
 			buf = append(buf, b)
@@ -137,23 +175,17 @@ func (t *Trie) Walk(fn func(key string, postings []Posting)) {
 
 // RemoveGraph deletes every posting of the given graph id across all keys.
 // Keys left with no postings remain in the trie structurally but report no
-// postings; Rebuild (constructing a fresh trie) is the intended compaction
-// path, matching the paper's shadow-index maintenance where the query index
-// is rebuilt over the retained cache contents.
+// postings (and Contains returns false for them); Rebuild (constructing a
+// fresh trie) is the intended compaction path, matching the paper's
+// shadow-index maintenance where the query index is rebuilt over the
+// retained cache contents.
 func (t *Trie) RemoveGraph(id int32) {
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n.terminal {
-			i := sort.Search(len(n.postings), func(i int) bool { return n.postings[i].Graph >= id })
-			if i < len(n.postings) && n.postings[i].Graph == id {
-				n.postings = append(n.postings[:i], n.postings[i+1:]...)
-			}
-		}
-		for _, c := range n.children {
-			rec(c)
+	for fid, ps := range t.posts {
+		i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= id })
+		if i < len(ps) && ps[i].Graph == id {
+			t.posts[fid] = append(ps[:i], ps[i+1:]...)
 		}
 	}
-	rec(&t.root)
 }
 
 // SizeBytes approximates the in-memory footprint of the trie (nodes,
@@ -163,14 +195,17 @@ func (t *Trie) SizeBytes() int {
 	var rec func(n *node)
 	rec = func(n *node) {
 		sz += 64 + len(n.labels) + 8*len(n.children)
-		for _, p := range n.postings {
-			sz += 12 + 4*len(p.Locs)
-		}
 		for _, c := range n.children {
 			rec(c)
 		}
 	}
 	rec(&t.root)
+	for _, ps := range t.posts {
+		sz += 16 // postings-map entry
+		for _, p := range ps {
+			sz += 12 + 4*len(p.Locs)
+		}
+	}
 	return sz
 }
 

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/features"
 )
 
 func TestInsertGet(t *testing.T) {
@@ -94,6 +96,75 @@ func TestRemoveGraph(t *testing.T) {
 	}
 	if ps := tr.Get("y"); len(ps) != 0 {
 		t.Errorf("y postings after removal = %+v", ps)
+	}
+}
+
+func TestContainsAfterRemoveGraph(t *testing.T) {
+	// Regression: a terminal node whose postings were fully drained by
+	// RemoveGraph used to still report the key as present.
+	tr := New()
+	tr.Insert("p:1.2", Posting{Graph: 1, Count: 2})
+	tr.Insert("p:3", Posting{Graph: 1, Count: 1})
+	tr.Insert("p:3", Posting{Graph: 2, Count: 1})
+	tr.RemoveGraph(1)
+	if tr.Contains("p:1.2") {
+		t.Error("Contains reports a key whose postings were all removed")
+	}
+	if !tr.Contains("p:3") {
+		t.Error("Contains lost a key that still has postings")
+	}
+	if ps := tr.Get("p:1.2"); len(ps) != 0 {
+		t.Errorf("drained key still has postings: %+v", ps)
+	}
+	// Re-inserting revives the key.
+	tr.Insert("p:1.2", Posting{Graph: 3, Count: 1})
+	if !tr.Contains("p:1.2") {
+		t.Error("re-inserted key not contained")
+	}
+}
+
+func TestSharedDictIDLookup(t *testing.T) {
+	d := features.NewDict()
+	a, b := NewWithDict(d), NewWithDict(d)
+	a.Insert("p:1.2", Posting{Graph: 0, Count: 1})
+	b.Insert("p:1.2", Posting{Graph: 7, Count: 3})
+	b.Insert("p:9", Posting{Graph: 7, Count: 1})
+	id, ok := d.Lookup("p:1.2")
+	if !ok {
+		t.Fatal("shared dict lost the key")
+	}
+	if ps := a.GetByID(id); len(ps) != 1 || ps[0].Graph != 0 {
+		t.Errorf("a.GetByID = %+v", ps)
+	}
+	if ps := b.GetByID(id); len(ps) != 1 || ps[0].Graph != 7 {
+		t.Errorf("b.GetByID = %+v", ps)
+	}
+	// a key interned by b but never inserted into a
+	id9, _ := d.Lookup("p:9")
+	if ps := a.GetByID(id9); ps != nil {
+		t.Errorf("a holds postings it never saw: %+v", ps)
+	}
+	if a.Get("p:9") != nil {
+		t.Error("string Get leaked another trie's key")
+	}
+}
+
+func TestInsertIDMatchesInsert(t *testing.T) {
+	d := features.NewDict()
+	byStr, byID := NewWithDict(d), NewWithDict(d)
+	keys := []string{"p:1", "p:1.2", "p:2.1.2"}
+	for i, k := range keys {
+		byStr.Insert(k, Posting{Graph: int32(i), Count: int32(i + 1)})
+		byID.InsertID(d.Intern(k), Posting{Graph: int32(i), Count: int32(i + 1)})
+	}
+	var ws, wi []string
+	byStr.Walk(func(k string, ps []Posting) { ws = append(ws, fmt.Sprintf("%s=%v", k, ps)) })
+	byID.Walk(func(k string, ps []Posting) { wi = append(wi, fmt.Sprintf("%s=%v", k, ps)) })
+	if !reflect.DeepEqual(ws, wi) {
+		t.Errorf("walks differ:\n%v\n%v", ws, wi)
+	}
+	if byStr.NodeCount() != byID.NodeCount() {
+		t.Errorf("node counts differ: %d vs %d", byStr.NodeCount(), byID.NodeCount())
 	}
 }
 
