@@ -15,6 +15,7 @@ package igq
 // under `go test -bench` as required by the reproduction contract.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -104,10 +105,45 @@ func BenchmarkEngineQueryStream(b *testing.B) {
 	queries := GenerateWorkload(db, WorkloadSpec{
 		NumQueries: 64, GraphDist: Zipf, NodeDist: Zipf, Alpha: 1.4, Seed: 21,
 	})
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.QuerySubgraph(queries[i%len(queries)]); err != nil {
+		if _, err := eng.Query(ctx, queries[i%len(queries)]); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Aggregate throughput of one cache-enabled Engine under concurrent load:
+// the concurrent-serving counterpart of BenchmarkEngineQueryStream. Run
+// with -cpu 1,2,4,8 to observe scaling (the snapshot-isolated query path
+// serializes only at window flushes).
+func BenchmarkEngineQueryParallel(b *testing.B) {
+	db := GenerateDataset(AIDSSpec().Scaled(0.005, 1))
+	eng, err := NewEngine(db, EngineOptions{Method: Grapes, CacheSize: 50, Window: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := GenerateWorkload(db, WorkloadSpec{
+		NumQueries: 64, GraphDist: Zipf, NodeDist: Zipf, Alpha: 1.4, Seed: 21,
+	})
+	ctx := context.Background()
+	// Warm the cache once so every parallel worker exercises the steady
+	// state: snapshot probes, short-circuit hits and occasional flushes.
+	for _, q := range queries {
+		if _, err := eng.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := eng.Query(ctx, queries[i%len(queries)]); err != nil {
+				b.Error(err) // Fatal is not allowed on RunParallel goroutines
+				return
+			}
+			i++
+		}
+	})
 }

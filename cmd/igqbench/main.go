@@ -23,9 +23,10 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("experiment", "", "experiment id (table1, fig1..fig18, ablation-*) or 'all'")
+		expID   = flag.String("experiment", "", "experiment id (table1, fig1..fig18, ablation-*, concurrency) or 'all'")
 		scale   = flag.Float64("scale", 1.0, "dataset/workload scale factor")
 		seed    = flag.Int64("seed", 42, "random seed (full determinism per seed)")
+		workers = flag.Int("workers", 0, "max goroutines for the concurrency experiment (0 = one per CPU)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		verbose = flag.Bool("v", false, "verbose progress output")
 	)
@@ -42,7 +43,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Verbose: *verbose}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Verbose: *verbose, Workers: *workers}
 
 	if *expID == "all" {
 		t0 := time.Now()

@@ -5,13 +5,20 @@
 // Usage:
 //
 //	igqquery -db dataset.db -queries queries.db [-method grapes] [-super]
-//	         [-cache 500 -window 100] [-no-cache]
+//	         [-cache 500 -window 100] [-no-cache] [-workers N]
+//
+// With -workers != 1 the queries are served concurrently through the
+// engine's batch pipeline (0 = one worker per CPU); -workers 1 replays the
+// stream sequentially, which maximises the cache-hit rate on highly
+// repetitive streams.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +35,7 @@ func main() {
 		cache   = flag.Int("cache", 500, "iGQ cache size C")
 		window  = flag.Int("window", 100, "iGQ window size W")
 		noCache = flag.Bool("no-cache", false, "disable iGQ (plain filter-then-verify)")
+		workers = flag.Int("workers", 1, "query-serving goroutines (0 = one per CPU, 1 = sequential)")
 		quiet   = flag.Bool("quiet", false, "suppress per-query lines")
 	)
 	flag.Parse()
@@ -69,35 +77,47 @@ func main() {
 	}
 	fmt.Printf("indexed %d graphs with %s in %v\n", len(db), eng.MethodName(), time.Since(t0))
 
-	var totalTests, totalHits, totalMatches int
+	ctx := context.Background()
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+
 	t1 := time.Now()
-	for i, q := range queries {
-		var res igq.Result
-		if *super {
-			res, err = eng.QuerySupergraph(q)
-		} else {
-			res, err = eng.QuerySubgraph(q)
+	var results []igq.BatchResult
+	if nWorkers == 1 {
+		results = make([]igq.BatchResult, len(queries))
+		for i, q := range queries {
+			res, err := eng.Query(ctx, q)
+			results[i] = igq.BatchResult{Index: i, Result: res, Err: err}
 		}
-		if err != nil {
-			fatal("query %d: %v", i, err)
-		}
-		totalTests += res.Stats.DatasetIsoTests
-		totalMatches += len(res.IDs)
-		if res.Stats.AnsweredByCache {
-			totalHits++
-		}
-		if !*quiet {
-			fmt.Printf("q%-4d |V|=%-3d |E|=%-3d matches=%-4d isoTests=%-4d cand=%d->%d cacheHit=%v\n",
-				i, q.NumVertices(), q.NumEdges(), len(res.IDs),
-				res.Stats.DatasetIsoTests, res.Stats.BaseCandidates,
-				res.Stats.FinalCandidates, res.Stats.AnsweredByCache)
-		}
+	} else {
+		fmt.Printf("serving with %d workers\n", nWorkers)
+		results = eng.QueryBatchCtx(ctx, queries, nWorkers)
 	}
 	elapsed := time.Since(t1)
-	fmt.Printf("\n%d queries in %v (%.2f ms/query)\n",
+
+	totalMatches := 0
+	for i, r := range results {
+		if r.Err != nil {
+			fatal("query %d: %v", i, r.Err)
+		}
+		totalMatches += len(r.Result.IDs)
+		if !*quiet {
+			q := queries[i]
+			fmt.Printf("q%-4d |V|=%-3d |E|=%-3d matches=%-4d isoTests=%-4d cand=%d->%d cacheHit=%v\n",
+				i, q.NumVertices(), q.NumEdges(), len(r.Result.IDs),
+				r.Result.Stats.DatasetIsoTests, r.Result.Stats.BaseCandidates,
+				r.Result.Stats.FinalCandidates, r.Result.Stats.AnsweredByCache)
+		}
+	}
+	st := eng.Stats()
+	fmt.Printf("\n%d queries in %v (%.2f ms/query aggregate)\n",
 		len(queries), elapsed, float64(elapsed.Milliseconds())/float64(max(1, len(queries))))
-	fmt.Printf("total matches: %d, dataset iso tests: %d, cache short-circuits: %d, cached queries: %d\n",
-		totalMatches, totalTests, totalHits, eng.CacheLen())
+	fmt.Printf("total matches: %d, dataset iso tests: %d, cache iso tests: %d\n",
+		totalMatches, st.DatasetIsoTests, st.CacheIsoTests)
+	fmt.Printf("cache short-circuits: %d, sub/super hits: %d/%d, cached queries: %d, flushes: %d\n",
+		st.AnsweredByCache, st.SubHits, st.SuperHits, st.CachedQueries, st.Flushes)
 }
 
 func fatal(format string, args ...interface{}) {

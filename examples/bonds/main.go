@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,8 +47,9 @@ func main() {
 		g.AddEdgeLabeled(v1, v2, bond)
 		return g
 	}
+	ctx := context.Background()
 	for _, bond := range []igq.Label{1, 2, 3} {
-		res, err := eng.QuerySubgraph(mkChain(bond))
+		res, err := eng.Query(ctx, mkChain(bond))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +60,7 @@ func main() {
 	// a mixed-bond pattern extracted from a real compound — guaranteed hit,
 	// and cached for the repeat
 	pattern := igq.ExtractQuery(db[7], 0, 6)
-	r1, err := eng.QuerySubgraph(pattern)
+	r1, err := eng.Query(ctx, pattern)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,11 +68,11 @@ func main() {
 		pattern.NumEdges(), len(r1.Matches), r1.Stats.DatasetIsoTests)
 
 	for i := 0; i < 8; i++ { // fill the window so the cache absorbs it
-		if _, err := eng.QuerySubgraph(igq.ExtractQuery(db[10+i], 0, 4)); err != nil {
+		if _, err := eng.Query(ctx, igq.ExtractQuery(db[10+i], 0, 4)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	r2, err := eng.QuerySubgraph(pattern.Clone())
+	r2, err := eng.Query(ctx, pattern.Clone())
 	if err != nil {
 		log.Fatal(err)
 	}

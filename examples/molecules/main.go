@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,6 +40,7 @@ func main() {
 	// Hierarchical query stream: pick a "compound core" (graph + start
 	// atom), then query fragments of sizes 4 → 8 → 12 → 16 edges around
 	// it, like an analyst zooming out from an element to a compound.
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
 	type agg struct{ tests, matches, cacheHits int }
 	var withIGQ, without agg
@@ -53,7 +55,7 @@ func main() {
 				continue
 			}
 
-			r1, err := cached.QuerySubgraph(q)
+			r1, err := cached.Query(ctx, q)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -63,7 +65,7 @@ func main() {
 				withIGQ.cacheHits++
 			}
 
-			r2, err := plain.QuerySubgraph(q.Clone())
+			r2, err := plain.Query(ctx, q.Clone())
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,8 @@ func main() {
 	pattern := igq.ExtractQuery(db[3], 0, 8)
 	fmt.Printf("query: %d vertices, %d edges\n", pattern.NumVertices(), pattern.NumEdges())
 
-	res, err := eng.QuerySubgraph(pattern)
+	ctx := context.Background()
+	res, err := eng.Query(ctx, pattern)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,14 +43,14 @@ func main() {
 
 	// 4. Fill the window so the query index absorbs the pattern...
 	for i := 0; i < 10; i++ {
-		if _, err := eng.QuerySubgraph(igq.ExtractQuery(db[10+i], 0, 4)); err != nil {
+		if _, err := eng.Query(ctx, igq.ExtractQuery(db[10+i], 0, 4)); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// ...then repeat the query: answered straight from the cache, zero
 	// isomorphism tests (the paper's §4.3 "identical query" optimal case).
-	res2, err := eng.QuerySubgraph(pattern.Clone())
+	res2, err := eng.Query(ctx, pattern.Clone())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func main() {
 	// (4)): every graph in the cached answer is skipped, yet appears in the
 	// final answer.
 	sub := igq.ExtractQuery(db[3], 0, 4)
-	res3, err := eng.QuerySubgraph(sub)
+	res3, err := eng.Query(ctx, sub)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,6 +37,7 @@ func main() {
 
 	// queries: "molecules" of growing size; nested ones exercise both
 	// inverse knowledge paths
+	ctx := context.Background()
 	var totalTests, cacheAnswers int
 	base := randomFragment(rng, 12, -1)
 	for round := 0; round < 12; round++ {
@@ -48,7 +50,7 @@ func main() {
 		default:
 			q = randomFragment(rng, 10+rng.Intn(4), -1)
 		}
-		res, err := eng.QuerySupergraph(q)
+		res, err := eng.Query(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,18 +15,49 @@
 //
 //	db, _ := igq.LoadGraphs("dataset.db") // or igq.GenerateDataset(spec)
 //	eng, _ := igq.NewEngine(db, igq.EngineOptions{Method: igq.Grapes})
-//	res, _ := eng.QuerySubgraph(pattern)  // which graphs contain pattern?
+//	res, _ := eng.Query(ctx, pattern)     // which graphs contain pattern?
 //	fmt.Println(len(res.Matches), res.Stats.DatasetIsoTests)
 //
 // The package re-exports the graph type and generators so downstream users
 // never import internal packages.
+//
+// # Concurrency model
+//
+// An Engine is safe for concurrent use: any number of goroutines may call
+// Query, QueryBatch, Stats, CacheLen, IndexSizeBytes and SaveCache on one
+// Engine at the same time. Concurrent serving is the default, not a mode.
+//
+//   - The answer path is lookup-only. Each query runs against an immutable
+//     cache snapshot (swapped in atomically by window flushes) and the
+//     dataset index's concurrent-reader-safe Filter/Verify (see
+//     internal/index.Method). Readers never block readers.
+//   - Per-query cache bookkeeping (hit credit, window admission) is
+//     buffered during the query and applied under a short mutex at the end
+//     of the call. The only full serialization point is a window flush —
+//     once every EngineOptions.Window admissions — which rebuilds the
+//     cache-side indexes and installs them with a pointer swap.
+//   - SaveCache takes that same mutex for the duration of the encode, so a
+//     snapshot taken mid-stream is consistent: it excludes in-flight
+//     admissions and reflects the latest completed flush. LoadCache
+//     installs the restored cache atomically; queries in flight keep the
+//     cache generation they started with.
+//   - Under concurrency the cache-hit *rate* may differ from a sequential
+//     run of the same stream (two in-flight copies of a novel query cannot
+//     serve each other), but answers never do: every answer equals what the
+//     wrapped method alone would produce (paper Theorems 1 and 2).
+//
+// QuerySubgraph and QuerySupergraph are deprecated synonyms for Query; new
+// code should pass a context and use Query.
 package igq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -122,11 +153,24 @@ type EngineOptions struct {
 }
 
 // Engine answers graph queries over a fixed dataset, accelerated by iGQ.
+// Safe for concurrent use; see the package comment for the concurrency
+// model.
 type Engine struct {
 	db     []*Graph
 	m      index.Method
-	ig     *core.IGQ
 	superQ bool
+
+	// ig is the cache generation currently serving queries; LoadCache swaps
+	// it atomically. A nil pointer means the cache is disabled.
+	ig atomic.Pointer[core.IGQ]
+
+	// Engine-lifetime aggregate counters (Stats).
+	nQueries    atomic.Int64
+	nCacheShort atomic.Int64
+	nDatasetIso atomic.Int64
+	nCacheIso   atomic.Int64
+	nSubHits    atomic.Int64
+	nSuperHits  atomic.Int64
 }
 
 // Result is the outcome of one query.
@@ -150,6 +194,22 @@ type QueryStats struct {
 	SubHits         int  // cached supergraph-of-query hits
 	SuperHits       int  // cached subgraph-of-query hits
 	AnsweredByCache bool // short-circuited via §4.3 optimal cases
+}
+
+// EngineStats is an aggregate snapshot of an engine's lifetime activity,
+// maintained with atomic counters so it can be sampled at any time while
+// queries are in flight (an Engine.Stats monitoring endpoint costs nothing
+// on the query path).
+type EngineStats struct {
+	Queries         int64 // queries served (all entry points)
+	AnsweredByCache int64 // queries short-circuited by the §4.3 optimal cases
+	DatasetIsoTests int64 // isomorphism tests against dataset graphs
+	CacheIsoTests   int64 // isomorphism tests against cached query graphs
+	SubHits         int64 // cached supergraph-of-query hits across all queries
+	SuperHits       int64 // cached subgraph-of-query hits across all queries
+	CachedQueries   int   // current committed cache population
+	WindowPending   int   // admissions awaiting the next flush
+	Flushes         int   // window flushes (cache-index rebuilds) so far
 }
 
 // NewEngine indexes db and returns a ready engine.
@@ -184,55 +244,106 @@ func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
 		if opt.Supergraph {
 			mode = core.SupergraphQueries
 		}
-		e.ig = core.New(m, db, core.Options{
+		e.ig.Store(core.New(m, db, core.Options{
 			CacheSize:  opt.CacheSize,
 			Window:     opt.Window,
 			MaxPathLen: opt.MaxPathLen,
 			Mode:       mode,
-		})
+		}))
 	}
 	return e, nil
 }
 
-// QuerySubgraph returns the dataset graphs that contain q. It must only be
-// called on engines built with subgraph semantics (Supergraph == false).
-func (e *Engine) QuerySubgraph(q *Graph) (Result, error) {
-	if e.superQ {
-		return Result{}, errors.New("igq: engine built for supergraph queries")
-	}
-	return e.query(q), nil
+// queryConfig is the resolved per-call option set.
+type queryConfig struct {
+	noCache bool
+	noAdmit bool
 }
 
-// QuerySupergraph returns the dataset graphs contained in q. It must only
-// be called on engines built with Supergraph == true.
-func (e *Engine) QuerySupergraph(q *Graph) (Result, error) {
-	if !e.superQ {
-		return Result{}, errors.New("igq: engine built for subgraph queries")
-	}
-	return e.query(q), nil
-}
+// QueryOption customises one Query call.
+type QueryOption func(*queryConfig)
 
-func (e *Engine) query(q *Graph) Result {
-	var ids []int32
-	var st QueryStats
-	if e.ig != nil {
-		o := e.ig.Query(q)
-		ids = o.Answer
-		st = QueryStats{
-			BaseCandidates:  o.BaseCandidates,
-			FinalCandidates: o.FinalCandidates,
-			DatasetIsoTests: o.DatasetIsoTests,
-			CacheIsoTests:   o.CacheIsoTests,
-			SubHits:         o.SubHits,
-			SuperHits:       o.SuperHits,
-			AnsweredByCache: o.Short != core.NoShortCircuit,
-		}
+// WithoutCache bypasses iGQ for this call: plain filter-then-verify, no
+// cache probe, no admission. Useful for measuring the cache's benefit or
+// for queries known to be one-offs of no future value.
+func WithoutCache() QueryOption { return func(c *queryConfig) { c.noCache = true } }
+
+// WithoutAdmission probes the cache (the query still benefits from cached
+// knowledge, and hits are still credited) but does not admit the query, so
+// the call can never trigger a window flush. Useful for strictly
+// latency-bounded serving paths.
+func WithoutAdmission() QueryOption { return func(c *queryConfig) { c.noAdmit = true } }
+
+// Query answers q under the engine's configured semantics: for subgraph
+// engines, the dataset graphs containing q; for supergraph engines
+// (EngineOptions.Supergraph), the dataset graphs contained in q.
+//
+// Safe for concurrent use from any number of goroutines. ctx is checked
+// before work starts and inside the candidate-verification loop — the
+// dominant cost of a hard query — and a cancelled query returns ctx's
+// error, leaving no trace in the cache.
+func (e *Engine) Query(ctx context.Context, q *Graph, opts ...QueryOption) (Result, error) {
+	if q == nil {
+		return Result{}, errors.New("igq: nil query")
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ig := e.ig.Load()
+	if ig == nil || cfg.noCache {
+		return e.queryPlain(ctx, q)
+	}
+	var o *core.Outcome
+	var err error
+	if cfg.noAdmit {
+		o, err = ig.QueryNoAdmit(ctx, q)
 	} else {
-		ids = index.Answer(e.m, q)
-		st.BaseCandidates = len(e.m.Filter(q))
-		st.FinalCandidates = st.BaseCandidates
-		st.DatasetIsoTests = st.BaseCandidates
+		o, err = ig.QueryCtx(ctx, q)
 	}
+	if err != nil {
+		return Result{}, err
+	}
+	st := QueryStats{
+		BaseCandidates:  o.BaseCandidates,
+		FinalCandidates: o.FinalCandidates,
+		DatasetIsoTests: o.DatasetIsoTests,
+		CacheIsoTests:   o.CacheIsoTests,
+		SubHits:         o.SubHits,
+		SuperHits:       o.SuperHits,
+		AnsweredByCache: o.Short != core.NoShortCircuit,
+	}
+	e.recordStats(st)
+	return e.resultFor(o.Answer, st), nil
+}
+
+// queryPlain is the cache-free filter-then-verify path with cooperative
+// cancellation.
+func (e *Engine) queryPlain(ctx context.Context, q *Graph) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	cands := e.m.Filter(q)
+	var ids []int32
+	for _, id := range cands {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if e.m.Verify(q, id) {
+			ids = append(ids, id)
+		}
+	}
+	st := QueryStats{
+		BaseCandidates:  len(cands),
+		FinalCandidates: len(cands),
+		DatasetIsoTests: len(cands),
+	}
+	e.recordStats(st)
+	return e.resultFor(ids, st), nil
+}
+
+// resultFor materialises the Result for a sorted answer id set.
+func (e *Engine) resultFor(ids []int32, st QueryStats) Result {
 	res := Result{IDs: ids, Stats: st}
 	for _, id := range ids {
 		res.Matches = append(res.Matches, e.db[id])
@@ -240,21 +351,84 @@ func (e *Engine) query(q *Graph) Result {
 	return res
 }
 
+// recordStats folds one query's counters into the engine aggregates.
+func (e *Engine) recordStats(st QueryStats) {
+	e.nQueries.Add(1)
+	if st.AnsweredByCache {
+		e.nCacheShort.Add(1)
+	}
+	e.nDatasetIso.Add(int64(st.DatasetIsoTests))
+	e.nCacheIso.Add(int64(st.CacheIsoTests))
+	e.nSubHits.Add(int64(st.SubHits))
+	e.nSuperHits.Add(int64(st.SuperHits))
+}
+
+// Stats returns an aggregate snapshot of the engine's activity since
+// construction. Counters are maintained atomically; sampling them is safe
+// and cheap while queries are in flight. The per-counter values are
+// mutually consistent to within the queries currently executing.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Queries:         e.nQueries.Load(),
+		AnsweredByCache: e.nCacheShort.Load(),
+		DatasetIsoTests: e.nDatasetIso.Load(),
+		CacheIsoTests:   e.nCacheIso.Load(),
+		SubHits:         e.nSubHits.Load(),
+		SuperHits:       e.nSuperHits.Load(),
+	}
+	if ig := e.ig.Load(); ig != nil {
+		st.CachedQueries = ig.CacheLen()
+		st.WindowPending = ig.WindowLen()
+		st.Flushes = ig.Flushes()
+	}
+	return st
+}
+
+// QuerySubgraph returns the dataset graphs that contain q. It must only be
+// called on engines built with subgraph semantics (Supergraph == false).
+//
+// Deprecated: use Query, which also accepts a context. QuerySubgraph is
+// equivalent to Query(context.Background(), q) plus the direction check.
+func (e *Engine) QuerySubgraph(q *Graph) (Result, error) {
+	if e.superQ {
+		return Result{}, errors.New("igq: engine built for supergraph queries")
+	}
+	return e.Query(context.Background(), q)
+}
+
+// QuerySupergraph returns the dataset graphs contained in q. It must only
+// be called on engines built with Supergraph == true.
+//
+// Deprecated: use Query, which also accepts a context. QuerySupergraph is
+// equivalent to Query(context.Background(), q) plus the direction check.
+func (e *Engine) QuerySupergraph(q *Graph) (Result, error) {
+	if !e.superQ {
+		return Result{}, errors.New("igq: engine built for subgraph queries")
+	}
+	return e.Query(context.Background(), q)
+}
+
 // SaveCache serialises the engine's accumulated query cache (cached query
 // graphs, answers, replacement metadata) so a later process can resume with
-// warm knowledge. Returns an error if the cache is disabled.
+// warm knowledge. Returns an error if the cache is disabled. Safe to call
+// while queries are in flight: the snapshot is consistent, excluding
+// admissions that had not yet committed.
 func (e *Engine) SaveCache(w io.Writer) error {
-	if e.ig == nil {
+	ig := e.ig.Load()
+	if ig == nil {
 		return errors.New("igq: cache disabled")
 	}
-	return e.ig.Save(w)
+	return ig.Save(w)
 }
 
 // LoadCache replaces the engine's cache with a snapshot previously written
 // by SaveCache. The snapshot must have been taken against the same dataset;
 // entries beyond the engine's cache size are dropped lowest-utility first.
+// The restored cache is installed atomically: concurrent queries finish on
+// the generation they started with and later queries use the new one.
 func (e *Engine) LoadCache(r io.Reader) error {
-	if e.ig == nil {
+	cur := e.ig.Load()
+	if cur == nil {
 		return errors.New("igq: cache disabled")
 	}
 	mode := core.SubgraphQueries
@@ -262,14 +436,14 @@ func (e *Engine) LoadCache(r io.Reader) error {
 		mode = core.SupergraphQueries
 	}
 	ig, err := core.Load(r, e.m, e.db, core.Options{
-		CacheSize: e.ig.CacheSize(),
-		Window:    e.ig.WindowSize(),
+		CacheSize: cur.CacheSize(),
+		Window:    cur.WindowSize(),
 		Mode:      mode,
 	})
 	if err != nil {
 		return err
 	}
-	e.ig = ig
+	e.ig.Store(ig)
 	return nil
 }
 
@@ -281,30 +455,36 @@ type BatchResult struct {
 }
 
 // QueryBatch answers many queries, returning results in input order.
-// Queries run sequentially through the cache (iGQ's query stream is
-// stateful: each query's knowledge serves the next), but with the cache
-// disabled the batch fans out across workers goroutines (0 → GOMAXPROCS-
-// style default of 4).
+// Equivalent to QueryBatchCtx with a background context.
 func (e *Engine) QueryBatch(queries []*Graph, workers int) []BatchResult {
+	return e.QueryBatchCtx(context.Background(), queries, workers)
+}
+
+// QueryBatchCtx fans the batch out across workers goroutines (0 → one per
+// runtime.GOMAXPROCS(0)), cache enabled or not: the engine's snapshot-
+// isolated query path lets every worker overlap its filtering, cache
+// probes and verification with the others', with window flushes as the
+// only serialization points. Results are in input order.
+//
+// Cancellation: queries not yet finished when ctx is cancelled report
+// ctx's error in their BatchResult; already-completed results are kept.
+func (e *Engine) QueryBatchCtx(ctx context.Context, queries []*Graph, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
 	runOne := func(i int) {
-		var r Result
-		var err error
-		if e.superQ {
-			r, err = e.QuerySupergraph(queries[i])
-		} else {
-			r, err = e.QuerySubgraph(queries[i])
-		}
+		r, err := e.Query(ctx, queries[i])
 		out[i] = BatchResult{Index: i, Result: r, Err: err}
 	}
-	if e.ig != nil || workers == 1 || len(queries) < 2 {
+	if workers <= 1 || len(queries) < 2 {
 		for i := range queries {
 			runOne(i)
 		}
 		return out
-	}
-	if workers <= 0 {
-		workers = 4
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -330,17 +510,17 @@ func (e *Engine) MethodName() string { return e.m.Name() }
 
 // CacheLen returns the number of cached queries (0 when disabled).
 func (e *Engine) CacheLen() int {
-	if e.ig == nil {
-		return 0
+	if ig := e.ig.Load(); ig != nil {
+		return ig.CacheLen()
 	}
-	return e.ig.CacheLen()
+	return 0
 }
 
 // IndexSizeBytes returns the dataset index footprint plus the iGQ overhead.
 func (e *Engine) IndexSizeBytes() (method, cache int) {
 	method = e.m.SizeBytes()
-	if e.ig != nil {
-		cache = e.ig.SizeBytes()
+	if ig := e.ig.Load(); ig != nil {
+		cache = ig.SizeBytes()
 	}
 	return method, cache
 }

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/index/ggsx"
+)
+
+// Concurrency tests for the snapshot-isolated query path: many goroutines
+// against one IGQ must produce exactly the answers of a sequential run
+// (Theorems 1–2 make answers independent of cache state), with no lost
+// metadata updates and no data races (run with -race).
+
+// concurrentWorkload builds a mixed repeated/novel query stream: a pool of
+// base patterns, each issued several times, interleaved with one-off
+// queries.
+func concurrentWorkload(rng *rand.Rand, db []*graph.Graph, n int) []*graph.Graph {
+	base := workload(rng, db, 8)
+	out := make([]*graph.Graph, 0, n)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			out = append(out, connectedQuery(rng, db[rng.Intn(len(db))], 2+rng.Intn(4)))
+		} else {
+			out = append(out, base[rng.Intn(len(base))].Clone())
+		}
+	}
+	return out
+}
+
+func TestConcurrentQueriesMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	db := buildDB(rng, 25)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	queries := concurrentWorkload(rng, db, 96)
+
+	// Sequential reference run (also the ground truth via the method).
+	want := make([][]int32, len(queries))
+	seqIG := New(m, db, Options{CacheSize: 15, Window: 4})
+	for i, q := range queries {
+		want[i] = seqIG.Query(q.Clone()).Answer
+	}
+
+	const workers = 8
+	ig := New(m, db, Options{CacheSize: 15, Window: 4})
+	got := make([][]int32, len(queries))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				o, err := ig.QueryCtx(context.Background(), queries[i])
+				if err != nil {
+					t.Errorf("query %d: %v", i, err)
+					return
+				}
+				got[i] = o.Answer
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i := range queries {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("query %d: concurrent answer %v != sequential %v", i, got[i], want[i])
+		}
+		if !reflect.DeepEqual(got[i], index.Answer(m, queries[i])) {
+			t.Fatalf("query %d: concurrent answer %v != method ground truth", i, got[i])
+		}
+	}
+	// No lost updates on the shared counters: every query was counted.
+	if ig.Queries() != int64(len(queries)) {
+		t.Errorf("Queries() = %d, want %d", ig.Queries(), len(queries))
+	}
+	if ig.CacheLen()+ig.WindowLen() == 0 {
+		t.Error("nothing admitted under concurrency")
+	}
+}
+
+func TestConcurrentAsyncMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	db := buildDB(rng, 20)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	queries := concurrentWorkload(rng, db, 80)
+	ig := New(m, db, Options{CacheSize: 10, Window: 3, AsyncMaintenance: true})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += 6 {
+				o, err := ig.QueryCtx(context.Background(), queries[i])
+				if err != nil {
+					t.Errorf("query %d: %v", i, err)
+					return
+				}
+				if !reflect.DeepEqual(o.Answer, index.Answer(m, queries[i])) {
+					t.Errorf("query %d: async-concurrent answer diverges from method", i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ig.Flushes() == 0 {
+		t.Error("no flushes — async path untested")
+	}
+}
+
+func TestConcurrentNoAdmitNeverFlushes(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	db := buildDB(rng, 15)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 10, Window: 2})
+	queries := concurrentWorkload(rng, db, 40)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += 4 {
+				o, err := ig.QueryNoAdmit(context.Background(), queries[i])
+				if err != nil {
+					t.Errorf("query %d: %v", i, err)
+					return
+				}
+				if !reflect.DeepEqual(o.Answer, index.Answer(m, queries[i])) {
+					t.Errorf("query %d: no-admit answer diverges from method", i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ig.CacheLen() != 0 || ig.WindowLen() != 0 || ig.Flushes() != 0 {
+		t.Errorf("QueryNoAdmit mutated the cache: len=%d window=%d flushes=%d",
+			ig.CacheLen(), ig.WindowLen(), ig.Flushes())
+	}
+	if ig.Queries() != int64(len(queries)) {
+		t.Errorf("Queries() = %d, want %d", ig.Queries(), len(queries))
+	}
+}
+
+// TestSaveUnderConcurrentLoad takes snapshots while queries are in flight:
+// every snapshot must be internally consistent — it loads cleanly, respects
+// the capacity bound, and the restored cache answers correctly.
+func TestSaveUnderConcurrentLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(174))
+	db := buildDB(rng, 20)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 8, Window: 2})
+	queries := concurrentWorkload(rng, db, 60)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += 4 {
+				if _, err := ig.QueryCtx(context.Background(), queries[i]); err != nil {
+					t.Errorf("query %d: %v", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Snapshot repeatedly mid-stream.
+	var snaps []*bytes.Buffer
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := ig.Save(&buf); err != nil {
+				t.Errorf("save %d: %v", i, err)
+				return
+			}
+			snaps = append(snaps, &buf)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+
+	probe := queries[1]
+	want := index.Answer(m, probe)
+	for i, buf := range snaps {
+		restored, err := Load(bytes.NewReader(buf.Bytes()), m, db, Options{CacheSize: 8, Window: 2})
+		if err != nil {
+			t.Fatalf("snapshot %d does not load: %v", i, err)
+		}
+		if restored.CacheLen() > 8 {
+			t.Errorf("snapshot %d over capacity: %d", i, restored.CacheLen())
+		}
+		if got := restored.Query(probe.Clone()).Answer; !reflect.DeepEqual(got, want) {
+			t.Errorf("snapshot %d: restored cache answers %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestQueryCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(175))
+	db := buildDB(rng, 20)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 10, Window: 5})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := connectedQuery(rng, db[0], 4)
+	if _, err := ig.QueryCtx(ctx, q); err == nil {
+		t.Fatal("cancelled context not honoured")
+	}
+	// A cancelled query leaves no trace: not counted as admitted work.
+	if ig.WindowLen() != 0 {
+		t.Errorf("cancelled query admitted: window=%d", ig.WindowLen())
+	}
+	// And the engine still works afterwards.
+	o, err := ig.QueryCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o.Answer, index.Answer(m, q)) {
+		t.Error("post-cancellation query wrong")
+	}
+}

@@ -34,8 +34,9 @@ type ContainmentIndex struct {
 	tr         *trie.Trie
 	nf         map[int32]int // NF[gi]: distinct feature count per graph
 
-	// pool of scratch state for the public (concurrency-safe) entry points;
-	// iGQ's sequential hot path passes its own scratch instead.
+	// pool of scratch state for the public standalone entry points; iGQ's
+	// hot path passes a per-query scratch from its own free list instead.
+	// The index is immutable once built, so lookups are concurrency-safe.
 	pool sync.Pool
 }
 

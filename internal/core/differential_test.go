@@ -63,15 +63,15 @@ func refOutcome(q *IGQ, g *graph.Graph) (answer []int32, subHits, superHits, fin
 	qCounts := refFeatures(g, maxLen)
 	qfp := graph.Fingerprint(g)
 
-	entryFeats := make(map[int32]map[string]int, len(q.entries))
-	for _, e := range q.entries {
+	entryFeats := make(map[int32]map[string]int, len(q.snap.Load().entries))
+	for _, e := range q.snap.Load().entries {
 		entryFeats[e.id] = refFeatures(e.g, maxLen)
 	}
 
 	// Candidate generation, seed-style: brute-force count comparisons.
 	var subCands, superCands []int32
 	if !q.opt.DisableSub {
-		for _, e := range q.entries {
+		for _, e := range q.snap.Load().entries {
 			ok := true
 			for f, need := range qCounts {
 				if entryFeats[e.id][f] < need {
@@ -85,7 +85,7 @@ func refOutcome(q *IGQ, g *graph.Graph) (answer []int32, subHits, superHits, fin
 		}
 	}
 	if !q.opt.DisableSuper {
-		for _, e := range q.entries {
+		for _, e := range q.snap.Load().entries {
 			ok := true
 			for f, o := range entryFeats[e.id] {
 				if qCounts[f] < o {
@@ -107,7 +107,7 @@ func refOutcome(q *IGQ, g *graph.Graph) (answer []int32, subHits, superHits, fin
 	sameSize := func(e *entry) bool { return e.g.NumVertices() == nv && e.g.NumEdges() == ne }
 
 	for _, id := range index.UnionSorted(subCands, superCands) {
-		e := q.byID[id]
+		e := q.snap.Load().byID[id]
 		if sameSize(e) && e.fp == qfp && subgraphTest(g, e.g) {
 			if len(e.answer) > 0 {
 				answer = append([]int32(nil), e.answer...)
@@ -119,7 +119,7 @@ func refOutcome(q *IGQ, g *graph.Graph) (answer []int32, subHits, superHits, fin
 	subIsUnion := q.opt.Mode == SubgraphQueries
 	var subEntries, superEntries []*entry
 	for _, id := range subCands {
-		e := q.byID[id]
+		e := q.snap.Load().byID[id]
 		if sameSize(e) || (subIsUnion && len(e.answer) == 0) {
 			continue
 		}
@@ -128,7 +128,7 @@ func refOutcome(q *IGQ, g *graph.Graph) (answer []int32, subHits, superHits, fin
 		}
 	}
 	for _, id := range superCands {
-		e := q.byID[id]
+		e := q.snap.Load().byID[id]
 		if sameSize(e) || (!subIsUnion && len(e.answer) == 0) {
 			continue
 		}

@@ -48,11 +48,21 @@ func (e *entry) logUtility(seq int64) float64 {
 // for a query with queryNodes vertices. targetSizes lists the vertex counts
 // of the pruned graphs; labels is the label-domain size for the cost model.
 func (e *entry) creditHit(queryNodes int, targetSizes []int, labels int) {
-	e.hits++
-	e.removed += int64(len(targetSizes))
+	delta := math.Inf(-1)
 	for _, ni := range targetSizes {
-		e.logCost = LogSumExp(e.logCost, LogIsoCost(queryNodes, ni, labels))
+		delta = LogSumExp(delta, LogIsoCost(queryNodes, ni, labels))
 	}
+	e.applyCredit(int64(len(targetSizes)), delta)
+}
+
+// applyCredit folds one buffered hit into the entry's §5.1 metadata:
+// removed candidates and the pre-combined log-sum-exp cost delta. Callers
+// must hold the owning IGQ's metadata mutex (or own the entry exclusively,
+// as tests and Load do).
+func (e *entry) applyCredit(removed int64, logCostDelta float64) {
+	e.hits++
+	e.removed += removed
+	e.logCost = LogSumExp(e.logCost, logCostDelta)
 }
 
 // sortIDs sorts a slice of graph ids ascending, in place, returning it.

@@ -17,10 +17,28 @@
 // The two optimal cases of §4.3 (identical query, and an empty-answer
 // subgraph hit) short-circuit verification entirely, and §4.4's inverse
 // wiring supports supergraph query processing with the same two indexes.
+//
+// # Concurrency model
+//
+// Query, QueryCtx and QueryNoAdmit are safe for concurrent use from any
+// number of goroutines. The hot path is lookup-only: each call loads one
+// immutable cache snapshot (entries, Isub, Isuper) via an atomic pointer
+// and runs filtering, cache probes and verification against it without
+// locks. Per-query credit (§5.1 metadata) and window admission are
+// accumulated in a per-call buffer and applied to the shared metadata under
+// a short mutex at the end of the call; window flushes — which rebuild the
+// cache-side indexes and install a fresh snapshot with a pointer swap — are
+// the only full serialization points (and with AsyncMaintenance even the
+// rebuild happens off the caller's goroutine, exactly the paper's §5.2
+// shadow index). Any consistent snapshot yields correct answers (Theorems
+// 1 and 2), so readers never wait for writers. See README.md.
 package core
 
 import (
+	"context"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/features"
@@ -136,47 +154,71 @@ type Outcome struct {
 	VerifyDur time.Duration // dataset verification time
 }
 
-// IGQ wraps a built index.Method with the query-graph cache.
-// Not safe for concurrent Query calls: queries mutate cache metadata, as in
-// the paper's sequential query-stream model.
+// snapshot is one immutable generation of the cache's read state: the
+// committed entries, the id lookup table, and the two cache-side indexes
+// built over exactly those entries. A snapshot is never mutated after it is
+// installed; flushes build a new one and swap the pointer (the paper's
+// "Ishadow replaces I with a pointer swap"). Entry *metadata* (hits,
+// logCost) is the one mutable element reachable from a snapshot; it is
+// written only under IGQ.mu and read only under IGQ.mu (eviction, Save),
+// never on the lock-free answer path.
+type snapshot struct {
+	entries []*entry
+	byID    map[int32]*entry
+	isub    *subIndex
+	isuper  *ContainmentIndex
+}
+
+// IGQ wraps a built index.Method with the query-graph cache. Safe for
+// concurrent Query/QueryCtx/QueryNoAdmit calls; see the package comment for
+// the read/write split.
 type IGQ struct {
 	m   index.Method
 	db  []*graph.Graph
 	opt Options
 
-	seq     int64 // queries processed
-	nextID  int32
-	entries []*entry
-	byID    map[int32]*entry
-	isub    *subIndex
-	isuper  *ContainmentIndex
-	window  []*entry
-	flushes int
+	seq  atomic.Int64              // queries processed
+	snap atomic.Pointer[snapshot]  // lock-free read state
+
+	// mu guards the write side: entry metadata, the admission window,
+	// flush planning, shadow bookkeeping and the id allocator.
+	mu         sync.Mutex
+	nextID     int32
+	window     []*entry
+	flushes    int
+	shadowDone chan struct{} // non-nil while a §5.2 background build is in flight
 
 	// Interned-feature machinery: the dictionary is shared with the wrapped
 	// method when it exposes one (index.DictProvider), so a query graph is
 	// canonicalised exactly once for dataset filtering and cache lookup.
-	// The scratch buffers are reused across queries (Query is sequential by
-	// contract); shadow builds allocate their own.
-	dict        *features.Dict
-	methodDict  bool // dict is the method's: its filter understands our IDs
-	featScratch *features.Scratch
-	subScratch  *index.CountFilterScratch
-	superScr    *ciScratch
+	dict       *features.Dict
+	methodDict bool // dict is the method's: its filter understands our IDs
 
-	// shadow-build state (AsyncMaintenance): while a rebuild is in flight,
-	// queries are served by the snapshot the current isub/isuper/byID
-	// describe; the swap is applied at the next Query entry after the
-	// builder goroutine delivers.
-	shadow chan shadowResult
+	// scratches is a bounded free list of per-call buffers (feature
+	// enumeration, count-filter state, Algorithm 2 state, pending credits):
+	// each in-flight query owns one exclusively, and at steady state the
+	// list holds one warm scratch per degree of actual concurrency. A plain
+	// free list rather than a sync.Pool because pools are emptied by the GC,
+	// and a cold scratch re-grows its maps and buffers for thousands of
+	// queries before reaching steady state again.
+	scratchMu sync.Mutex
+	scratches []*queryScratch
 }
 
-// shadowResult is the payload delivered by a background index build.
-type shadowResult struct {
-	entries []*entry
-	byID    map[int32]*entry
-	isub    *subIndex
-	isuper  *ContainmentIndex
+// queryScratch is the reusable per-call state of one Query.
+type queryScratch struct {
+	feat    *features.Scratch
+	sub     *index.CountFilterScratch
+	super   *ciScratch
+	credits []pendingCredit
+}
+
+// pendingCredit is one entry's deferred §5.1 metadata update: computed
+// lock-free during the query, applied under IGQ.mu at commit.
+type pendingCredit struct {
+	e       *entry
+	removed int64   // candidates this hit pruned
+	logCost float64 // log-sum-exp of the alleviated test costs (-Inf if none)
 }
 
 // New wraps method m (which must already be Built over db) with an iGQ
@@ -193,10 +235,9 @@ func New(m index.Method, db []*graph.Graph, opt Options) *IGQ {
 		opt.Labels = len(seen)
 	}
 	q := &IGQ{
-		m:    m,
-		db:   db,
-		opt:  opt,
-		byID: make(map[int32]*entry),
+		m:   m,
+		db:  db,
+		opt: opt,
 	}
 	if dp, ok := m.(index.DictProvider); ok {
 		q.dict = dp.FeatureDict()
@@ -204,11 +245,46 @@ func New(m index.Method, db []*graph.Graph, opt Options) *IGQ {
 	} else {
 		q.dict = features.NewDict()
 	}
-	q.featScratch = features.NewScratch()
-	q.subScratch = &index.CountFilterScratch{}
-	q.superScr = &ciScratch{feat: features.NewScratch(), matched: make(map[int32]int32)}
-	q.rebuildIndexes()
+	q.installEntries(nil)
 	return q
+}
+
+// scratchKeep bounds the free list: enough for heavily parallel serving,
+// small enough that an idle IGQ pins only a few warm scratches.
+const scratchKeep = 32
+
+// getScratch hands out an exclusive per-call scratch, reusing a warm one
+// when available.
+func (q *IGQ) getScratch() *queryScratch {
+	q.scratchMu.Lock()
+	if n := len(q.scratches); n > 0 {
+		sc := q.scratches[n-1]
+		q.scratches[n-1] = nil
+		q.scratches = q.scratches[:n-1]
+		q.scratchMu.Unlock()
+		return sc
+	}
+	q.scratchMu.Unlock()
+	return &queryScratch{
+		feat:  features.NewScratch(),
+		sub:   &index.CountFilterScratch{},
+		super: &ciScratch{feat: features.NewScratch(), matched: make(map[int32]int32)},
+	}
+}
+
+// putScratch returns a scratch to the free list (dropped if full). The
+// credit buffer is cleared so an idle scratch does not pin cache entries
+// (and their cloned graphs and answer sets) past eviction.
+func (q *IGQ) putScratch(sc *queryScratch) {
+	for i := range sc.credits {
+		sc.credits[i].e = nil
+	}
+	sc.credits = sc.credits[:0]
+	q.scratchMu.Lock()
+	if len(q.scratches) < scratchKeep {
+		q.scratches = append(q.scratches, sc)
+	}
+	q.scratchMu.Unlock()
 }
 
 // Method returns the wrapped method.
@@ -216,16 +292,24 @@ func (q *IGQ) Method() index.Method { return q.m }
 
 // CacheLen returns the number of active cached queries (excluding the
 // pending window).
-func (q *IGQ) CacheLen() int { return len(q.entries) }
+func (q *IGQ) CacheLen() int { return len(q.snap.Load().entries) }
 
 // WindowLen returns the number of queries pending in the batch window.
-func (q *IGQ) WindowLen() int { return len(q.window) }
+func (q *IGQ) WindowLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.window)
+}
 
 // Flushes returns how many window flushes (shadow rebuilds) have occurred.
-func (q *IGQ) Flushes() int { return q.flushes }
+func (q *IGQ) Flushes() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.flushes
+}
 
 // Queries returns the number of queries processed.
-func (q *IGQ) Queries() int64 { return q.seq }
+func (q *IGQ) Queries() int64 { return q.seq.Load() }
 
 // CacheSize returns the configured capacity C.
 func (q *IGQ) CacheSize() int { return q.opt.CacheSize }
@@ -236,13 +320,16 @@ func (q *IGQ) WindowSize() int { return q.opt.Window }
 // SizeBytes reports the iGQ space overhead: both cache-side indexes, the
 // stored query graphs, their answer sets and metadata (paper Fig 18).
 func (q *IGQ) SizeBytes() int {
-	sz := q.isub.SizeBytes() + q.isuper.SizeBytes()
-	for _, e := range q.entries {
+	snap := q.snap.Load()
+	sz := snap.isub.SizeBytes() + snap.isuper.SizeBytes()
+	for _, e := range snap.entries {
 		sz += e.g.SizeBytes() + 4*len(e.answer) + 64
 	}
+	q.mu.Lock()
 	for _, e := range q.window {
 		sz += e.g.SizeBytes() + 4*len(e.answer) + 64
 	}
+	q.mu.Unlock()
 	return sz
 }
 
@@ -252,15 +339,42 @@ func subgraphTest(p, t *graph.Graph) bool { return iso.Subgraph(p, t) }
 // Query processes one query through the full iGQ pipeline of Fig 6 and
 // returns its outcome. The final answer is exactly what M alone would have
 // produced (paper Theorems 1 and 2), with fewer verification tests.
+// Equivalent to QueryCtx with a background context (which never errors).
 func (q *IGQ) Query(g *graph.Graph) *Outcome {
-	q.applyShadow(false) // §5.2 pointer swap, if a shadow build finished
-	q.seq++
+	out, _ := q.run(context.Background(), g, true)
+	return out
+}
+
+// QueryCtx is Query with cooperative cancellation: ctx is checked on entry
+// and inside the candidate-verification loop (the dominant cost). A
+// cancelled query returns ctx's error and leaves no trace in the cache — no
+// credit, no admission. Safe for concurrent use.
+func (q *IGQ) QueryCtx(ctx context.Context, g *graph.Graph) (*Outcome, error) {
+	return q.run(ctx, g, true)
+}
+
+// QueryNoAdmit is QueryCtx for read-mostly serving: the query benefits from
+// all cached knowledge and still credits the entries that pruned for it,
+// but is not admitted to the window — so it can never trigger a flush.
+func (q *IGQ) QueryNoAdmit(ctx context.Context, g *graph.Graph) (*Outcome, error) {
+	return q.run(ctx, g, false)
+}
+
+func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	snap := q.snap.Load()
+	q.seq.Add(1)
 	out := &Outcome{}
+	sc := q.getScratch()
+	defer q.putScratch(sc)
+	sc.credits = sc.credits[:0]
 
 	// One lookup-only enumeration serves the cache probe and (when the
 	// method shares our dictionary) dataset filtering. The dictionary is
 	// not grown here: features of g enter it at admission/flush time.
-	qf := features.PathsID(g, features.PathOptions{MaxLen: q.opt.MaxPathLen}, q.dict, q.featScratch, false)
+	qf := features.PathsID(g, features.PathOptions{MaxLen: q.opt.MaxPathLen}, q.dict, sc.feat, false)
 	qfp := graph.Fingerprint(g)
 
 	// The count-based fast path is only sound when the method's index was
@@ -276,7 +390,7 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 
 	lookup := func() {
 		t0 := time.Now()
-		subHits, superHits, identical = q.cacheLookup(g, qfp, qf, out)
+		subHits, superHits, identical = q.cacheLookup(snap, g, qfp, qf, sc, out)
 		out.CacheDur = time.Since(t0)
 	}
 	filter := func() {
@@ -319,8 +433,9 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 		if len(identical.answer) > 0 {
 			out.Answer = append([]int32(nil), identical.answer...)
 		}
-		identical.creditHit(g.NumVertices(), q.sizesOf(cs), q.opt.Labels)
-		return out
+		q.pendCredit(sc, identical, g.NumVertices(), cs)
+		q.commit(sc, nil, 0, nil, false)
+		return out, nil
 	}
 
 	// §4.3 optimal case 2: an empty-answer hit on the intersect side
@@ -329,9 +444,9 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 		if len(e.answer) == 0 {
 			out.Short = EmptyAnswerHit
 			out.Answer = nil
-			e.creditHit(g.NumVertices(), q.sizesOf(cs), q.opt.Labels)
-			q.admit(g, qfp, nil)
-			return out
+			q.pendCredit(sc, e, g.NumVertices(), cs)
+			q.commit(sc, g, qfp, nil, admit)
+			return out, nil
 		}
 	}
 
@@ -339,21 +454,25 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 	pruned := cs
 	for _, e := range unionSide {
 		removed := index.IntersectSorted(cs, e.answer)
-		e.creditHit(g.NumVertices(), q.sizesOf(removed), q.opt.Labels)
+		q.pendCredit(sc, e, g.NumVertices(), removed)
 		pruned = index.SubtractSorted(pruned, e.answer)
 	}
 	// Formula (5): intersect with intersect-side answers.
 	for _, e := range intersectSide {
 		removed := index.SubtractSorted(pruned, e.answer)
-		e.creditHit(g.NumVertices(), q.sizesOf(removed), q.opt.Labels)
+		q.pendCredit(sc, e, g.NumVertices(), removed)
 		pruned = index.IntersectSorted(pruned, e.answer)
 	}
 	out.FinalCandidates = len(pruned)
 
-	// Verification stage.
+	// Verification stage: the dominant cost, and therefore where
+	// cancellation is checked. A cancelled query commits nothing.
 	t0 := time.Now()
 	var verified []int32
 	for _, id := range pruned {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out.DatasetIsoTests++
 		if q.m.Verify(g, id) {
 			verified = append(verified, id)
@@ -372,11 +491,12 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 	}
 	out.Answer = answer
 
-	q.admit(g, qfp, answer)
-	return out
+	q.commit(sc, g, qfp, answer, admit)
+	return out, nil
 }
 
-// cacheLookup finds and verifies the Isub and Isuper hits for query g.
+// cacheLookup finds and verifies the Isub and Isuper hits for query g
+// against one snapshot.
 //
 // Fast path (§4.3's "easily recognized" identical case): candidates with
 // matching vertex/edge counts and structural fingerprint are tested first;
@@ -384,20 +504,20 @@ func (q *IGQ) Query(g *graph.Graph) *Outcome {
 // candidates whose fingerprints differ cannot be sub- or supergraph hits at
 // all (equal sizes + containment ⇒ isomorphism ⇒ equal fingerprints), so
 // the regular loops skip them without testing.
-func (q *IGQ) cacheLookup(g *graph.Graph, qfp uint64, qf features.IDSet, out *Outcome) (subHits, superHits []*entry, identical *entry) {
+func (q *IGQ) cacheLookup(snap *snapshot, g *graph.Graph, qfp uint64, qf features.IDSet, sc *queryScratch, out *Outcome) (subHits, superHits []*entry, identical *entry) {
 	var subCands, superCands []int32
 	if !q.opt.DisableSub {
-		subCands = q.isub.candidates(qf, q.subScratch)
+		subCands = snap.isub.candidates(qf, sc.sub)
 	}
 	if !q.opt.DisableSuper {
-		superCands = q.isuper.candidatesFromIDs(qf, q.superScr)
+		superCands = snap.isuper.candidatesFromIDs(qf, sc.super)
 	}
 	nv, ne := g.NumVertices(), g.NumEdges()
 	sameSize := func(e *entry) bool {
 		return e.g.NumVertices() == nv && e.g.NumEdges() == ne
 	}
 	for _, id := range index.UnionSorted(subCands, superCands) {
-		e := q.byID[id]
+		e := snap.byID[id]
 		if sameSize(e) && e.fp == qfp {
 			out.CacheIsoTests++
 			if subgraphTest(g, e.g) {
@@ -410,7 +530,7 @@ func (q *IGQ) cacheLookup(g *graph.Graph, qfp uint64, qf features.IDSet, out *Ou
 	// maximally useful (the §4.3 empty-answer short-circuit) and are kept.
 	subIsUnion := q.opt.Mode == SubgraphQueries
 	for _, id := range subCands {
-		e := q.byID[id]
+		e := snap.byID[id]
 		if sameSize(e) || (subIsUnion && len(e.answer) == 0) {
 			continue
 		}
@@ -420,7 +540,7 @@ func (q *IGQ) cacheLookup(g *graph.Graph, qfp uint64, qf features.IDSet, out *Ou
 		}
 	}
 	for _, id := range superCands {
-		e := q.byID[id]
+		e := snap.byID[id]
 		if sameSize(e) || (!subIsUnion && len(e.answer) == 0) {
 			continue
 		}
@@ -432,64 +552,105 @@ func (q *IGQ) cacheLookup(g *graph.Graph, qfp uint64, qf features.IDSet, out *Ou
 	return subHits, superHits, nil
 }
 
-// sizesOf maps dataset ids to vertex counts (cost-model input).
-func (q *IGQ) sizesOf(ids []int32) []int {
-	out := make([]int, len(ids))
-	for i, id := range ids {
-		out[i] = q.db[id].NumVertices()
+// pendCredit buffers one entry's hit credit: the pruned candidates' cost
+// contribution is folded into a single log-sum-exp delta here, lock-free,
+// so the later application under IGQ.mu is O(1) per credited entry.
+func (q *IGQ) pendCredit(sc *queryScratch, e *entry, queryNodes int, prunedIDs []int32) {
+	delta := math.Inf(-1)
+	for _, id := range prunedIDs {
+		delta = LogSumExp(delta, LogIsoCost(queryNodes, q.db[id].NumVertices(), q.opt.Labels))
 	}
-	return out
+	sc.credits = append(sc.credits, pendingCredit{e: e, removed: int64(len(prunedIDs)), logCost: delta})
 }
 
-// admit stores the executed query and its answer in the batch window
+// commit applies one query's buffered writes — §5.1 credits and (when admit
+// is set) the window admission — under the metadata mutex. This is the only
+// lock a non-flushing query ever takes, held for O(hits) float updates plus
+// the window duplicate check.
+func (q *IGQ) commit(sc *queryScratch, g *graph.Graph, qfp uint64, answer []int32, admit bool) {
+	if len(sc.credits) == 0 && !admit {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, c := range sc.credits {
+		c.e.applyCredit(c.removed, c.logCost)
+	}
+	if admit {
+		q.admitLocked(g, qfp, answer)
+	}
+}
+
+// admitLocked stores the executed query and its answer in the batch window
 // (Itemp), flushing when W queries have accumulated. Exact duplicates of a
-// window member are skipped (an identical *cached* query would already have
-// short-circuited).
-func (q *IGQ) admit(g *graph.Graph, fp uint64, answer []int32) {
+// window member or of a committed entry are skipped (an identical *cached*
+// query normally short-circuits before admission, but two concurrent first
+// sightings of the same query both miss the pre-admission snapshot; the
+// duplicate is caught here, under the lock — best-effort while an async
+// shadow build is in flight, since its entries are in neither set yet, and
+// answer-correctness never depends on dedup). Caller holds q.mu.
+func (q *IGQ) admitLocked(g *graph.Graph, fp uint64, answer []int32) {
 	for _, e := range q.window {
 		if e.fp == fp && iso.Isomorphic(e.g, g) {
 			return
 		}
 	}
-	e := newEntry(q.nextID, g.Clone(), answer, q.seq)
+	for _, e := range q.snap.Load().entries {
+		if e.fp == fp && iso.Isomorphic(e.g, g) {
+			return
+		}
+	}
+	e := newEntry(q.nextID, g.Clone(), answer, q.seq.Load())
 	q.nextID++
 	q.window = append(q.window, e)
 	if len(q.window) >= q.opt.Window {
-		q.flush()
+		q.flushLocked()
 	}
 }
 
-// flush applies the replacement policy (§5.1) and rebuilds the cache-side
-// indexes (§5.2's shadow index). Synchronous by default; with
-// AsyncMaintenance the expensive index build runs in the background and
-// queries keep being served by the previous index until the swap.
-func (q *IGQ) flush() {
-	q.applyShadow(true) // at most one shadow build in flight
+// flushLocked applies the replacement policy (§5.1) and rebuilds the
+// cache-side indexes (§5.2's shadow index), installing the result as a new
+// snapshot. Synchronous by default — the flush is the pipeline's one full
+// serialization point; with AsyncMaintenance the expensive index build runs
+// in the background and queries keep being served by the previous snapshot
+// until the builder swaps the pointer. Caller holds q.mu.
+func (q *IGQ) flushLocked() {
+	q.waitShadowLocked() // at most one shadow build in flight
+	if len(q.window) == 0 {
+		// Another goroutine flushed while waitShadowLocked had the lock
+		// released; nothing left to do.
+		return
+	}
 	q.flushes++
-	newEntries, newByID := q.planFlush()
+	newEntries, newByID := q.planFlushLocked()
 	q.window = nil
 	if q.opt.AsyncMaintenance {
-		ch := make(chan shadowResult, 1)
-		q.shadow = ch
-		maxLen := q.opt.MaxPathLen
-		dict := q.dict
+		done := make(chan struct{})
+		q.shadowDone = done
 		go func() {
-			isub, isuper := buildIndexes(dict, newEntries, maxLen)
-			ch <- shadowResult{entries: newEntries, byID: newByID, isub: isub, isuper: isuper}
+			defer close(done)
+			isub, isuper := buildIndexes(q.dict, newEntries, q.opt.MaxPathLen)
+			q.mu.Lock()
+			q.snap.Store(&snapshot{entries: newEntries, byID: newByID, isub: isub, isuper: isuper})
+			if q.shadowDone == done {
+				q.shadowDone = nil
+			}
+			q.mu.Unlock()
 		}()
 		return
 	}
-	q.entries, q.byID = newEntries, newByID
-	q.isub, q.isuper = buildIndexes(q.dict, newEntries, q.opt.MaxPathLen)
+	isub, isuper := buildIndexes(q.dict, newEntries, q.opt.MaxPathLen)
+	q.snap.Store(&snapshot{entries: newEntries, byID: newByID, isub: isub, isuper: isuper})
 }
 
-// planFlush computes the post-flush entry set without touching the
+// planFlushLocked computes the post-flush entry set without touching the
 // currently served snapshot (fresh slice and map, shared entry pointers so
-// metadata credited during an async build carries over).
-func (q *IGQ) planFlush() ([]*entry, map[int32]*entry) {
+// metadata credited during an async build carries over). Caller holds q.mu.
+func (q *IGQ) planFlushLocked() ([]*entry, map[int32]*entry) {
+	active := q.snap.Load().entries
 	evict := map[int32]struct{}{}
-	if overflow := len(q.entries) + len(q.window) - q.opt.CacheSize; overflow > 0 {
-		order := q.victimOrder()
+	if overflow := len(active) + len(q.window) - q.opt.CacheSize; overflow > 0 {
+		order := q.victimOrder(active)
 		if overflow > len(order) {
 			overflow = len(order)
 		}
@@ -497,9 +658,9 @@ func (q *IGQ) planFlush() ([]*entry, map[int32]*entry) {
 			evict[e.id] = struct{}{}
 		}
 	}
-	newEntries := make([]*entry, 0, len(q.entries)+len(q.window))
-	newByID := make(map[int32]*entry, len(q.entries)+len(q.window))
-	for _, e := range q.entries {
+	newEntries := make([]*entry, 0, len(active)+len(q.window))
+	newByID := make(map[int32]*entry, len(active)+len(q.window))
+	for _, e := range active {
 		if _, gone := evict[e.id]; !gone {
 			newEntries = append(newEntries, e)
 			newByID[e.id] = e
@@ -512,29 +673,16 @@ func (q *IGQ) planFlush() ([]*entry, map[int32]*entry) {
 	return newEntries, newByID
 }
 
-// applyShadow installs a completed background build. With wait=true it
-// blocks for an in-flight build (used before a second flush or a Save);
-// with wait=false it polls (used at Query entry: "Ishadow replaces I with a
-// pointer swap").
-func (q *IGQ) applyShadow(wait bool) {
-	if q.shadow == nil {
-		return
+// waitShadowLocked blocks until any in-flight §5.2 background build has
+// installed its snapshot (used before a second flush or a Save). Caller
+// holds q.mu; the lock is released while waiting so the builder can finish.
+func (q *IGQ) waitShadowLocked() {
+	for q.shadowDone != nil {
+		done := q.shadowDone
+		q.mu.Unlock()
+		<-done
+		q.mu.Lock()
 	}
-	if wait {
-		q.installShadow(<-q.shadow)
-		return
-	}
-	select {
-	case r := <-q.shadow:
-		q.installShadow(r)
-	default:
-	}
-}
-
-func (q *IGQ) installShadow(r shadowResult) {
-	q.entries, q.byID = r.entries, r.byID
-	q.isub, q.isuper = r.isub, r.isuper
-	q.shadow = nil
 }
 
 // normalizeIDs enforces the sorted-unique candidate invariant the pruning
@@ -562,11 +710,11 @@ func normalizeIDs(ids []int32) []int32 {
 }
 
 // victimOrder ranks entries for eviction (worst first) under the configured
-// policy.
-func (q *IGQ) victimOrder() []*entry {
+// policy. Caller holds q.mu (it reads entry metadata).
+func (q *IGQ) victimOrder(entries []*entry) []*entry {
 	switch q.opt.Eviction {
 	case FIFOEviction:
-		out := append([]*entry(nil), q.entries...)
+		out := append([]*entry(nil), entries...)
 		sortEntriesBy(out, func(a, b *entry) bool {
 			if a.insertedAt != b.insertedAt {
 				return a.insertedAt < b.insertedAt
@@ -575,7 +723,7 @@ func (q *IGQ) victimOrder() []*entry {
 		})
 		return out
 	case PopularityEviction:
-		seq := q.seq
+		seq := q.seq.Load()
 		rate := func(e *entry) float64 {
 			m := seq - e.insertedAt
 			if m < 1 {
@@ -583,7 +731,7 @@ func (q *IGQ) victimOrder() []*entry {
 			}
 			return float64(e.hits) / float64(m)
 		}
-		out := append([]*entry(nil), q.entries...)
+		out := append([]*entry(nil), entries...)
 		sortEntriesBy(out, func(a, b *entry) bool {
 			ra, rb := rate(a), rate(b)
 			if ra != rb {
@@ -593,13 +741,19 @@ func (q *IGQ) victimOrder() []*entry {
 		})
 		return out
 	default:
-		return evictionOrder(q.entries, q.seq)
+		return evictionOrder(entries, q.seq.Load())
 	}
 }
 
-// rebuildIndexes reconstructs Isub and Isuper over the active entries.
-func (q *IGQ) rebuildIndexes() {
-	q.isub, q.isuper = buildIndexes(q.dict, q.entries, q.opt.MaxPathLen)
+// installEntries builds fresh cache-side indexes over entries and installs
+// them as the served snapshot (construction and Load time).
+func (q *IGQ) installEntries(entries []*entry) {
+	byID := make(map[int32]*entry, len(entries))
+	for _, e := range entries {
+		byID[e.id] = e
+	}
+	isub, isuper := buildIndexes(q.dict, entries, q.opt.MaxPathLen)
+	q.snap.Store(&snapshot{entries: entries, byID: byID, isub: isub, isuper: isuper})
 }
 
 // buildIndexes constructs fresh Isub/Isuper over an entry set; one

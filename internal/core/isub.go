@@ -43,9 +43,11 @@ func (si *subIndex) finish() { sortIDs(si.ids) }
 // candidates returns the ids of cached graphs that may be supergraphs of a
 // query with the given path-feature occurrences, via the shared
 // selectivity-ordered count filter (index.FilterCountGE). The result may
-// alias s and is valid until the scratch is reused. iGQ owns one scratch
-// per cache-side index: queries are sequential by contract, but Isub and
-// Isuper results must coexist within one query.
+// alias s and is valid until the scratch is reused. Each in-flight query
+// owns a private scratch set (IGQ's free list) holding one scratch per
+// cache-side index, so concurrent queries never share s and Isub/Isuper
+// results coexist within one query. The index itself is immutable after
+// finish, so any number of queries may probe it concurrently.
 func (si *subIndex) candidates(qf features.IDSet, s *index.CountFilterScratch) []int32 {
 	if len(qf.Counts) == 0 && qf.Unknown == 0 {
 		// an empty query is a subgraph of every cached graph

@@ -60,14 +60,20 @@ func dbChecksum(db []*graph.Graph) uint64 {
 }
 
 // Save writes the current cache contents (committed entries only — the
-// pending window is execution state, not knowledge) to w. A pending shadow
-// build is applied first so the snapshot reflects the latest flush.
+// pending window is execution state, not knowledge) to w. Safe to call
+// while queries are in flight: the metadata mutex is held for the whole
+// encode, so the snapshot is consistent — it excludes any admission or
+// credit that had not yet committed, waits for an in-flight §5.2 shadow
+// build so it reflects the latest flush, and blocks flushes until done.
 func (q *IGQ) Save(w io.Writer) error {
-	q.applyShadow(true)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.waitShadowLocked()
+	cur := q.snap.Load()
 	snap := wireSnapshot{
 		Version:    snapshotVersion,
 		DBChecksum: dbChecksum(q.db),
-		Seq:        q.seq,
+		Seq:        q.seq.Load(),
 		NextID:     q.nextID,
 		Flushes:    q.flushes,
 	}
@@ -77,7 +83,7 @@ func (q *IGQ) Save(w io.Writer) error {
 		// dataset vocabulary and is rebuilt by the method itself on load.
 		snap.DictKeys = q.dict.Keys()
 	}
-	for _, e := range q.entries {
+	for _, e := range cur.entries {
 		we := wireEntry{
 			ID:         e.id,
 			Labels:     e.g.Labels(),
@@ -118,9 +124,10 @@ func Load(r io.Reader, m index.Method, db []*graph.Graph, opt Options) (*IGQ, er
 	for _, k := range snap.DictKeys {
 		q.dict.Intern(k)
 	}
-	q.seq = snap.Seq
+	q.seq.Store(snap.Seq)
 	q.nextID = snap.NextID
 	q.flushes = snap.Flushes
+	var entries []*entry
 	for _, we := range snap.Entries {
 		g := graph.New(len(we.Labels))
 		for _, l := range we.Labels {
@@ -140,25 +147,22 @@ func Load(r io.Reader, m index.Method, db []*graph.Graph, opt Options) (*IGQ, er
 		ent.hits = we.Hits
 		ent.removed = we.Removed
 		ent.logCost = we.LogCost
-		q.entries = append(q.entries, ent)
-		q.byID[ent.id] = ent
+		entries = append(entries, ent)
 	}
-	if over := len(q.entries) - q.opt.CacheSize; over > 0 {
-		order := evictionOrder(q.entries, q.seq)
+	if over := len(entries) - q.opt.CacheSize; over > 0 {
+		order := evictionOrder(entries, q.seq.Load())
 		drop := map[int32]struct{}{}
 		for _, e := range order[:over] {
 			drop[e.id] = struct{}{}
 		}
-		kept := q.entries[:0]
-		for _, e := range q.entries {
-			if _, gone := drop[e.id]; gone {
-				delete(q.byID, e.id)
-			} else {
+		kept := entries[:0]
+		for _, e := range entries {
+			if _, gone := drop[e.id]; !gone {
 				kept = append(kept, e)
 			}
 		}
-		q.entries = kept
+		entries = kept
 	}
-	q.rebuildIndexes()
+	q.installEntries(entries)
 	return q, nil
 }

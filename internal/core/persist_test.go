@@ -40,7 +40,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 
 	// behavioural equivalence: identical hits fire identically
-	for _, e := range ig.entries[:3] {
+	for _, e := range ig.snap.Load().entries[:3] {
 		a := ig.Query(e.g.Clone())
 		b := restored.Query(e.g.Clone())
 		if a.Short != IdenticalHit || b.Short != IdenticalHit {
@@ -183,7 +183,7 @@ func TestGraphCorruptionRejected(t *testing.T) {
 	ig := New(m, db, Options{CacheSize: 5, Window: 1})
 	ig.Query(connectedQuery(rng, db[0], 3))
 	// corrupt the in-memory answer then save
-	ig.entries[0].answer = []int32{999}
+	ig.snap.Load().entries[0].answer = []int32{999}
 	var buf bytes.Buffer
 	if err := ig.Save(&buf); err != nil {
 		t.Fatal(err)

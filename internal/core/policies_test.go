@@ -23,12 +23,12 @@ func entryWith(id int32, insertedAt, hits int64, credited bool) *entry {
 
 func TestVictimOrderFIFO(t *testing.T) {
 	q := &IGQ{opt: Options{Eviction: FIFOEviction}}
-	q.entries = []*entry{
+	entries := []*entry{
 		entryWith(3, 30, 9, true),
 		entryWith(1, 10, 0, false),
 		entryWith(2, 20, 5, true),
 	}
-	order := q.victimOrder()
+	order := q.victimOrder(entries)
 	got := []int32{order[0].id, order[1].id, order[2].id}
 	// FIFO ignores utility entirely: oldest insertion first
 	if !reflect.DeepEqual(got, []int32{1, 2, 3}) {
@@ -38,14 +38,14 @@ func TestVictimOrderFIFO(t *testing.T) {
 
 func TestVictimOrderPopularity(t *testing.T) {
 	q := &IGQ{opt: Options{Eviction: PopularityEviction}}
-	q.seq = 100
+	q.seq.Store(100)
 	// same age, different hit counts: lowest hit rate evicted first
-	q.entries = []*entry{
+	entries := []*entry{
 		entryWith(1, 0, 50, true),
 		entryWith(2, 0, 1, true),
 		entryWith(3, 0, 10, true),
 	}
-	order := q.victimOrder()
+	order := q.victimOrder(entries)
 	got := []int32{order[0].id, order[1].id, order[2].id}
 	if !reflect.DeepEqual(got, []int32{2, 3, 1}) {
 		t.Errorf("popularity order = %v, want [2 3 1]", got)
@@ -54,12 +54,12 @@ func TestVictimOrderPopularity(t *testing.T) {
 
 func TestVictimOrderPopularityTieBreak(t *testing.T) {
 	q := &IGQ{opt: Options{Eviction: PopularityEviction}}
-	q.seq = 10
-	q.entries = []*entry{
+	q.seq.Store(10)
+	entries := []*entry{
 		entryWith(5, 0, 0, false),
 		entryWith(2, 0, 0, false),
 	}
-	order := q.victimOrder()
+	order := q.victimOrder(entries)
 	if order[0].id != 2 || order[1].id != 5 {
 		t.Errorf("tie-break order = [%d %d], want [2 5]", order[0].id, order[1].id)
 	}

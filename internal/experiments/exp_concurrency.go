@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/index/ggsx"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Extension experiment (beyond the paper's figures): concurrent query
+// serving. One cache-enabled iGQ instance is shared by k goroutines; the
+// table reports aggregate throughput per worker count and verifies that
+// every answer equals the sequential run's (the snapshot-isolated read
+// path makes answers independent of cache timing — paper Theorems 1 and 2).
+func init() {
+	register(Experiment{
+		ID:    "concurrency",
+		Title: "Concurrent serving: aggregate throughput vs workers (extension)",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			spec := scaledAIDS(cfg)
+			db := dataset.Generate(spec)
+			m := ggsx.New(ggsx.DefaultOptions())
+			m.Build(db)
+			qs := workload.Generate(db, workload.Spec{
+				NumQueries: cfg.scaled(240, 60),
+				GraphDist:  workload.Zipf, NodeDist: workload.Zipf,
+				Alpha: 1.4, Seed: cfg.Seed + 9000,
+			})
+
+			// Sequential reference: answers and single-stream throughput.
+			ref := core.New(m, db, core.Options{CacheSize: 60, Window: 15})
+			want := make([][]int32, len(qs))
+			t0 := time.Now()
+			for i, q := range qs {
+				want[i] = ref.Query(q.G).Answer
+			}
+			seqDur := time.Since(t0)
+
+			maxWorkers := cfg.Workers
+			if maxWorkers <= 0 {
+				maxWorkers = runtime.GOMAXPROCS(0)
+			}
+			tb := stats.NewTable("workers", "queries/s", "vs 1 worker", "answers")
+			ctx := context.Background()
+			for k := 1; k <= maxWorkers; k *= 2 {
+				ig := core.New(m, db, core.Options{CacheSize: 60, Window: 15})
+				got := make([][]int32, len(qs))
+				t1 := time.Now()
+				var wg sync.WaitGroup
+				for wk := 0; wk < k; wk++ {
+					wg.Add(1)
+					go func(wk int) {
+						defer wg.Done()
+						for i := wk; i < len(qs); i += k {
+							o, err := ig.QueryCtx(ctx, qs[i].G)
+							if err != nil {
+								return
+							}
+							got[i] = o.Answer
+						}
+					}(wk)
+				}
+				wg.Wait()
+				dur := time.Since(t1)
+				ok := "identical"
+				for i := range qs {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						ok = fmt.Sprintf("DIVERGED@%d", i)
+						break
+					}
+				}
+				qps := float64(len(qs)) / dur.Seconds()
+				base := float64(len(qs)) / seqDur.Seconds()
+				tb.AddRowf(k, qps, qps/base, ok)
+				if cfg.Verbose {
+					fmt.Fprintf(w, "  %d workers: %v\n", k, dur)
+				}
+			}
+			fmt.Fprintf(w, "Concurrent serving, %s/GGSX, zipf-zipf, one shared cache:\n%s", spec.Name, tb)
+			fmt.Fprintf(w, "\nExpected shape: near-linear scaling up to the core count (this host: GOMAXPROCS=%d);\nanswers must stay identical to the sequential run at every width.\n", runtime.GOMAXPROCS(0))
+			return nil
+		},
+	})
+}

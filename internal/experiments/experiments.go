@@ -28,6 +28,9 @@ type Config struct {
 	Seed int64
 	// Verbose adds per-run progress lines to the output.
 	Verbose bool
+	// Workers caps the goroutine count of the concurrency experiments
+	// (0 = one per runtime.GOMAXPROCS(0)).
+	Workers int
 }
 
 // DefaultConfig returns the bench-scale configuration.

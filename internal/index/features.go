@@ -19,9 +19,13 @@ type DictProvider interface {
 // length the index was built with; callers must only use
 // FilterByFeatureCounts when their enumeration used the same length and the
 // same dictionary, and fall back to Filter otherwise.
+//
+// Both methods belong to the read path and inherit Method's concurrency
+// contract: safe for any number of concurrent callers after Build.
 type CountFilterer interface {
 	FeatureMaxPathLen() int
 	// FilterByFeatureCounts returns the sorted candidate ids for a query
-	// with the given feature occurrences. The result is freshly allocated.
+	// with the given feature occurrences. The result is freshly allocated
+	// (never aliasing internal scratch), so callers may retain it.
 	FilterByFeatureCounts(qf features.IDSet) []int32
 }

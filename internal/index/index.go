@@ -23,8 +23,16 @@ import (
 )
 
 // Method is a subgraph query processing method over a fixed graph dataset.
-// Implementations must be safe for concurrent Filter/Verify calls after
-// Build has returned.
+//
+// Concurrency contract: after Build has returned, the read path — Filter,
+// Verify, SizeBytes, and the optional DictProvider/CountFilterer
+// extensions — MUST be safe for concurrent use by any number of
+// goroutines. The engine and iGQ serve queries concurrently by default and
+// rely on this: implementations keep per-call state in pooled scratch
+// buffers (ggsx, grapes) or allocate it per call (ctindex, contain), and
+// any memoisation must be internally synchronised (see grapes' query-
+// feature memo). Build itself is not concurrent-safe and must complete
+// before the first query.
 type Method interface {
 	// Name identifies the method in experiment output (e.g. "Grapes(6)").
 	Name() string
