@@ -26,7 +26,9 @@ func main() {
 		expID   = flag.String("experiment", "", "experiment id (table1, fig1..fig18, ablation-*, concurrency) or 'all'")
 		scale   = flag.Float64("scale", 1.0, "dataset/workload scale factor")
 		seed    = flag.Int64("seed", 42, "random seed (full determinism per seed)")
-		workers = flag.Int("workers", 0, "max goroutines for the concurrency experiment (0 = one per CPU)")
+		workers = flag.Int("workers", 0, "max goroutines for the concurrency experiments (0 = one per CPU)")
+		shards  = flag.Int("shards", 0, "postings shard count for sharded-store experiments (0 = one per CPU)")
+		bwork   = flag.Int("buildworkers", 0, "max index-build goroutines for the buildscale experiment (0 = one per CPU)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		verbose = flag.Bool("v", false, "verbose progress output")
 	)
@@ -43,7 +45,10 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Verbose: *verbose, Workers: *workers}
+	cfg := experiments.Config{
+		Scale: *scale, Seed: *seed, Verbose: *verbose,
+		Workers: *workers, Shards: *shards, BuildWorkers: *bwork,
+	}
 
 	if *expID == "all" {
 		t0 := time.Now()

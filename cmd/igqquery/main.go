@@ -31,6 +31,8 @@ func main() {
 		qPath   = flag.String("queries", "", "query file (required)")
 		method  = flag.String("method", "grapes", "method: grapes | ggsx | ctindex")
 		threads = flag.Int("threads", 1, "Grapes build threads")
+		shards  = flag.Int("shards", 0, "postings shard count (0 = one per CPU)")
+		bwork   = flag.Int("buildworkers", 0, "index-build goroutines (0 = per-method default)")
 		super   = flag.Bool("super", false, "supergraph queries (uses the containment index)")
 		cache   = flag.Int("cache", 500, "iGQ cache size C")
 		window  = flag.Int("window", 100, "iGQ window size W")
@@ -58,6 +60,8 @@ func main() {
 		CacheSize:    *cache,
 		Window:       *window,
 		DisableCache: *noCache,
+		Shards:       *shards,
+		BuildWorkers: *bwork,
 	}
 	switch strings.ToLower(*method) {
 	case "grapes":
@@ -123,11 +127,4 @@ func main() {
 func fatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "igqquery: "+format+"\n", args...)
 	os.Exit(1)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

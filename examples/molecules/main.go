@@ -86,10 +86,3 @@ func main() {
 	fmt.Printf("speedup in tests: %.2fx\n", float64(without.tests)/float64(max(1, withIGQ.tests)))
 	fmt.Printf("cached queries: %d\n", cached.CacheLen())
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -126,10 +126,3 @@ func avgDegree(db []*igq.Graph) float64 {
 	}
 	return deg / n
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -150,6 +150,18 @@ type EngineOptions struct {
 	Window    int
 	// DisableCache turns iGQ off entirely (plain filter-then-verify).
 	DisableCache bool
+	// Shards is the postings shard count of the sharded postings stores —
+	// the path methods' dataset tries and iGQ's cache-side Isub/Isuper
+	// (rounded up to a power of two, capped at 64; 0 picks one shard per
+	// CPU). Sharding never changes answers; it only sets how much build
+	// and probe parallelism the stores can exploit.
+	Shards int
+	// BuildWorkers is the index-build parallelism: the path methods fan
+	// feature enumeration over this many goroutines and iGQ uses it for
+	// cache-side index rebuilds. 0 keeps each component's default (GGSX
+	// sequential, Grapes its Threads, cache rebuilds one per CPU). Any
+	// worker count builds a bit-identical index.
+	BuildWorkers int
 }
 
 // Engine answers graph queries over a fixed dataset, accelerated by iGQ.
@@ -226,9 +238,18 @@ func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
 	var m index.Method
 	switch opt.Method {
 	case Grapes:
-		m = grapes.New(grapes.Options{MaxPathLen: opt.MaxPathLen, Threads: opt.Threads})
+		m = grapes.New(grapes.Options{
+			MaxPathLen:   opt.MaxPathLen,
+			Threads:      opt.Threads,
+			Shards:       opt.Shards,
+			BuildWorkers: opt.BuildWorkers,
+		})
 	case GGSX:
-		m = ggsx.New(ggsx.Options{MaxPathLen: opt.MaxPathLen})
+		m = ggsx.New(ggsx.Options{
+			MaxPathLen:   opt.MaxPathLen,
+			Shards:       opt.Shards,
+			BuildWorkers: opt.BuildWorkers,
+		})
 	case CTIndex:
 		m = ctindex.New(ctindex.DefaultOptions())
 	case Containment:
@@ -245,10 +266,12 @@ func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
 			mode = core.SupergraphQueries
 		}
 		e.ig.Store(core.New(m, db, core.Options{
-			CacheSize:  opt.CacheSize,
-			Window:     opt.Window,
-			MaxPathLen: opt.MaxPathLen,
-			Mode:       mode,
+			CacheSize:    opt.CacheSize,
+			Window:       opt.Window,
+			MaxPathLen:   opt.MaxPathLen,
+			Mode:         mode,
+			Shards:       opt.Shards,
+			BuildWorkers: opt.BuildWorkers,
 		}))
 	}
 	return e, nil

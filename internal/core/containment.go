@@ -56,14 +56,20 @@ func NewContainmentIndex(maxPathLen int) *ContainmentIndex {
 
 // NewContainmentIndexWithDict returns an empty containment index whose
 // features are interned through d (shared with other indexes over the same
-// feature family).
+// feature family), with the default postings shard count.
 func NewContainmentIndexWithDict(maxPathLen int, d *features.Dict) *ContainmentIndex {
+	return NewContainmentIndexSharded(maxPathLen, d, 0)
+}
+
+// NewContainmentIndexSharded is NewContainmentIndexWithDict with an
+// explicit postings shard count (0 = trie.DefaultShards()).
+func NewContainmentIndexSharded(maxPathLen int, d *features.Dict, shards int) *ContainmentIndex {
 	if maxPathLen <= 0 {
 		maxPathLen = 4
 	}
 	ci := &ContainmentIndex{
 		maxPathLen: maxPathLen,
-		tr:         trie.NewWithDict(d),
+		tr:         trie.NewSharded(d, shards),
 		nf:         make(map[int32]int),
 	}
 	ci.pool.New = func() any {

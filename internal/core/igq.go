@@ -37,6 +37,7 @@ package core
 import (
 	"context"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/iso"
+	"repro/internal/trie"
 )
 
 // Mode selects which query semantics the wrapped method M implements.
@@ -103,6 +105,13 @@ type Options struct {
 	// deterministic; correctness holds either way, since any consistent
 	// cache snapshot yields correct answers.
 	AsyncMaintenance bool
+	// Shards is the postings shard count of the cache-side Isub/Isuper
+	// tries (rounded up to a power of two; 0 = trie.DefaultShards()).
+	Shards int
+	// BuildWorkers is the parallelism of cache-side index (re)builds —
+	// window flushes and §5.2 shadow builds (0 = GOMAXPROCS). Any worker
+	// count yields the same indexes and the same answers.
+	BuildWorkers int
 }
 
 // EvictionPolicy selects how flush picks victims.
@@ -131,6 +140,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxPathLen <= 0 {
 		o.MaxPathLen = 4
+	}
+	if o.BuildWorkers <= 0 {
+		o.BuildWorkers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -177,8 +189,8 @@ type IGQ struct {
 	db  []*graph.Graph
 	opt Options
 
-	seq  atomic.Int64              // queries processed
-	snap atomic.Pointer[snapshot]  // lock-free read state
+	seq  atomic.Int64             // queries processed
+	snap atomic.Pointer[snapshot] // lock-free read state
 
 	// mu guards the write side: entry metadata, the admission window,
 	// flush planning, shadow bookkeeping and the id allocator.
@@ -629,7 +641,7 @@ func (q *IGQ) flushLocked() {
 		q.shadowDone = done
 		go func() {
 			defer close(done)
-			isub, isuper := buildIndexes(q.dict, newEntries, q.opt.MaxPathLen)
+			isub, isuper := buildIndexes(q.dict, newEntries, q.opt)
 			q.mu.Lock()
 			q.snap.Store(&snapshot{entries: newEntries, byID: newByID, isub: isub, isuper: isuper})
 			if q.shadowDone == done {
@@ -639,7 +651,7 @@ func (q *IGQ) flushLocked() {
 		}()
 		return
 	}
-	isub, isuper := buildIndexes(q.dict, newEntries, q.opt.MaxPathLen)
+	isub, isuper := buildIndexes(q.dict, newEntries, q.opt)
 	q.snap.Store(&snapshot{entries: newEntries, byID: newByID, isub: isub, isuper: isuper})
 }
 
@@ -752,24 +764,57 @@ func (q *IGQ) installEntries(entries []*entry) {
 	for _, e := range entries {
 		byID[e.id] = e
 	}
-	isub, isuper := buildIndexes(q.dict, entries, q.opt.MaxPathLen)
+	isub, isuper := buildIndexes(q.dict, entries, q.opt)
 	q.snap.Store(&snapshot{entries: entries, byID: byID, isub: isub, isuper: isuper})
 }
 
 // buildIndexes constructs fresh Isub/Isuper over an entry set; one
 // (interning) feature enumeration per cached graph feeds both indexes.
-// Pure apart from dictionary growth — the dictionary serialises interning
-// against concurrent lookups, so this can run as the §5.2 background shadow
-// build while queries keep probing the previous indexes.
-func buildIndexes(dict *features.Dict, entries []*entry, maxPathLen int) (*subIndex, *ContainmentIndex) {
-	isub := newSubIndex(dict)
-	ci := NewContainmentIndexWithDict(maxPathLen, dict)
-	scratch := features.NewScratch()
-	opt := features.PathOptions{MaxLen: maxPathLen}
-	for _, e := range entries {
-		qf := features.PathsID(e.g, opt, dict, scratch, true)
-		isub.add(e.id, qf)
-		ci.AddFromIDCounts(e.id, qf)
+// With opt.BuildWorkers > 1 the enumeration fans out: each worker claims
+// entries, interns their features and stages the postings into private
+// per-shard buffers of both sharded tries; the per-shard merges run after
+// the workers join, so the build touches no postings lock and produces the
+// same indexes at any worker count. Pure apart from dictionary growth —
+// the dictionary serialises interning against concurrent lookups, so this
+// can run as the §5.2 background shadow build while queries keep probing
+// the previous indexes.
+func buildIndexes(dict *features.Dict, entries []*entry, opt Options) (*subIndex, *ContainmentIndex) {
+	isub := newSubIndex(dict, opt.Shards)
+	ci := NewContainmentIndexSharded(opt.MaxPathLen, dict, opt.Shards)
+	popt := features.PathOptions{MaxLen: opt.MaxPathLen}
+	workers := min(opt.BuildWorkers, len(entries))
+	if workers <= 1 {
+		scratch := features.NewScratch()
+		for _, e := range entries {
+			qf := features.PathsID(e.g, popt, dict, scratch, true)
+			isub.add(e.id, qf)
+			ci.AddFromIDCounts(e.id, qf)
+		}
+		isub.finish()
+		return isub, ci
+	}
+	sb := isub.tr.NewBuilder(workers)
+	cb := ci.tr.NewBuilder(workers)
+	nfs := make([]int, len(entries)) // per-entry distinct-feature counts
+	trie.ParallelFor(len(entries), workers, func(w int, claim func() int) {
+		sw, cw := sb.Worker(w), cb.Worker(w)
+		scratch := features.NewScratch()
+		for i := claim(); i >= 0; i = claim() {
+			e := entries[i]
+			qf := features.PathsID(e.g, popt, dict, scratch, true)
+			nfs[i] = len(qf.Counts)
+			for _, fc := range qf.Counts {
+				p := trie.Posting{Graph: e.id, Count: fc.Count}
+				sw.InsertID(fc.ID, p)
+				cw.InsertID(fc.ID, p)
+			}
+		}
+	})
+	sb.Merge()
+	cb.Merge()
+	for i, e := range entries {
+		isub.ids = append(isub.ids, e.id)
+		ci.nf[e.id] = nfs[i]
 	}
 	isub.finish()
 	return isub, ci

@@ -24,9 +24,10 @@ type subIndex struct {
 	ids []int32 // all indexed entry ids, sorted
 }
 
-// newSubIndex returns an empty Isub whose features are interned through d.
-func newSubIndex(d *features.Dict) *subIndex {
-	return &subIndex{tr: trie.NewWithDict(d)}
+// newSubIndex returns an empty Isub whose features are interned through d,
+// with the given postings shard count (0 = trie.DefaultShards()).
+func newSubIndex(d *features.Dict, shards int) *subIndex {
+	return &subIndex{tr: trie.NewSharded(d, shards)}
 }
 
 // add indexes one cached graph's pre-enumerated features.

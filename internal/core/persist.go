@@ -34,6 +34,12 @@ type wireSnapshot struct {
 	// they are process-local handles; all persisted state is keyed by
 	// canonical strings, never by raw IDs).
 	DictKeys []string
+	// Shards is the postings shard layout of the cache-side indexes
+	// (version ≥ 3), so a snapshot restored on another machine rebuilds
+	// the same store geometry instead of that machine's default. Zero in
+	// v1/v2 snapshots — Load falls back to the default shard count, which
+	// is harmless: sharding never affects observable state.
+	Shards int
 }
 
 // wireEntry serialises one cache entry.
@@ -48,7 +54,7 @@ type wireEntry struct {
 	LogCost    float64
 }
 
-const snapshotVersion = 2
+const snapshotVersion = 3
 
 // dbChecksum fingerprints the dataset a snapshot belongs to.
 func dbChecksum(db []*graph.Graph) uint64 {
@@ -76,6 +82,7 @@ func (q *IGQ) Save(w io.Writer) error {
 		Seq:        q.seq.Load(),
 		NextID:     q.nextID,
 		Flushes:    q.flushes,
+		Shards:     cur.isub.tr.ShardCount(), // the layout actually in use
 	}
 	if !q.methodDict {
 		// Only a private dictionary is worth persisting: it round-trips to
@@ -115,6 +122,11 @@ func Load(r io.Reader, m index.Method, db []*graph.Graph, opt Options) (*IGQ, er
 	}
 	if snap.DBChecksum != dbChecksum(db) {
 		return nil, fmt.Errorf("core: snapshot belongs to a different dataset")
+	}
+	if opt.Shards == 0 && snap.Shards > 0 {
+		// Version ≥ 3 snapshots carry the shard layout; restore it unless
+		// the caller explicitly re-shards.
+		opt.Shards = snap.Shards
 	}
 	q := New(m, db, opt)
 	// Restore the feature dictionary before rebuilding the indexes: with a

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/index/ggsx"
+)
+
+// TestSnapshotShardLayoutRoundTrips: a v3 snapshot records the postings
+// shard layout of the cache-side indexes and Load restores it, unless the
+// caller explicitly re-shards.
+func TestSnapshotShardLayoutRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	db := buildDB(rng, 20)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 15, Window: 3, Shards: 16})
+	for _, q := range workload(rng, db, 30) {
+		ig.Query(q)
+	}
+	if got := ig.snap.Load().isub.tr.ShardCount(); got != 16 {
+		t.Fatalf("isub shard count = %d, want 16", got)
+	}
+
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(buf.Bytes()), m, db, Options{CacheSize: 15, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.snap.Load().isub.tr.ShardCount(); got != 16 {
+		t.Errorf("restored isub shard count = %d, want the snapshot's 16", got)
+	}
+	if got := restored.snap.Load().isuper.tr.ShardCount(); got != 16 {
+		t.Errorf("restored isuper shard count = %d, want the snapshot's 16", got)
+	}
+
+	// An explicit shard count on Load overrides the snapshot layout.
+	resharded, err := Load(bytes.NewReader(buf.Bytes()), m, db, Options{CacheSize: 15, Window: 3, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resharded.snap.Load().isub.tr.ShardCount(); got != 4 {
+		t.Errorf("re-sharded isub shard count = %d, want 4", got)
+	}
+}
+
+// TestLoadAcceptsV2Snapshot: pre-shard snapshots (version 2, no Shards
+// field) still load, falling back to the default layout, with answers
+// intact.
+func TestLoadAcceptsV2Snapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	db := buildDB(rng, 20)
+	m := ggsx.New(ggsx.DefaultOptions())
+	m.Build(db)
+	ig := New(m, db, Options{CacheSize: 15, Window: 3})
+	queries := workload(rng, db, 30)
+	for _, q := range queries {
+		ig.Query(q)
+	}
+	if ig.CacheLen() == 0 {
+		t.Fatal("nothing cached — test premise broken")
+	}
+
+	// Re-encode the current state as a version-2 snapshot: decode the v3
+	// wire form and strip the fields v2 lacked.
+	var buf bytes.Buffer
+	if err := ig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap wireSnapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 2
+	snap.Shards = 0
+	var v2 bytes.Buffer
+	if err := gob.NewEncoder(&v2).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Load(&v2, m, db, Options{CacheSize: 15, Window: 3})
+	if err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+	if restored.CacheLen() != ig.CacheLen() {
+		t.Fatalf("cache length %d != %d after v2 restore", restored.CacheLen(), ig.CacheLen())
+	}
+	for _, q := range queries[:5] {
+		a, b := ig.Query(q.Clone()), restored.Query(q.Clone())
+		if !reflect.DeepEqual(a.Answer, b.Answer) {
+			t.Fatal("v2-restored cache returns different answers")
+		}
+	}
+}

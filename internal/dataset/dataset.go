@@ -104,11 +104,11 @@ func Synthetic() Spec {
 // label domain and skew are preserved — they are what the algorithms see.
 func (s Spec) Scaled(countFrac, sizeFrac float64) Spec {
 	out := s
-	out.NumGraphs = maxInt(4, int(math.Round(float64(s.NumGraphs)*countFrac)))
+	out.NumGraphs = max(4, int(math.Round(float64(s.NumGraphs)*countFrac)))
 	out.NodesMean = math.Max(6, s.NodesMean*sizeFrac)
 	out.NodesStd = s.NodesStd * sizeFrac
-	out.NodesMin = maxInt(3, int(float64(s.NodesMin)*sizeFrac))
-	out.NodesMax = maxInt(out.NodesMin+1, int(float64(s.NodesMax)*sizeFrac))
+	out.NodesMin = max(3, int(float64(s.NodesMin)*sizeFrac))
+	out.NodesMax = max(out.NodesMin+1, int(float64(s.NodesMax)*sizeFrac))
 	// dense specs stay dense, but a graph cannot exceed complete-graph
 	// degree; Generate clamps per-graph.
 	return out
@@ -175,7 +175,7 @@ func sampleNodes(rng *rand.Rand, s Spec) int {
 			return n
 		}
 	}
-	return maxInt(s.NodesMin, int(s.NodesMean))
+	return max(s.NodesMin, int(s.NodesMean))
 }
 
 // generateConnected builds a connected labeled graph with n vertices and
@@ -323,11 +323,4 @@ func (c Characteristics) String() string {
 		c.Name, c.Labels, c.Graphs, c.AvgDegree,
 		c.Nodes.Mean, c.Nodes.Std, c.Nodes.Max,
 		c.Edges.Mean, c.Edges.Std, c.Edges.Max)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -90,8 +90,8 @@ func init() {
 			part := map[int]*core.IGQ{}
 			for _, s := range sizes {
 				part[s] = core.New(m, db, core.Options{
-					CacheSize: maxInt(totalC/len(sizes), 2),
-					Window:    maxInt(cacheW/len(sizes), 1),
+					CacheSize: max(totalC/len(sizes), 2),
+					Window:    max(cacheW/len(sizes), 1),
 				})
 			}
 			for _, q := range qs[:warm] {
@@ -132,11 +132,4 @@ func init() {
 			return nil
 		},
 	})
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

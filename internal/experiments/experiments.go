@@ -31,6 +31,12 @@ type Config struct {
 	// Workers caps the goroutine count of the concurrency experiments
 	// (0 = one per runtime.GOMAXPROCS(0)).
 	Workers int
+	// Shards sets the postings shard count for the sharded-store
+	// experiments (0 = trie.DefaultShards()).
+	Shards int
+	// BuildWorkers caps the index-build goroutine count of the buildscale
+	// experiment (0 = one per runtime.GOMAXPROCS(0)).
+	BuildWorkers int
 }
 
 // DefaultConfig returns the bench-scale configuration.

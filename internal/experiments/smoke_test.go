@@ -51,6 +51,26 @@ func TestSmokeAblationPartition(t *testing.T) {
 func TestSmokeSupergraphSpeedup(t *testing.T) {
 	runSmoke(t, "supergraph-speedup", "uni-uni", "isotest.speedup")
 }
+func TestSmokeBuildscale(t *testing.T) {
+	// runSmoke's substring asserts would be vacuous here: the experiment's
+	// footer always contains "identical". Assert the divergence marker is
+	// absent instead.
+	e, ok := ByID("buildscale")
+	if !ok {
+		t.Fatal("buildscale not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(smokeCfg(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "workers") {
+		t.Fatalf("missing table header:\n%s", out)
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("parallel build diverged from sequential:\n%s", out)
+	}
+}
 
 func TestSmokeHeavyExperiments(t *testing.T) {
 	if testing.Short() {

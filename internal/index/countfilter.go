@@ -1,6 +1,7 @@
 package index
 
 import (
+	"slices"
 	"sync"
 
 	"repro/internal/features"
@@ -8,14 +9,22 @@ import (
 )
 
 // CountFilterScratch holds the reusable buffers of one count-filter pass:
-// the feature-enumeration scratch, the filtered per-feature id lists
-// (backed by one flat arena), and the intersection ping-pong buffers.
+// the feature-enumeration scratch, the shard-grouped feature copy, the
+// filtered per-feature id lists (backed by one flat arena), and the
+// intersection buffers.
 type CountFilterScratch struct {
-	Feat  *features.Scratch
-	lists [][]int32
-	offs  [][2]int
-	arena []int32
-	buf   [2][]int32
+	Feat *features.Scratch
+
+	feats    []features.IDCount // query features regrouped by shard
+	shardOff []int32            // per-shard group boundaries (len K+1)
+	shardCur []int32            // scatter cursors during grouping
+
+	lists  [][]int32 // list headers handed to IntersectMany
+	offs   [][2]int  // per-feature filtered-list extents in arena
+	groups [][3]int  // per-shard group: [offs start, offs end, min list len]
+	arena  []int32   // filtered per-feature id lists
+	cur    []int32   // running cross-shard partial result
+	buf    [2][]int32
 }
 
 var countFilterPool = sync.Pool{
@@ -33,9 +42,18 @@ func PutCountFilterScratch(s *CountFilterScratch) { countFilterPool.Put(s) }
 
 // FilterCountGE computes the candidate ids for a count-based feature filter
 // over tr: graphs holding every feature of qf with at least the wanted
-// multiplicity. Features are intersected in ascending order of
-// filtered-list length, galloping on skewed pairs. The result may alias s
-// and is only valid until the scratch is reused.
+// multiplicity.
+//
+// The pass follows the store's shard layout: query features are grouped by
+// postings shard and each shard's lists are filtered and intersected as one
+// group (all probes against one small per-shard map, so the map stays
+// cache-resident across the group). Shard groups are processed in ascending
+// order of their rarest filtered list, with the running cross-shard partial
+// threaded into each group's intersection — so the globally rarest list
+// still prunes all later work, exactly as the unsharded rarest-first fold
+// did. Every intersection step picks merge vs gallop adaptively from the
+// two list lengths. The result may alias s and is only valid until the
+// scratch is reused.
 //
 // Callers must handle the empty-feature case (len(qf.Counts) == 0 &&
 // qf.Unknown == 0) themselves: the matching universe (all dataset
@@ -47,28 +65,101 @@ func FilterCountGE(tr *trie.Trie, qf features.IDSet, s *CountFilterScratch) []in
 		// no indexed graph contains it.
 		return nil
 	}
+	if len(qf.Counts) == 0 {
+		return nil
+	}
+	feats, off := s.groupByShard(tr, qf.Counts)
+
+	// Phase 1: filter each feature's postings into the arena, one shard's
+	// group at a time.
 	arena := s.arena[:0]
 	offs := s.offs[:0]
-	for _, fc := range qf.Counts {
-		start := len(arena)
-		for _, p := range tr.GetByID(fc.ID) {
-			if p.Count >= fc.Count {
-				arena = append(arena, p.Graph)
+	groups := s.groups[:0]
+	for sh := 0; sh < tr.ShardCount(); sh++ {
+		lo, hi := off[sh], off[sh+1]
+		if lo == hi {
+			continue
+		}
+		gStart := len(offs)
+		minLen := int(^uint(0) >> 1)
+		for _, fc := range feats[lo:hi] {
+			start := len(arena)
+			for _, p := range tr.GetByID(fc.ID) {
+				if p.Count >= fc.Count {
+					arena = append(arena, p.Graph)
+				}
 			}
+			n := len(arena) - start
+			if n == 0 {
+				s.arena, s.offs, s.groups = arena, offs, groups
+				return nil
+			}
+			if n < minLen {
+				minLen = n
+			}
+			offs = append(offs, [2]int{start, len(arena)})
 		}
-		if len(arena) == start {
-			s.arena, s.offs = arena, offs
-			return nil
-		}
-		offs = append(offs, [2]int{start, len(arena)})
+		groups = append(groups, [3]int{gStart, len(offs), minLen})
 	}
 	s.arena, s.offs = arena, offs
-	lists := s.lists[:0]
-	for _, o := range offs {
-		lists = append(lists, arena[o[0]:o[1]])
+
+	// Phase 2: intersect shard by shard, rarest shard first, folding the
+	// running partial into each group so it caps the group's work.
+	slices.SortFunc(groups, func(a, b [3]int) int { return a[2] - b[2] })
+	s.groups = groups
+	var cur []int32
+	for gi, g := range groups {
+		lists := s.lists[:0]
+		if gi > 0 {
+			lists = append(lists, cur)
+		}
+		for _, o := range offs[g[0]:g[1]] {
+			lists = append(lists, arena[o[0]:o[1]])
+		}
+		s.lists = lists
+		part := IntersectMany(lists, &s.buf)
+		if len(part) == 0 {
+			return nil
+		}
+		// Copy the partial out of the ping-pong buffers: the next group's
+		// IntersectMany reuses them.
+		s.cur = append(s.cur[:0], part...)
+		cur = s.cur
 	}
-	s.lists = lists
-	return IntersectMany(lists, &s.buf)
+	return cur
+}
+
+// groupByShard scatters the query features into shard-contiguous order
+// (counting sort over ShardOf). qf.Counts itself is left untouched: it is
+// shared with the caller's other index probes, which may run concurrently.
+func (s *CountFilterScratch) groupByShard(tr *trie.Trie, counts []features.IDCount) ([]features.IDCount, []int32) {
+	k := tr.ShardCount()
+	if cap(s.shardOff) < k+1 {
+		s.shardOff = make([]int32, k+1)
+		s.shardCur = make([]int32, k)
+	}
+	off := s.shardOff[:k+1]
+	cur := s.shardCur[:k]
+	for i := range off {
+		off[i] = 0
+	}
+	for _, fc := range counts {
+		off[tr.ShardOf(fc.ID)+1]++
+	}
+	for i := 1; i <= k; i++ {
+		off[i] += off[i-1]
+	}
+	copy(cur, off[:k])
+	if cap(s.feats) < len(counts) {
+		s.feats = make([]features.IDCount, len(counts))
+	}
+	feats := s.feats[:len(counts)]
+	for _, fc := range counts {
+		sh := tr.ShardOf(fc.ID)
+		feats[cur[sh]] = fc
+		cur[sh]++
+	}
+	return feats, off
 }
 
 // AllIDs returns the identity universe [0, n) — the empty-query candidate

@@ -30,6 +30,13 @@ type Options struct {
 	// VerifyAlg selects the verification engine (default VF2, the
 	// original GGSX choice; RI and Ullmann enable engine ablations).
 	VerifyAlg iso.Algorithm
+	// Shards is the postings shard count of the path trie (rounded up to a
+	// power of two; 0 = trie.DefaultShards()).
+	Shards int
+	// BuildWorkers is the number of goroutines Build fans graph feature
+	// enumeration out over (0 or 1 = sequential, the original
+	// single-threaded GGSX). Any worker count produces an identical index.
+	BuildWorkers int
 }
 
 // DefaultOptions mirrors the paper's configuration.
@@ -54,8 +61,11 @@ func New(opt Options) *Index {
 	if opt.MaxPathLen <= 0 {
 		opt.MaxPathLen = 4
 	}
+	if opt.BuildWorkers <= 0 {
+		opt.BuildWorkers = 1
+	}
 	d := features.NewDict()
-	return &Index{opt: opt, dict: d, tr: trie.NewWithDict(d)}
+	return &Index{opt: opt, dict: d, tr: trie.NewSharded(d, opt.Shards)}
 }
 
 // Name implements index.Method.
@@ -68,17 +78,51 @@ func (x *Index) FeatureDict() *features.Dict { return x.dict }
 func (x *Index) FeatureMaxPathLen() int { return x.opt.MaxPathLen }
 
 // Build implements index.Method: enumerate paths of every dataset graph
-// into the shared trie (interning every feature into the dictionary). The
-// trie is reset on entry (keeping the dictionary handed out by
+// into the shared trie (interning every feature into the dictionary). With
+// BuildWorkers > 1 the enumeration fans out over workers, each staging into
+// private per-shard buffers that merge deterministically (trie.Builder) —
+// the resulting index is identical to the sequential build at any worker
+// count. The trie is reset on entry (keeping the dictionary handed out by
 // FeatureDict), so Build is idempotent.
 func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
-	x.tr = trie.NewWithDict(x.dict)
-	for i, g := range db {
-		ps := features.Paths(g, features.PathOptions{MaxLen: x.opt.MaxPathLen})
-		for k, c := range ps.Counts {
-			x.tr.Insert(k, trie.Posting{Graph: int32(i), Count: int32(c)})
+	x.tr = trie.NewSharded(x.dict, x.opt.Shards)
+	BuildPaths(x.tr, db, features.PathOptions{MaxLen: x.opt.MaxPathLen}, x.opt.BuildWorkers)
+}
+
+// BuildPaths runs the shared parallel path-index build pipeline: workers
+// claim dataset graphs, enumerate their path features and stage the
+// postings; the per-shard merges run in parallel after the enumeration
+// joins. Shared with Grapes, whose build differs only in PathOptions
+// (location recording). workers ≤ 1 enumerates inline, avoiding staging
+// memory for the sequential case.
+func BuildPaths(tr *trie.Trie, db []*graph.Graph, opt features.PathOptions, workers int) {
+	if workers > len(db) {
+		workers = len(db)
+	}
+	if workers <= 1 {
+		for i, g := range db {
+			ps := features.Paths(g, opt)
+			insertPathSet(tr.Insert, int32(i), ps)
 		}
+		return
+	}
+	b := tr.NewBuilder(workers)
+	trie.ParallelFor(len(db), workers, func(w int, claim func() int) {
+		bw := b.Worker(w)
+		for i := claim(); i >= 0; i = claim() {
+			ps := features.Paths(db[i], opt)
+			insertPathSet(bw.Insert, int32(i), ps)
+		}
+	})
+	b.Merge()
+}
+
+// insertPathSet emits one graph's enumerated features through insert —
+// either Trie.Insert (sequential) or BuildWorker.Insert (staged).
+func insertPathSet(insert func(string, trie.Posting), graphID int32, ps *features.PathSet) {
+	for k, c := range ps.Counts {
+		insert(k, trie.Posting{Graph: graphID, Count: int32(c), Locs: ps.Locations[k]})
 	}
 }
 

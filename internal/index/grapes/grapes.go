@@ -39,6 +39,13 @@ type Options struct {
 	MaxPathLen int
 	// Threads is the build/verification parallelism (paper: 1 and 6).
 	Threads int
+	// Shards is the postings shard count of the path trie (rounded up to a
+	// power of two; 0 = trie.DefaultShards()).
+	Shards int
+	// BuildWorkers overrides the number of goroutines Build fans graph
+	// enumeration out over (0 = Threads, matching the paper's Grapes(T)
+	// parallel construction). Any worker count produces an identical index.
+	BuildWorkers int
 }
 
 // DefaultOptions mirrors the paper's Grapes(1) configuration.
@@ -73,8 +80,11 @@ func New(opt Options) *Index {
 	if opt.Threads <= 0 {
 		opt.Threads = 1
 	}
+	if opt.BuildWorkers <= 0 {
+		opt.BuildWorkers = opt.Threads
+	}
 	d := features.NewDict()
-	return &Index{opt: opt, dict: d, tr: trie.NewWithDict(d), memoS: features.NewScratch()}
+	return &Index{opt: opt, dict: d, tr: trie.NewSharded(d, opt.Shards), memoS: features.NewScratch()}
 }
 
 // Name implements index.Method, including the thread count as in the paper.
@@ -105,27 +115,38 @@ func (x *Index) FeatureDict() *features.Dict { return x.dict }
 // FeatureMaxPathLen implements index.CountFilterer.
 func (x *Index) FeatureMaxPathLen() int { return x.opt.MaxPathLen }
 
-// Build implements index.Method with the per-vertex-range parallel
-// strategy. The trie and the query-feature memo are reset on entry
-// (keeping the dictionary handed out by FeatureDict), so Build is
-// idempotent.
+// Build implements index.Method with the paper's parallel construction:
+// BuildWorkers goroutines (default Threads) each enumerate whole graphs and
+// stage postings into private per-shard buffers that merge
+// deterministically, so the index is identical at any worker count (the
+// shared pipeline is ggsx.BuildPaths). When the dataset is too small to
+// feed the graph-level workers — a handful of huge graphs, or an explicit
+// single build worker — the legacy per-vertex-range strategy applies
+// Threads-way parallelism *within* each graph instead, the original Grapes
+// description. Both strategies produce the same index. The trie and the
+// query-feature memo are reset on entry (keeping the dictionary handed out
+// by FeatureDict), so Build is idempotent.
 func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
-	x.tr = trie.NewWithDict(x.dict)
+	x.tr = trie.NewSharded(x.dict, x.opt.Shards)
 	x.mu.Lock()
 	x.lastQ, x.lastF = nil, nil
 	x.mu.Unlock()
 	opt := features.PathOptions{MaxLen: x.opt.MaxPathLen, Locations: true}
-	for i, g := range db {
-		ps := x.enumerate(g, opt)
-		for k, c := range ps.Counts {
-			x.tr.Insert(k, trie.Posting{
-				Graph: int32(i),
-				Count: int32(c),
-				Locs:  ps.Locations[k],
-			})
+	if x.opt.Threads > 1 && (x.opt.BuildWorkers <= 1 || len(db) < 2*x.opt.BuildWorkers) {
+		for i, g := range db {
+			ps := x.enumerate(g, opt)
+			for k, c := range ps.Counts {
+				x.tr.Insert(k, trie.Posting{
+					Graph: int32(i),
+					Count: int32(c),
+					Locs:  ps.Locations[k],
+				})
+			}
 		}
+		return
 	}
+	ggsx.BuildPaths(x.tr, db, opt, x.opt.BuildWorkers)
 }
 
 // enumerate splits the start-vertex range across Threads workers and merges

@@ -31,8 +31,18 @@ import (
 // rely on this: implementations keep per-call state in pooled scratch
 // buffers (ggsx, grapes) or allocate it per call (ctindex, contain), and
 // any memoisation must be internally synchronised (see grapes' query-
-// feature memo). Build itself is not concurrent-safe and must complete
-// before the first query.
+// feature memo).
+//
+// Build itself may parallelise *internally* — the path methods fan feature
+// enumeration out over build workers and merge into a sharded postings
+// store (package trie) — but externally it remains strictly exclusive: it
+// must be called exactly once, by one goroutine, and no other method of the
+// index may run until it returns. Implementations that build in parallel
+// must join every build goroutine before returning, so that Build's return
+// establishes a happens-before edge to every subsequent Filter/Verify call
+// and the read path needs no synchronisation of its own. Parallel builds
+// must also be deterministic: the same dataset must yield the same index
+// state (postings, walk order, filter results) at any worker count.
 type Method interface {
 	// Name identifies the method in experiment output (e.g. "Grapes(6)").
 	Name() string
@@ -158,11 +168,4 @@ func UnionSorted(a, b []int32) []int32 {
 	out = append(out, a[i:]...)
 	out = append(out, b[j:]...)
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

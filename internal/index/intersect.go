@@ -1,6 +1,7 @@
 package index
 
 import (
+	"math/bits"
 	"slices"
 	"sort"
 )
@@ -14,10 +15,31 @@ import (
 // (exponential-probe) search over the longer side does O(|a|·log|b|/|a|)
 // work instead of O(|a|+|b|).
 
-// gallopRatio is the length skew at which IntersectInto switches from the
-// linear merge to galloping. Below the switchover the merge's branch-
-// predictable scan wins; above it the probe count dominates.
-const gallopRatio = 8
+// gallopProbeCost is the measured cost of one galloping probe step relative
+// to one step of the linear merge's branch-predictable scan (binary-search
+// probes miss branch prediction and jump across cache lines). Calibrated
+// against the skewed-intersect benchmarks below: at skew 4 the merge still
+// wins at every list size measured, at skew 8 galloping already wins, so
+// the model's switchover must land between them.
+const gallopProbeCost = 2
+
+// shouldGallop picks the strategy from the two list lengths instead of a
+// fixed skew ratio: galloping costs about gallopProbeCost·log2(|b|/|a|)
+// probe steps per element of the short list, the merge scans all |a|+|b|
+// elements once, so galloping wins exactly when the first estimate
+// undercuts the second (a switchover near 6× skew with the calibrated
+// probe cost, growing with the log term near the boundary, instead of the
+// previous hard-coded 8×).
+func shouldGallop(la, lb int) bool {
+	if la == 0 {
+		return false
+	}
+	r := lb / la
+	if r < 4 { // quick reject: well below any measured crossover
+		return false
+	}
+	return gallopProbeCost*la*bits.Len(uint(r)) < la+lb
+}
 
 // IntersectSortedGalloping returns the intersection of two ascending id
 // slices, galloping over the longer one. Exported for benchmarking against
@@ -38,7 +60,7 @@ func IntersectInto(dst, a, b []int32) []int32 {
 	if len(a) == 0 {
 		return dst
 	}
-	if len(b) >= gallopRatio*len(a) {
+	if shouldGallop(len(a), len(b)) {
 		return intersectGalloping(dst, a, b)
 	}
 	i, j := 0, 0

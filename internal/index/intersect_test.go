@@ -103,12 +103,42 @@ func TestIntersectManyRandom(t *testing.T) {
 	}
 }
 
-// Benchmarks: a skewed pair (the shape selectivity ordering produces) and a
-// balanced pair (where the linear merge should win).
+func TestShouldGallopModel(t *testing.T) {
+	// The calibrated model must keep the merge below the measured crossover
+	// (skew ≤ 4) and gallop above it (skew ≥ 8), at any list scale.
+	for _, la := range []int{4, 16, 64, 256, 4096} {
+		if shouldGallop(la, 2*la) || shouldGallop(la, 4*la) {
+			t.Errorf("la=%d: galloping chosen below the crossover", la)
+		}
+		if !shouldGallop(la, 8*la) || !shouldGallop(la, 512*la) {
+			t.Errorf("la=%d: merge chosen above the crossover", la)
+		}
+	}
+	if shouldGallop(0, 100) {
+		t.Error("empty short side must never gallop")
+	}
+}
+
+// Benchmarks: a skewed pair (the shape selectivity ordering produces), a
+// balanced pair (where the linear merge should win), and a moderate-skew
+// pair near the adaptive switchover.
 
 func benchLists(nA, nB int) (a, b []int32) {
 	rng := rand.New(rand.NewSource(3))
 	return sortedUnique(rng, nA, 10*nB), sortedUnique(rng, nB, 10*nB)
+}
+
+// BenchmarkIntersectModerateSkew sits just above the adaptive switchover
+// (skew 8): IntersectInto must track the galloping side here, where the old
+// fixed ratio was calibrated and the adaptive model must not regress.
+func BenchmarkIntersectModerateSkew(b *testing.B) {
+	x, y := benchLists(256, 2048)
+	var buf []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = IntersectInto(buf, x, y)
+	}
 }
 
 func BenchmarkIntersectSortedSkewed(b *testing.B) {

@@ -1,0 +1,231 @@
+package trie
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// dumpTrie renders a trie's full observable state: Walk order, postings
+// (including locations), node count and key count.
+func dumpTrie(t *Trie) string {
+	out := fmt.Sprintf("nodes=%d len=%d\n", t.NodeCount(), t.Len())
+	t.Walk(func(k string, ps []Posting) {
+		out += fmt.Sprintf("%q ->", k)
+		for _, p := range ps {
+			out += fmt.Sprintf(" {g=%d c=%d locs=%v}", p.Graph, p.Count, p.Locs)
+		}
+		out += "\n"
+	})
+	return out
+}
+
+// randomPostings produces a deterministic stream of (key, posting) pairs in
+// "graph order": each graph's features appear once, as a sequential build
+// would emit them.
+func randomPostings(seed int64, nGraphs, nKeys int) [][]struct {
+	key string
+	p   Posting
+} {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("p:%d.%d.%d", rng.Intn(7), rng.Intn(7), i%17)
+	}
+	out := make([][]struct {
+		key string
+		p   Posting
+	}, nGraphs)
+	for g := range out {
+		seen := map[string]bool{}
+		for n := 1 + rng.Intn(8); n > 0; n-- {
+			k := keys[rng.Intn(len(keys))]
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			var locs []int32
+			for v := int32(0); v < 6; v++ {
+				if rng.Intn(2) == 0 {
+					locs = append(locs, v)
+				}
+			}
+			out[g] = append(out[g], struct {
+				key string
+				p   Posting
+			}{k, Posting{Graph: int32(g), Count: int32(1 + rng.Intn(4)), Locs: locs}})
+		}
+	}
+	return out
+}
+
+func TestNormalizeShards(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 64: 64, 65: 64, 1000: 64}
+	for in, want := range cases {
+		if got := normalizeShards(in); got != want {
+			t.Errorf("normalizeShards(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if got := normalizeShards(0); got < 1 || got&(got-1) != 0 {
+		t.Errorf("normalizeShards(0) = %d, want a positive power of two", got)
+	}
+}
+
+// TestShardCountInvisible pins the tentpole invariant: the shard count never
+// changes anything observable — postings, Walk order, node count, Len.
+func TestShardCountInvisible(t *testing.T) {
+	data := randomPostings(21, 30, 40)
+	ref := NewSharded(features.NewDict(), 1)
+	for _, g := range data {
+		for _, kp := range g {
+			ref.Insert(kp.key, kp.p)
+		}
+	}
+	want := dumpTrie(ref)
+	for _, k := range []int{2, 3, 8, 64} {
+		tr := NewSharded(features.NewDict(), k)
+		for _, g := range data {
+			for _, kp := range g {
+				tr.Insert(kp.key, kp.p)
+			}
+		}
+		if got := dumpTrie(tr); got != want {
+			t.Errorf("K=%d diverges from unsharded build:\n%s\nvs\n%s", k, got, want)
+		}
+	}
+}
+
+// TestBuilderMatchesSequential is the store-level differential test of the
+// parallel build path: for any shard count and worker count, staging the
+// same postings from concurrent goroutines and merging must reproduce the
+// sequential Insert build bit for bit (same postings, locations, Walk order
+// and node count).
+func TestBuilderMatchesSequential(t *testing.T) {
+	data := randomPostings(7, 48, 60)
+	seq := NewSharded(features.NewDict(), 1)
+	for _, g := range data {
+		for _, kp := range g {
+			seq.Insert(kp.key, kp.p)
+		}
+	}
+	want := dumpTrie(seq)
+	for _, k := range []int{1, 4, 8} {
+		for _, workers := range []int{1, 3, 8} {
+			tr := NewSharded(features.NewDict(), k)
+			b := tr.NewBuilder(workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					bw := b.Worker(w)
+					// graphs dealt round-robin across workers
+					for g := w; g < len(data); g += workers {
+						for _, kp := range data[g] {
+							bw.Insert(kp.key, kp.p)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.Merge()
+			if got := dumpTrie(tr); got != want {
+				t.Errorf("K=%d workers=%d diverges from sequential build:\n%s\nvs\n%s", k, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestBuilderEightGoroutines exercises the full staged-parallel build with 8
+// concurrent goroutines interning through one shared dictionary — the case
+// the CI race job is meant to catch regressions in.
+func TestBuilderEightGoroutines(t *testing.T) {
+	const workers = 8
+	data := randomPostings(99, 64, 80)
+	d := features.NewDict()
+	tr := NewSharded(d, 8)
+	b := tr.NewBuilder(workers)
+	var next int32
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		next++
+		return int(next) - 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bw := b.Worker(w)
+			for {
+				g := claim()
+				if g >= len(data) {
+					return
+				}
+				for _, kp := range data[g] {
+					bw.Insert(kp.key, kp.p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Merge()
+
+	seq := NewSharded(features.NewDict(), 1)
+	for _, g := range data {
+		for _, kp := range g {
+			seq.Insert(kp.key, kp.p)
+		}
+	}
+	if got, want := dumpTrie(tr), dumpTrie(seq); got != want {
+		t.Errorf("8-goroutine build diverges:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestBuilderMergesDuplicates: staging the same (key, graph) twice — even
+// from different workers — accumulates counts and unions locations exactly
+// like sequential Insert.
+func TestBuilderMergesDuplicates(t *testing.T) {
+	tr := New()
+	b := tr.NewBuilder(2)
+	b.Worker(0).Insert("k", Posting{Graph: 7, Count: 1, Locs: []int32{1, 3}})
+	b.Worker(1).Insert("k", Posting{Graph: 7, Count: 2, Locs: []int32{2, 3}})
+	b.Worker(1).Insert("k", Posting{Graph: 5, Count: 1})
+	b.Merge()
+	ps := tr.Get("k")
+	if len(ps) != 2 || ps[0].Graph != 5 || ps[1].Graph != 7 {
+		t.Fatalf("postings = %+v", ps)
+	}
+	if ps[1].Count != 3 || !reflect.DeepEqual(ps[1].Locs, []int32{1, 2, 3}) {
+		t.Errorf("merged posting = %+v", ps[1])
+	}
+}
+
+// TestBuilderMergeIntoExisting: a Merge over a trie that already holds
+// postings behaves like further sequential Inserts.
+func TestBuilderMergeIntoExisting(t *testing.T) {
+	tr := New()
+	tr.Insert("a", Posting{Graph: 1, Count: 2})
+	tr.Insert("b", Posting{Graph: 3, Count: 1})
+	b := tr.NewBuilder(1)
+	b.Worker(0).Insert("a", Posting{Graph: 1, Count: 1}) // merges into existing
+	b.Worker(0).Insert("a", Posting{Graph: 0, Count: 4}) // prepends
+	b.Worker(0).Insert("c", Posting{Graph: 2, Count: 1}) // new key
+	b.Merge()
+
+	want := New()
+	want.Insert("a", Posting{Graph: 1, Count: 2})
+	want.Insert("b", Posting{Graph: 3, Count: 1})
+	want.Insert("a", Posting{Graph: 1, Count: 1})
+	want.Insert("a", Posting{Graph: 0, Count: 4})
+	want.Insert("c", Posting{Graph: 2, Count: 1})
+	if got, w := dumpTrie(tr), dumpTrie(want); got != w {
+		t.Errorf("merge-into-existing diverges:\n%s\nvs\n%s", got, w)
+	}
+}

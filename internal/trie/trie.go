@@ -1,15 +1,27 @@
-// Package trie implements the feature-keyed postings store shared by the
-// GraphGrepSX and Grapes dataset indexes and by iGQ's Isub/Isuper query
-// indexes (the paper's Algorithm 1 stores query features "in a trie").
+// Package trie implements the sharded, feature-keyed postings store shared
+// by the GraphGrepSX and Grapes dataset indexes and by iGQ's Isub/Isuper
+// query indexes (the paper's Algorithm 1 stores query features "in a trie").
 //
 // Keys are canonical feature strings (package features), interned into dense
 // FeatureIDs by a features.Dict — shared across indexes or private to one
-// trie. The hot lookup path is ID-keyed: postings live in a flat
-// map[FeatureID][]Posting probed by integer, so a query canonicalised once
-// can be checked against any number of tries without re-hashing strings.
-// The byte-level trie over the canonical keys is kept for what genuinely
-// needs strings: lexicographic Walk, persistence, and the node-count /
-// size accounting the paper reports (Fig 18).
+// trie. The hot lookup path is ID-keyed and sharded: postings live in K
+// independent shards selected by FeatureID % K (K a power of two, so the
+// probe is a mask plus one small-map lookup), which keeps the per-shard maps
+// cache-resident for multi-feature filtering and — more importantly — lets
+// index builds run in parallel: Builder gives each build goroutine private
+// per-shard staging buffers and then merges every shard independently, so a
+// K-shard build uses up to K merge workers without a single lock or atomic
+// on the postings themselves. Grapes is explicitly a parallel indexing
+// method in its original paper, so the contention-free build path is
+// fidelity as much as speed. After a build the shards are immutable and the
+// read path (Get/GetByID/Walk) is lock-free by construction.
+//
+// Sharding is invisible to correctness: the shard holding a feature is a
+// pure function of its ID, so any shard count yields the same postings, the
+// same Walk order and the same filter results. The byte-level trie over the
+// canonical keys is kept for what genuinely needs strings: lexicographic
+// Walk, persistence, and the node-count / size accounting the paper reports
+// (Fig 18).
 //
 // Children are kept in sorted compact slices: feature alphabets are tiny
 // (digits, '.', ':' and a few letters), so binary search over a slice beats
@@ -17,7 +29,11 @@
 package trie
 
 import (
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/features"
 )
@@ -36,14 +52,6 @@ type node struct {
 	terminal bool
 }
 
-func (n *node) child(b byte) *node {
-	i := sort.Search(len(n.labels), func(i int) bool { return n.labels[i] >= b })
-	if i < len(n.labels) && n.labels[i] == b {
-		return n.children[i]
-	}
-	return nil
-}
-
 func (n *node) ensureChild(b byte) *node {
 	i := sort.Search(len(n.labels), func(i int) bool { return n.labels[i] >= b })
 	if i < len(n.labels) && n.labels[i] == b {
@@ -59,29 +67,90 @@ func (n *node) ensureChild(b byte) *node {
 	return c
 }
 
-// Trie maps canonical feature keys to postings lists, with an ID-keyed fast
-// path for callers that have already interned their features.
-type Trie struct {
-	dict  *features.Dict
-	root  node
+// shard is one independent slice of the postings space: every feature with
+// ID ≡ s (mod K) lives in shard s and nowhere else.
+type shard struct {
 	posts map[features.FeatureID][]Posting
-	nodes int
 }
 
-// New returns an empty trie with a private feature dictionary.
+// Trie maps canonical feature keys to postings lists, with an ID-keyed,
+// sharded fast path for callers that have already interned their features.
+type Trie struct {
+	dict   *features.Dict
+	shards []shard
+	mask   uint32 // len(shards)-1; shard counts are powers of two
+	root   node
+	nodes  int
+}
+
+// maxShards bounds the shard count: beyond this the per-shard maps are too
+// sparse to pay for themselves even on very wide machines.
+const maxShards = 64
+
+// DefaultShards is the shard count used when callers do not pick one: the
+// smallest power of two covering GOMAXPROCS, clamped to [1, 64], so a
+// default build can use one merge worker per shard on the machine at hand.
+func DefaultShards() int { return normalizeShards(runtime.GOMAXPROCS(0)) }
+
+// normalizeShards rounds k up to a power of two in [1, maxShards];
+// non-positive k selects DefaultShards.
+func normalizeShards(k int) int {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > maxShards {
+		k = maxShards
+	}
+	p := 1
+	for p < k {
+		p <<= 1
+	}
+	return p
+}
+
+// New returns an empty trie with a private feature dictionary and the
+// default shard count.
 func New() *Trie { return NewWithDict(features.NewDict()) }
 
 // NewWithDict returns an empty trie whose keys are interned through d —
 // shared with other tries so that all of them are probed by the same IDs.
-func NewWithDict(d *features.Dict) *Trie {
-	return &Trie{dict: d, posts: make(map[features.FeatureID][]Posting)}
+// The shard count defaults to DefaultShards().
+func NewWithDict(d *features.Dict) *Trie { return NewSharded(d, 0) }
+
+// NewSharded returns an empty trie with an explicit shard count (rounded up
+// to a power of two, clamped to 64; ≤ 0 selects DefaultShards()). Any shard
+// count yields identical observable behaviour; the count only decides how
+// much build and probe parallelism the store can exploit.
+func NewSharded(d *features.Dict, k int) *Trie {
+	k = normalizeShards(k)
+	t := &Trie{dict: d, shards: make([]shard, k), mask: uint32(k - 1)}
+	for i := range t.shards {
+		t.shards[i].posts = make(map[features.FeatureID][]Posting)
+	}
+	return t
 }
 
 // Dict returns the trie's feature dictionary.
 func (t *Trie) Dict() *features.Dict { return t.dict }
 
+// ShardCount returns the number of postings shards (a power of two).
+func (t *Trie) ShardCount() int { return len(t.shards) }
+
+// ShardOf returns the shard index holding an interned feature's postings —
+// a pure function of the ID, so callers (the count filter) can group probes
+// by shard.
+func (t *Trie) ShardOf(id features.FeatureID) int { return int(uint32(id) & t.mask) }
+
+func (t *Trie) shardFor(id features.FeatureID) *shard { return &t.shards[uint32(id)&t.mask] }
+
 // Len returns the number of distinct keys stored.
-func (t *Trie) Len() int { return len(t.posts) }
+func (t *Trie) Len() int {
+	n := 0
+	for i := range t.shards {
+		n += len(t.shards[i].posts)
+	}
+	return n
+}
 
 // NodeCount returns the number of internal trie nodes (excluding the root),
 // an index-size proxy.
@@ -105,36 +174,39 @@ func (t *Trie) insertPath(key string, id features.FeatureID) {
 // Insert adds (or merges) a posting for key, interning it into the
 // dictionary. Postings for a key are kept sorted by graph id; inserting the
 // same (key, graph) twice accumulates the count and unions locations.
+// Not safe for concurrent use — parallel builds go through Builder.
 func (t *Trie) Insert(key string, p Posting) {
 	id := t.dict.Intern(key)
-	if _, seen := t.posts[id]; !seen {
+	sh := t.shardFor(id)
+	if _, seen := sh.posts[id]; !seen {
 		t.insertPath(key, id)
 	}
-	t.addPosting(id, p)
+	addPosting(sh, id, p)
 }
 
 // InsertID adds (or merges) a posting for an already-interned feature — the
-// hot build path for callers enumerating features as IDs.
+// hot sequential build path for callers enumerating features as IDs.
 func (t *Trie) InsertID(id features.FeatureID, p Posting) {
-	if _, seen := t.posts[id]; !seen {
+	sh := t.shardFor(id)
+	if _, seen := sh.posts[id]; !seen {
 		t.insertPath(t.dict.Key(id), id)
 	}
-	t.addPosting(id, p)
+	addPosting(sh, id, p)
 }
 
-func (t *Trie) addPosting(id features.FeatureID, p Posting) {
-	ps := t.posts[id]
+func addPosting(sh *shard, id features.FeatureID, p Posting) {
+	ps := sh.posts[id]
 	i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= p.Graph })
 	if i < len(ps) && ps[i].Graph == p.Graph {
 		ps[i].Count += p.Count
 		ps[i].Locs = unionSorted(ps[i].Locs, p.Locs)
-		t.posts[id] = ps
+		sh.posts[id] = ps
 		return
 	}
 	ps = append(ps, Posting{})
 	copy(ps[i+1:], ps[i:])
 	ps[i] = Posting{Graph: p.Graph, Count: p.Count, Locs: append([]int32(nil), p.Locs...)}
-	t.posts[id] = ps
+	sh.posts[id] = ps
 }
 
 // Get returns the postings for key, or nil if the key was never inserted
@@ -145,12 +217,13 @@ func (t *Trie) Get(key string) []Posting {
 	if !ok {
 		return nil
 	}
-	return t.posts[id]
+	return t.shardFor(id).posts[id]
 }
 
 // GetByID returns the postings for an interned feature, or nil if this trie
-// holds none. The returned slice is owned by the trie.
-func (t *Trie) GetByID(id features.FeatureID) []Posting { return t.posts[id] }
+// holds none. The returned slice is owned by the trie. Lock-free: one mask
+// plus one map probe against an immutable shard.
+func (t *Trie) GetByID(id features.FeatureID) []Posting { return t.shardFor(id).posts[id] }
 
 // Contains reports whether key currently has at least one posting. A key
 // whose postings were all drained by RemoveGraph is no longer contained.
@@ -162,7 +235,7 @@ func (t *Trie) Walk(fn func(key string, postings []Posting)) {
 	var rec func(n *node)
 	rec = func(n *node) {
 		if n.terminal {
-			fn(string(buf), t.posts[n.id])
+			fn(string(buf), t.GetByID(n.id))
 		}
 		for i, b := range n.labels {
 			buf = append(buf, b)
@@ -180,16 +253,20 @@ func (t *Trie) Walk(fn func(key string, postings []Posting)) {
 // shadow-index maintenance where the query index is rebuilt over the
 // retained cache contents.
 func (t *Trie) RemoveGraph(id int32) {
-	for fid, ps := range t.posts {
-		i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= id })
-		if i < len(ps) && ps[i].Graph == id {
-			t.posts[fid] = append(ps[:i], ps[i+1:]...)
+	for s := range t.shards {
+		posts := t.shards[s].posts
+		for fid, ps := range posts {
+			i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= id })
+			if i < len(ps) && ps[i].Graph == id {
+				posts[fid] = append(ps[:i], ps[i+1:]...)
+			}
 		}
 	}
 }
 
-// SizeBytes approximates the in-memory footprint of the trie (nodes,
-// postings and location lists), used for the paper's Fig 18 accounting.
+// SizeBytes approximates the in-memory footprint of the trie (nodes, shard
+// tables, postings and location lists), used for the paper's Fig 18
+// accounting.
 func (t *Trie) SizeBytes() int {
 	sz := 0
 	var rec func(n *node)
@@ -200,13 +277,235 @@ func (t *Trie) SizeBytes() int {
 		}
 	}
 	rec(&t.root)
-	for _, ps := range t.posts {
-		sz += 16 // postings-map entry
-		for _, p := range ps {
-			sz += 12 + 4*len(p.Locs)
+	sz += 48 * len(t.shards) // shard headers
+	for s := range t.shards {
+		for _, ps := range t.shards[s].posts {
+			sz += 16 // postings-map entry
+			for _, p := range ps {
+				sz += 12 + 4*len(p.Locs)
+			}
 		}
 	}
 	return sz
+}
+
+// ParallelFor fans n items out over up to workers goroutines (capped at n;
+// ≤ 1 runs inline). Each goroutine receives its worker index — for
+// per-worker state like a BuildWorker or an enumeration scratch — and a
+// claim function yielding successive item indices until it returns -1:
+//
+//	trie.ParallelFor(len(db), workers, func(w int, claim func() int) {
+//		bw := b.Worker(w)
+//		for i := claim(); i >= 0; i = claim() { ... }
+//	})
+//
+// ParallelFor returns after every worker has finished, so it establishes
+// the happens-before edge parallel builds rely on. Shared by the shard
+// merge below, the path-method builds and core's cache-side index builds.
+func ParallelFor(n, workers int, body func(worker int, claim func() int)) {
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	claim := func() int {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			return -1
+		}
+		return i
+	}
+	if workers <= 1 {
+		body(0, claim)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body(w, claim)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// stagedPosting is one posting awaiting its shard merge.
+type stagedPosting struct {
+	id features.FeatureID
+	p  Posting
+}
+
+// Builder assembles a trie from concurrent producers without contention on
+// the postings store. Each build goroutine claims one BuildWorker and stages
+// its postings into private per-shard buffers; Merge then folds every
+// shard's staged postings in — shards in parallel (they are disjoint by
+// construction), each shard deterministically: staged postings are ordered
+// by (FeatureID, graph id) before insertion, so the resulting store is
+// identical to a sequential build of the same postings regardless of how
+// graphs were distributed over workers or interleaved in time.
+//
+// The one shared structure workers touch is the feature dictionary
+// (BuildWorker.Insert interns through it, internally synchronised); callers
+// that pre-intern and stage by ID avoid even that.
+type Builder struct {
+	t       *Trie
+	workers []*BuildWorker
+}
+
+// BuildWorker is one goroutine's private staging area. Each BuildWorker may
+// be used by only one goroutine at a time; distinct BuildWorkers of the same
+// Builder are safe to use concurrently.
+type BuildWorker struct {
+	t      *Trie
+	staged [][]stagedPosting // one buffer per shard
+}
+
+// NewBuilder returns a Builder with the given number of staging workers
+// (min 1). The trie must not be read or written between NewBuilder and the
+// completion of Merge.
+func (t *Trie) NewBuilder(workers int) *Builder {
+	if workers < 1 {
+		workers = 1
+	}
+	b := &Builder{t: t, workers: make([]*BuildWorker, workers)}
+	for i := range b.workers {
+		b.workers[i] = &BuildWorker{t: t, staged: make([][]stagedPosting, len(t.shards))}
+	}
+	return b
+}
+
+// Worker returns staging worker i (0 ≤ i < the count passed to NewBuilder).
+func (b *Builder) Worker(i int) *BuildWorker { return b.workers[i] }
+
+// Insert interns key and stages a posting for it. Safe to call from the
+// worker's own goroutine while other workers stage concurrently.
+func (w *BuildWorker) Insert(key string, p Posting) {
+	w.InsertID(w.t.dict.Intern(key), p)
+}
+
+// InsertID stages a posting for an already-interned feature.
+func (w *BuildWorker) InsertID(id features.FeatureID, p Posting) {
+	s := int(uint32(id) & w.t.mask)
+	w.staged[s] = append(w.staged[s], stagedPosting{id: id, p: p})
+}
+
+// Merge folds all staged postings into the trie: one merge task per shard,
+// fanned out over up to GOMAXPROCS goroutines, each inserting its shard's
+// postings in (FeatureID, graph) order so the result is independent of the
+// staging schedule. Duplicate (feature, graph) postings merge exactly as
+// sequential Insert would (counts accumulate, locations union). Merge must
+// be called once, after every staging goroutine has finished; afterwards the
+// Builder is drained and the trie is ready for lock-free reads.
+func (b *Builder) Merge() {
+	t := b.t
+	k := len(t.shards)
+	newIDs := make([][]features.FeatureID, k)
+	ParallelFor(k, runtime.GOMAXPROCS(0), func(_ int, claim func() int) {
+		for s := claim(); s >= 0; s = claim() {
+			newIDs[s] = t.mergeShard(s, b.workers)
+		}
+	})
+	// Byte-trie paths for first-seen keys. The trie's structure (and hence
+	// Walk order and NodeCount) is a function of the key set alone, so the
+	// insertion order here does not matter; doing it after the parallel
+	// phase keeps the byte trie single-writer.
+	for _, ids := range newIDs {
+		for _, id := range ids {
+			t.insertPath(t.dict.Key(id), id)
+		}
+	}
+	for _, w := range b.workers {
+		for s := range w.staged {
+			w.staged[s] = nil
+		}
+	}
+}
+
+// mergeShard inserts every staged posting for shard s and returns the IDs
+// that were new to this trie (their byte-trie paths are still missing).
+func (t *Trie) mergeShard(s int, workers []*BuildWorker) []features.FeatureID {
+	sh := &t.shards[s]
+	n := 0
+	for _, w := range workers {
+		n += len(w.staged[s])
+	}
+	if n == 0 {
+		return nil
+	}
+	all := make([]stagedPosting, 0, n)
+	for _, w := range workers {
+		all = append(all, w.staged[s]...)
+	}
+	slices.SortFunc(all, func(a, b stagedPosting) int {
+		if a.id != b.id {
+			if a.id < b.id {
+				return -1
+			}
+			return 1
+		}
+		if a.p.Graph != b.p.Graph {
+			if a.p.Graph < b.p.Graph {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	var newIDs []features.FeatureID
+	for i := 0; i < len(all); {
+		j := i
+		id := all[i].id
+		for j < len(all) && all[j].id == id {
+			j++
+		}
+		// Fold the group into one sorted run; duplicate (feature, graph)
+		// pairs merge commutatively, so the fold is order-insensitive.
+		run := make([]Posting, 0, j-i)
+		for _, sp := range all[i:j] {
+			if m := len(run); m > 0 && run[m-1].Graph == sp.p.Graph {
+				run[m-1].Count += sp.p.Count
+				run[m-1].Locs = unionSorted(run[m-1].Locs, sp.p.Locs)
+				continue
+			}
+			run = append(run, Posting{Graph: sp.p.Graph, Count: sp.p.Count, Locs: append([]int32(nil), sp.p.Locs...)})
+		}
+		if old, seen := sh.posts[id]; seen {
+			sh.posts[id] = mergePostingRuns(old, run)
+		} else {
+			sh.posts[id] = run
+			newIDs = append(newIDs, id)
+		}
+		i = j
+	}
+	return newIDs
+}
+
+// mergePostingRuns merges two graph-sorted posting runs, combining postings
+// of the same graph (counts add, locations union).
+func mergePostingRuns(a, b []Posting) []Posting {
+	out := make([]Posting, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Graph < b[j].Graph:
+			out = append(out, a[i])
+			i++
+		case a[i].Graph > b[j].Graph:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, Posting{
+				Graph: a[i].Graph,
+				Count: a[i].Count + b[j].Count,
+				Locs:  unionSorted(a[i].Locs, b[j].Locs),
+			})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 func unionSorted(a, b []int32) []int32 {
