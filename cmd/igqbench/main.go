@@ -29,6 +29,8 @@ func main() {
 		workers = flag.Int("workers", 0, "max goroutines for the concurrency experiments (0 = one per CPU)")
 		shards  = flag.Int("shards", 0, "postings shard count for sharded-store experiments (0 = one per CPU)")
 		bwork   = flag.Int("buildworkers", 0, "max index-build goroutines for the buildscale experiment (0 = one per CPU)")
+		saveIdx = flag.String("save-index", "", "directory to keep the coldstart experiment's index snapshots in (default: temp, discarded)")
+		loadIdx = flag.String("load-index", "", "directory holding pre-built index snapshots for the coldstart experiment (written by an earlier -save-index run)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		verbose = flag.Bool("v", false, "verbose progress output")
 	)
@@ -48,6 +50,7 @@ func main() {
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Verbose: *verbose,
 		Workers: *workers, Shards: *shards, BuildWorkers: *bwork,
+		SaveIndexPath: *saveIdx, LoadIndexPath: *loadIdx,
 	}
 
 	if *expID == "all" {

@@ -6,11 +6,17 @@
 //
 //	igqquery -db dataset.db -queries queries.db [-method grapes] [-super]
 //	         [-cache 500 -window 100] [-no-cache] [-workers N]
+//	         [-save-index snap.igq] [-load-index snap.igq]
 //
 // With -workers != 1 the queries are served concurrently through the
 // engine's batch pipeline (0 = one worker per CPU); -workers 1 replays the
 // stream sequentially, which maximises the cache-hit rate on highly
 // repetitive streams.
+//
+// -load-index restores the engine (dataset index + query cache) from a
+// snapshot written by an earlier -save-index run against the same dataset,
+// skipping the index build entirely; -save-index writes the snapshot after
+// the queries have been served, so the accumulated cache is captured too.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 		window  = flag.Int("window", 100, "iGQ window size W")
 		noCache = flag.Bool("no-cache", false, "disable iGQ (plain filter-then-verify)")
 		workers = flag.Int("workers", 1, "query-serving goroutines (0 = one per CPU, 1 = sequential)")
+		saveIdx = flag.String("save-index", "", "write an engine snapshot (index + cache) to this file after serving")
+		loadIdx = flag.String("load-index", "", "restore the engine from a snapshot instead of building the index")
 		quiet   = flag.Bool("quiet", false, "suppress per-query lines")
 	)
 	flag.Parse()
@@ -74,12 +82,44 @@ func main() {
 		fatal("unknown method %q", *method)
 	}
 
-	t0 := time.Now()
-	eng, err := igq.NewEngine(db, opt)
-	if err != nil {
-		fatal("%v", err)
+	// Pre-flight the snapshot destination before serving a potentially long
+	// workload: an unwritable path or a method without index persistence
+	// should fail in milliseconds, not after the last query.
+	var saveFile *os.File
+	if *saveIdx != "" {
+		switch strings.ToLower(*method) {
+		case "grapes", "ggsx":
+		default:
+			fatal("-save-index requires a persistable method (grapes or ggsx), not %s", *method)
+		}
+		f, err := os.Create(*saveIdx)
+		if err != nil {
+			fatal("creating index snapshot: %v", err)
+		}
+		saveFile = f
 	}
-	fmt.Printf("indexed %d graphs with %s in %v\n", len(db), eng.MethodName(), time.Since(t0))
+
+	t0 := time.Now()
+	var eng *igq.Engine
+	if *loadIdx != "" {
+		f, err := os.Open(*loadIdx)
+		if err != nil {
+			fatal("opening index snapshot: %v", err)
+		}
+		eng, err = igq.LoadEngine(f, db, opt)
+		f.Close()
+		if err != nil {
+			fatal("loading index snapshot: %v", err)
+		}
+		fmt.Printf("restored %s engine over %d graphs from %s in %v (no rebuild)\n",
+			eng.MethodName(), len(db), *loadIdx, time.Since(t0))
+	} else {
+		eng, err = igq.NewEngine(db, opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("indexed %d graphs with %s in %v\n", len(db), eng.MethodName(), time.Since(t0))
+	}
 
 	ctx := context.Background()
 	nWorkers := *workers
@@ -122,6 +162,23 @@ func main() {
 		totalMatches, st.DatasetIsoTests, st.CacheIsoTests)
 	fmt.Printf("cache short-circuits: %d, sub/super hits: %d/%d, cached queries: %d, flushes: %d\n",
 		st.AnsweredByCache, st.SubHits, st.SuperHits, st.CachedQueries, st.Flushes)
+
+	if saveFile != nil {
+		t2 := time.Now()
+		err := eng.Save(saveFile)
+		if cerr := saveFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("saving index snapshot: %v", err)
+		}
+		var size int64
+		if fi, err := os.Stat(*saveIdx); err == nil {
+			size = fi.Size()
+		}
+		fmt.Printf("saved engine snapshot (index + cache) to %s (%d bytes) in %v\n",
+			*saveIdx, size, time.Since(t2))
+	}
 }
 
 func fatal(format string, args ...interface{}) {

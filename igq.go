@@ -46,12 +46,39 @@
 //     serve each other), but answers never do: every answer equals what the
 //     wrapped method alone would produce (paper Theorems 1 and 2).
 //
+// # Persistence
+//
+// Everything an engine earns — the dataset index built by enumeration and
+// the query cache accumulated by serving — can survive restarts. The two
+// snapshots have different lifetimes and guards:
+//
+//   - The *index* snapshot (SaveIndex/LoadIndex, or the index half of
+//     Save/LoadEngine) captures the method's dataset index: per-shard trie
+//     segments plus the feature dictionary. It is invalidated only by a
+//     change to the dataset — any edit, addition, removal or reorder flips
+//     the embedded checksum and the load fails rather than answer with
+//     wrong positions. GGSX and Grapes support it; a loaded index answers
+//     byte-identically to a freshly built one, turning cold start from
+//     O(dataset re-enumeration) into O(read).
+//   - The *cache* snapshot (SaveCache/LoadCache, or the cache half of
+//     Save/LoadEngine) captures the iGQ query cache: cached query graphs,
+//     answer sets and replacement metadata. It is guarded by the same
+//     dataset checksum, and additionally becomes stale (not wrong) as the
+//     workload drifts — it is knowledge about queries, not about the
+//     dataset, and its indexes are rebuilt on load.
+//
+// Engine.Save writes both in one envelope; igq.LoadEngine restores it
+// without ever enumerating the dataset. The cmd/igqquery and cmd/igqbench
+// tools expose this as -save-index/-load-index, and the "coldstart"
+// experiment measures load-vs-rebuild wall-clock.
+//
 // QuerySubgraph and QuerySupergraph are deprecated synonyms for Query; new
 // code should pass a context and use Query.
 package igq
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -171,6 +198,7 @@ type Engine struct {
 	db     []*Graph
 	m      index.Method
 	superQ bool
+	opt    EngineOptions // resolved construction options (persistence reuse)
 
 	// ig is the cache generation currently serving queries; LoadCache swaps
 	// it atomically. A nil pointer means the cache is disabled.
@@ -224,55 +252,77 @@ type EngineStats struct {
 	Flushes         int   // window flushes (cache-index rebuilds) so far
 }
 
-// NewEngine indexes db and returns a ready engine.
-func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
-	if len(db) == 0 {
-		return nil, errors.New("igq: empty dataset")
+// newMethod constructs the (unbuilt) dataset index selected by opt, which
+// must already be normalized.
+func newMethod(opt EngineOptions) (index.Method, error) {
+	switch opt.Method {
+	case Grapes:
+		return grapes.New(grapes.Options{
+			MaxPathLen:   opt.MaxPathLen,
+			Threads:      opt.Threads,
+			Shards:       opt.Shards,
+			BuildWorkers: opt.BuildWorkers,
+		}), nil
+	case GGSX:
+		return ggsx.New(ggsx.Options{
+			MaxPathLen:   opt.MaxPathLen,
+			Shards:       opt.Shards,
+			BuildWorkers: opt.BuildWorkers,
+		}), nil
+	case CTIndex:
+		return ctindex.New(ctindex.DefaultOptions()), nil
+	case Containment:
+		return contain.New(contain.Options{MaxPathLen: opt.MaxPathLen}), nil
+	default:
+		return nil, fmt.Errorf("igq: unknown method %v", opt.Method)
 	}
+}
+
+// normalized fills option defaults and resolves the supergraph/method
+// coupling.
+func (opt EngineOptions) normalized() EngineOptions {
 	if opt.MaxPathLen <= 0 {
 		opt.MaxPathLen = 4
 	}
 	if opt.Supergraph {
 		opt.Method = Containment
 	}
-	var m index.Method
-	switch opt.Method {
-	case Grapes:
-		m = grapes.New(grapes.Options{
-			MaxPathLen:   opt.MaxPathLen,
-			Threads:      opt.Threads,
-			Shards:       opt.Shards,
-			BuildWorkers: opt.BuildWorkers,
-		})
-	case GGSX:
-		m = ggsx.New(ggsx.Options{
-			MaxPathLen:   opt.MaxPathLen,
-			Shards:       opt.Shards,
-			BuildWorkers: opt.BuildWorkers,
-		})
-	case CTIndex:
-		m = ctindex.New(ctindex.DefaultOptions())
-	case Containment:
-		m = contain.New(contain.Options{MaxPathLen: opt.MaxPathLen})
+	if opt.Method == Containment {
 		opt.Supergraph = true
-	default:
-		return nil, fmt.Errorf("igq: unknown method %v", opt.Method)
+	}
+	return opt
+}
+
+// coreOptions maps engine options onto the iGQ core configuration.
+func (opt EngineOptions) coreOptions() core.Options {
+	mode := core.SubgraphQueries
+	if opt.Supergraph {
+		mode = core.SupergraphQueries
+	}
+	return core.Options{
+		CacheSize:    opt.CacheSize,
+		Window:       opt.Window,
+		MaxPathLen:   opt.MaxPathLen,
+		Mode:         mode,
+		Shards:       opt.Shards,
+		BuildWorkers: opt.BuildWorkers,
+	}
+}
+
+// NewEngine indexes db and returns a ready engine.
+func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
+	if len(db) == 0 {
+		return nil, errors.New("igq: empty dataset")
+	}
+	opt = opt.normalized()
+	m, err := newMethod(opt)
+	if err != nil {
+		return nil, err
 	}
 	m.Build(db)
-	e := &Engine{db: db, m: m, superQ: opt.Supergraph}
+	e := &Engine{db: db, m: m, superQ: opt.Supergraph, opt: opt}
 	if !opt.DisableCache {
-		mode := core.SubgraphQueries
-		if opt.Supergraph {
-			mode = core.SupergraphQueries
-		}
-		e.ig.Store(core.New(m, db, core.Options{
-			CacheSize:    opt.CacheSize,
-			Window:       opt.Window,
-			MaxPathLen:   opt.MaxPathLen,
-			Mode:         mode,
-			Shards:       opt.Shards,
-			BuildWorkers: opt.BuildWorkers,
-		}))
+		e.ig.Store(core.New(m, db, opt.coreOptions()))
 	}
 	return e, nil
 }
@@ -454,20 +504,156 @@ func (e *Engine) LoadCache(r io.Reader) error {
 	if cur == nil {
 		return errors.New("igq: cache disabled")
 	}
-	mode := core.SubgraphQueries
-	if e.superQ {
-		mode = core.SupergraphQueries
-	}
-	ig, err := core.Load(r, e.m, e.db, core.Options{
-		CacheSize: cur.CacheSize(),
-		Window:    cur.WindowSize(),
-		Mode:      mode,
-	})
+	ig, err := core.Load(r, e.m, e.db, e.opt.coreOptions())
 	if err != nil {
 		return err
 	}
 	e.ig.Store(ig)
 	return nil
+}
+
+// SaveIndex serialises the engine's built dataset index (the method's trie,
+// postings and feature dictionary) so a later process can skip the
+// O(dataset) re-enumeration entirely — cold start becomes O(read). Returns
+// an error if the configured method does not support index persistence
+// (GGSX and Grapes do). Like Build, the index is immutable after
+// construction, so SaveIndex is safe while queries are in flight.
+func (e *Engine) SaveIndex(w io.Writer) error {
+	p, ok := e.m.(index.Persistable)
+	if !ok {
+		return fmt.Errorf("igq: method %s does not support index persistence", e.m.Name())
+	}
+	return p.SaveIndex(w)
+}
+
+// LoadIndex replaces the engine's dataset index with a snapshot previously
+// written by SaveIndex on the same method kind and the same dataset (a
+// checksum guard rejects anything else). The cache-side indexes are rebuilt
+// against the restored dictionary. Unlike Query, LoadIndex is exclusive: it
+// must not run concurrently with queries — it exists to re-synchronise a
+// freshly constructed engine; pure cold starts should use LoadEngine, which
+// never builds in the first place.
+func (e *Engine) LoadIndex(r io.Reader) error {
+	p, ok := e.m.(index.Persistable)
+	if !ok {
+		return fmt.Errorf("igq: method %s does not support index persistence", e.m.Name())
+	}
+	if err := p.LoadIndex(r, e.db); err != nil {
+		return err
+	}
+	if ig := e.ig.Load(); ig != nil {
+		// The method's dictionary was reset by the load; cache postings
+		// keyed by the old FeatureIDs must be rebuilt.
+		ig.RebuildIndexes()
+	}
+	return nil
+}
+
+// Engine snapshot envelope: magic, version, flags, then the index snapshot
+// (self-delimiting — every section reads exactly its own bytes) followed
+// (when flagged) by the cache snapshot.
+const (
+	engineMagic           = "IGQENG"
+	engineSnapshotVersion = 1
+	engineFlagCache       = 1 << 0
+)
+
+// Save writes one combined snapshot of everything the engine has earned:
+// the dataset index (as SaveIndex) and, when the cache is enabled, the iGQ
+// query cache (as SaveCache). LoadEngine restores both in one call. Safe
+// while queries are in flight — the cache section is cut at a consistent
+// generation, exactly like SaveCache. Both sections stream to w section by
+// section (the trie writer buffers one encoded segment at a time, never
+// the whole index).
+func (e *Engine) Save(w io.Writer) error {
+	p, ok := e.m.(index.Persistable)
+	if !ok {
+		return fmt.Errorf("igq: method %s does not support index persistence", e.m.Name())
+	}
+	ig := e.ig.Load()
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, engineMagic...)
+	hdr = binary.AppendUvarint(hdr, engineSnapshotVersion)
+	var flags uint64
+	if ig != nil {
+		flags |= engineFlagCache
+	}
+	hdr = binary.AppendUvarint(hdr, flags)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if err := p.SaveIndex(w); err != nil {
+		return err
+	}
+	if ig != nil {
+		return ig.Save(w)
+	}
+	return nil
+}
+
+// LoadEngine constructs an engine over db from a combined snapshot written
+// by Engine.Save, without enumerating the dataset: the index is decoded
+// from its per-shard segments (across opt.BuildWorkers goroutines) and the
+// cache — if the snapshot carries one and opt does not disable it — is
+// restored on top. The snapshot must match db (checksum-guarded) and
+// opt.Method must match the saved index's method. The loaded engine
+// answers byte-identically to one freshly built by NewEngine.
+func LoadEngine(r io.Reader, db []*Graph, opt EngineOptions) (*Engine, error) {
+	if len(db) == 0 {
+		return nil, errors.New("igq: empty dataset")
+	}
+	opt = opt.normalized()
+	br := index.AsByteScanner(r)
+	var magic [len(engineMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("igq: reading snapshot magic: %w", err)
+	}
+	if string(magic[:]) != engineMagic {
+		return nil, fmt.Errorf("igq: not an engine snapshot (magic %q)", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("igq: reading snapshot version: %w", err)
+	}
+	if version < 1 || version > engineSnapshotVersion {
+		return nil, fmt.Errorf("igq: engine snapshot version %d unsupported (this build reads ≤ %d)",
+			version, engineSnapshotVersion)
+	}
+	flags, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("igq: reading snapshot flags: %w", err)
+	}
+	m, err := newMethod(opt)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := m.(index.Persistable)
+	if !ok {
+		return nil, fmt.Errorf("igq: method %s does not support index persistence", m.Name())
+	}
+	// br is a ByteScanner, so LoadIndex consumes exactly the index section
+	// and leaves br positioned at the cache section.
+	if err := p.LoadIndex(br, db); err != nil {
+		return nil, err
+	}
+	if cf, ok := m.(index.CountFilterer); ok {
+		// The snapshot's feature length wins (the index was built with it);
+		// keep the cache-side enumeration consistent with it.
+		opt.MaxPathLen = cf.FeatureMaxPathLen()
+	}
+	e := &Engine{db: db, m: m, superQ: opt.Supergraph, opt: opt}
+	if !opt.DisableCache {
+		if flags&engineFlagCache != 0 {
+			ig, err := core.Load(br, m, db, opt.coreOptions())
+			if err != nil {
+				return nil, fmt.Errorf("igq: restoring cache: %w", err)
+			}
+			e.ig.Store(ig)
+		} else {
+			e.ig.Store(core.New(m, db, opt.coreOptions()))
+		}
+	}
+	return e, nil
 }
 
 // BatchResult pairs a query index with its result.

@@ -330,10 +330,16 @@ func (q *IGQ) CacheSize() int { return q.opt.CacheSize }
 func (q *IGQ) WindowSize() int { return q.opt.Window }
 
 // SizeBytes reports the iGQ space overhead: both cache-side indexes, the
-// stored query graphs, their answer sets and metadata (paper Fig 18).
+// stored query graphs, their answer sets and metadata (paper Fig 18). The
+// feature dictionary is counted only when iGQ owns a private one — when the
+// wrapped method shares its dictionary (index.DictProvider), the method's
+// SizeBytes already accounts for it.
 func (q *IGQ) SizeBytes() int {
 	snap := q.snap.Load()
 	sz := snap.isub.SizeBytes() + snap.isuper.SizeBytes()
+	if !q.methodDict {
+		sz += q.dict.SizeBytes()
+	}
 	for _, e := range snap.entries {
 		sz += e.g.SizeBytes() + 4*len(e.answer) + 64
 	}
@@ -755,6 +761,20 @@ func (q *IGQ) victimOrder(entries []*entry) []*entry {
 	default:
 		return evictionOrder(entries, q.seq.Load())
 	}
+}
+
+// RebuildIndexes rebuilds the cache-side Isub/Isuper over the current
+// committed entries and installs them as a fresh snapshot. Required after
+// the wrapped method's index is replaced via index.Persistable.LoadIndex:
+// loading resets the shared feature dictionary, so postings keyed by the
+// old FeatureIDs would probe garbage. Takes the metadata mutex (waiting out
+// any in-flight shadow build); concurrent queries finish on the snapshot
+// they started with, exactly as with a window flush.
+func (q *IGQ) RebuildIndexes() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.waitShadowLocked()
+	q.installEntries(q.snap.Load().entries)
 }
 
 // installEntries builds fresh cache-side indexes over entries and installs

@@ -56,14 +56,11 @@ type wireEntry struct {
 
 const snapshotVersion = 3
 
-// dbChecksum fingerprints the dataset a snapshot belongs to.
-func dbChecksum(db []*graph.Graph) uint64 {
-	var h uint64 = 1469598103934665603
-	for _, g := range db {
-		h = h*1099511628211 ^ graph.Fingerprint(g)
-	}
-	return h
-}
+// dbChecksum fingerprints the dataset a snapshot belongs to — the shared
+// construction also embedded in dataset-index snapshots (index.DBChecksum),
+// so the cache and index halves of a combined engine snapshot guard against
+// the same divergence the same way.
+func dbChecksum(db []*graph.Graph) uint64 { return index.DBChecksum(db) }
 
 // Save writes the current cache contents (committed entries only — the
 // pending window is execution state, not knowledge) to w. Safe to call

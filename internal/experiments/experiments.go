@@ -37,6 +37,13 @@ type Config struct {
 	// BuildWorkers caps the index-build goroutine count of the buildscale
 	// experiment (0 = one per runtime.GOMAXPROCS(0)).
 	BuildWorkers int
+	// SaveIndexPath, when set, makes the coldstart experiment keep its
+	// index snapshots at this path prefix instead of a temp directory.
+	SaveIndexPath string
+	// LoadIndexPath, when set, makes the coldstart experiment load
+	// pre-built snapshots from this path prefix (written by an earlier run
+	// with SaveIndexPath) instead of building first.
+	LoadIndexPath string
 }
 
 // DefaultConfig returns the bench-scale configuration.

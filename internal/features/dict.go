@@ -83,6 +83,36 @@ func (d *Dict) internBytesLocked(key []byte) FeatureID {
 	return id
 }
 
+// Reset drops every interned key, keeping the Dict object itself valid so
+// that indexes sharing it (via index.DictProvider) stay wired to the same
+// interner. IDs restart densely from 0 as keys are re-interned, so any
+// structure keyed by the old IDs must be rebuilt afterwards — Reset is the
+// rebuild-time companion of Build/LoadIndex, never a query-time operation.
+// Without it a dictionary shared across successive Builds accumulates the
+// dead vocabulary of every dataset it ever saw (unbounded growth, and bloat
+// in persisted snapshot headers, which serialise the dictionary in full).
+func (d *Dict) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	clear(d.ids)
+	d.keys = d.keys[:0]
+}
+
+// SizeBytes approximates the dictionary's memory footprint: the canonical
+// key bytes (stored once — the map key and the ID-order slice share one
+// string backing) plus per-entry map and slice overhead. Counted by the
+// index that owns the dictionary (paper Fig 18 accounting); tries sharing
+// the dictionary must not add it again.
+func (d *Dict) SizeBytes() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	sz := 48 // struct, map header, slice header
+	for _, k := range d.keys {
+		sz += len(k) + 16 + 48 // bytes + slice-entry string header + map entry
+	}
+	return sz
+}
+
 // Lookup returns the ID of key without interning it.
 func (d *Dict) Lookup(key string) (FeatureID, bool) {
 	d.mu.RLock()

@@ -66,11 +66,14 @@ func (x *Index) FilterByFeatureCounts(qf features.IDSet) []int32 {
 }
 
 // Build implements index.Method (Algorithm 1 over the dataset). The index
-// is reset on entry (keeping the dictionary handed out by FeatureDict), so
-// Build is idempotent.
+// and the dictionary contents are reset on entry — the *Dict object handed
+// out by FeatureDict stays valid, but a re-Build does not retain the
+// previous dataset's dead vocabulary.
 func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
-	x.ci = core.NewContainmentIndexWithDict(x.opt.MaxPathLen, x.ci.Dict())
+	d := x.ci.Dict()
+	d.Reset()
+	x.ci = core.NewContainmentIndexWithDict(x.opt.MaxPathLen, d)
 	for i, g := range db {
 		x.ci.Add(int32(i), g)
 	}
@@ -87,5 +90,6 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 	return iso.Subgraph(x.db[id], q)
 }
 
-// SizeBytes implements index.Method.
-func (x *Index) SizeBytes() int { return x.ci.SizeBytes() }
+// SizeBytes implements index.Method: the containment index plus the
+// feature dictionary this method owns.
+func (x *Index) SizeBytes() int { return x.ci.SizeBytes() + x.ci.Dict().SizeBytes() }

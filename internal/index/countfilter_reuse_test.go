@@ -1,0 +1,92 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/trie"
+)
+
+// buildCountTrie assembles a small trie with known postings:
+//
+//	"p:1" → graphs 0,1,2 (count 2 each)
+//	"p:2" → graphs 1,2   (count 1)
+//	"p:3" → graph  2     (count 3)
+//	"p:4" → interned but NO postings (empty filtered list)
+func buildCountTrie(shards int) *trie.Trie {
+	tr := trie.NewSharded(features.NewDict(), shards)
+	for g := int32(0); g < 3; g++ {
+		tr.Insert("p:1", trie.Posting{Graph: g, Count: 2})
+	}
+	tr.Insert("p:2", trie.Posting{Graph: 1, Count: 1})
+	tr.Insert("p:2", trie.Posting{Graph: 2, Count: 1})
+	tr.Insert("p:3", trie.Posting{Graph: 2, Count: 3})
+	tr.Dict().Intern("p:4")
+	tr.Dict().Intern("p:5") // vocabulary for disjoint-list queries
+	tr.Insert("p:5", trie.Posting{Graph: 0, Count: 1})
+	return tr
+}
+
+func idSet(tr *trie.Trie, want map[string]int32) features.IDSet {
+	var qf features.IDSet
+	for k, c := range want {
+		id, ok := tr.Dict().Lookup(k)
+		if !ok {
+			qf.Unknown++
+			continue
+		}
+		qf.Counts = append(qf.Counts, features.IDCount{ID: id, Count: c})
+	}
+	return qf
+}
+
+// Exercises FilterCountGE's early-return paths back-to-back on ONE scratch:
+// a pass that bails out mid-arena (empty filtered postings list), a pass
+// that bails in the intersection phase (disjoint lists), then full passes —
+// each must be unaffected by the state the aborted passes left behind.
+func TestFilterCountGEScratchReuseAfterEarlyReturns(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		tr := buildCountTrie(shards)
+		s := GetCountFilterScratch()
+
+		full := func(name string, want map[string]int32, expect []int32) {
+			t.Helper()
+			got := FilterCountGE(tr, idSet(tr, want), s)
+			if !reflect.DeepEqual(append([]int32(nil), got...), expect) &&
+				!(len(got) == 0 && len(expect) == 0) {
+				t.Errorf("shards=%d %s: got %v, want %v", shards, name, got, expect)
+			}
+		}
+
+		// 1. Baseline pass to warm (and dirty) every buffer.
+		full("warmup", map[string]int32{"p:1": 1, "p:2": 1}, []int32{1, 2})
+
+		// 2. Early return: "p:4" has an empty postings list → nil after the
+		// arena was already partially filled by "p:1".
+		full("empty postings", map[string]int32{"p:1": 1, "p:4": 1}, nil)
+
+		// 3. Straight back into a full pass on the same scratch.
+		full("after empty postings", map[string]int32{"p:1": 2, "p:3": 3}, []int32{2})
+
+		// 4. Early return in the intersection phase: "p:3"→{2} and
+		// "p:5"→{0} are disjoint.
+		full("empty intersection", map[string]int32{"p:3": 1, "p:5": 1}, nil)
+
+		// 5. Count threshold filters a list down to empty (postings exist,
+		// none qualify).
+		full("threshold empties list", map[string]int32{"p:2": 9}, nil)
+
+		// 6. And the same scratch still computes a correct multi-feature
+		// answer afterwards.
+		full("final", map[string]int32{"p:1": 1, "p:2": 1, "p:3": 1}, []int32{2})
+
+		// 7. Unknown features short-circuit to nil without touching state.
+		if got := FilterCountGE(tr, features.IDSet{Unknown: 1}, s); got != nil {
+			t.Errorf("shards=%d: unknown feature returned %v, want nil", shards, got)
+		}
+		full("after unknown", map[string]int32{"p:1": 1}, []int32{0, 1, 2})
+
+		PutCountFilterScratch(s)
+	}
+}

@@ -82,10 +82,14 @@ func (x *Index) FeatureMaxPathLen() int { return x.opt.MaxPathLen }
 // BuildWorkers > 1 the enumeration fans out over workers, each staging into
 // private per-shard buffers that merge deterministically (trie.Builder) —
 // the resulting index is identical to the sequential build at any worker
-// count. The trie is reset on entry (keeping the dictionary handed out by
-// FeatureDict), so Build is idempotent.
+// count. The trie and the dictionary contents are reset on entry — the
+// *Dict object handed out by FeatureDict stays valid (holders remain wired
+// to this index), but a re-Build does not retain the previous dataset's
+// dead vocabulary; structures keyed by the old IDs must be rebuilt, which
+// iGQ does at its next cache-index build.
 func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
+	x.dict.Reset()
 	x.tr = trie.NewSharded(x.dict, x.opt.Shards)
 	BuildPaths(x.tr, db, features.PathOptions{MaxLen: x.opt.MaxPathLen}, x.opt.BuildWorkers)
 }
@@ -159,8 +163,11 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 	return iso.SubgraphAlg(q, x.db[id], x.opt.VerifyAlg)
 }
 
-// SizeBytes implements index.Method.
-func (x *Index) SizeBytes() int { return x.tr.SizeBytes() }
+// SizeBytes implements index.Method: the path trie plus the feature
+// dictionary it owns (the dictionary is real index footprint — Fig 18
+// under-reports without it; it is counted here, at its owner, not in
+// trie.SizeBytes, because cache-side tries share the same dictionary).
+func (x *Index) SizeBytes() int { return x.tr.SizeBytes() + x.dict.SizeBytes() }
 
 func copyIDs(ids []int32) []int32 {
 	if len(ids) == 0 {

@@ -1,0 +1,79 @@
+package ggsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/trie"
+)
+
+var _ index.Persistable = (*Index)(nil)
+
+// methodTag identifies GGSX snapshots in the envelope header.
+const methodTag = "GGSX"
+
+// SaveIndex implements index.Persistable: an envelope header (method,
+// feature length, dataset checksum) followed by the path trie in the
+// segment format of internal/trie. The index must be built.
+func (x *Index) SaveIndex(w io.Writer) error {
+	if x.db == nil {
+		return errors.New("ggsx: SaveIndex before Build")
+	}
+	err := index.WriteIndexEnvelope(w, index.IndexEnvelope{
+		Method:     methodTag,
+		MaxPathLen: x.opt.MaxPathLen,
+		DBChecksum: index.DBChecksum(x.db),
+		NumGraphs:  len(x.db),
+	})
+	if err != nil {
+		return fmt.Errorf("ggsx: %w", err)
+	}
+	if _, err := x.tr.WriteTo(w); err != nil {
+		return fmt.Errorf("ggsx: writing trie: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex implements index.Persistable: restores a SaveIndex snapshot,
+// replacing the index state (including the dictionary contents — holders of
+// FeatureDict stay wired, but structures keyed by the old IDs must be
+// rebuilt). The snapshot is validated against db via the embedded checksum;
+// loading against a different dataset fails with index.ErrDatasetMismatch.
+// Segment decodes fan out over Options.BuildWorkers goroutines. The loaded
+// index answers identically to a fresh Build over db.
+func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
+	br := index.AsByteScanner(r)
+	env, err := index.ReadIndexEnvelope(br)
+	if err != nil {
+		return fmt.Errorf("ggsx: %w", err)
+	}
+	if err := index.ValidateEnvelope(env, methodTag, db); err != nil {
+		return fmt.Errorf("ggsx: %w", err)
+	}
+	// The decode interns through the shared dictionary, so keep the current
+	// vocabulary for rollback: a failed decode must leave the index exactly
+	// as it was — re-interning the saved keys in ID order restores the
+	// identical ID assignment the old trie is keyed by.
+	oldKeys := x.dict.Keys()
+	x.dict.Reset()
+	tr := trie.NewSharded(x.dict, x.opt.Shards)
+	if _, err := tr.ReadFromWorkers(br, x.opt.BuildWorkers); err != nil {
+		x.dict.Reset()
+		for _, k := range oldKeys {
+			x.dict.Intern(k)
+		}
+		return fmt.Errorf("ggsx: reading trie: %w", err)
+	}
+	if x.opt.Shards > 0 {
+		// The snapshot restores its saved layout; an explicit option
+		// overrides it (layout never affects answers).
+		tr.Reshard(x.opt.Shards)
+	}
+	x.opt.MaxPathLen = env.MaxPathLen // queries must enumerate at the indexed length
+	x.db = db
+	x.tr = tr
+	return nil
+}

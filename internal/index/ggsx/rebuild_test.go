@@ -1,0 +1,74 @@
+package ggsx
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// pathDB builds n small path graphs whose vertex labels are drawn from
+// [base, base+3), so two calls with disjoint bases produce disjoint feature
+// vocabularies.
+func pathDB(n int, base graph.Label) []*graph.Graph {
+	db := make([]*graph.Graph, n)
+	for i := range db {
+		g := graph.New(4)
+		for v := 0; v < 4; v++ {
+			g.AddVertex(base + graph.Label((i+v)%3))
+		}
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 3)
+		db[i] = g
+	}
+	return db
+}
+
+// Regression for the dictionary vocabulary leak: re-Building on a disjoint
+// dataset must not retain the previous dataset's dead features, and must
+// keep handing out the same *Dict object (the sharing contract with iGQ).
+func TestRebuildDoesNotLeakVocabulary(t *testing.T) {
+	dbA := pathDB(5, 1)
+	dbB := pathDB(5, 100)
+
+	x := New(Options{MaxPathLen: 3})
+	dict := x.FeatureDict()
+	x.Build(dbA)
+	lenA := dict.Len()
+	if lenA == 0 {
+		t.Fatal("no features interned for dataset A")
+	}
+
+	// Reference: the vocabulary of B alone.
+	fresh := New(Options{MaxPathLen: 3})
+	fresh.Build(dbB)
+	wantLen := fresh.FeatureDict().Len()
+
+	x.Build(dbB)
+	if x.FeatureDict() != dict {
+		t.Fatal("Build replaced the shared dictionary object")
+	}
+	if got := dict.Len(); got != wantLen {
+		t.Errorf("dict after re-Build holds %d keys, want %d (B's vocabulary alone; leak of A's %d keys?)",
+			got, wantLen, lenA)
+	}
+	// The rebuilt index still answers correctly over B.
+	q := graph.New(2)
+	q.AddVertex(100)
+	q.AddVertex(101)
+	q.AddEdge(0, 1)
+	if got, want := x.Filter(q), fresh.Filter(q); len(got) != len(want) {
+		t.Errorf("rebuilt index filter %v, fresh index filter %v", got, want)
+	}
+}
+
+// The index footprint must include the feature dictionary, not just the
+// postings trie (Fig 18 accounting).
+func TestSizeBytesIncludesDictionary(t *testing.T) {
+	x := New(Options{MaxPathLen: 3})
+	x.Build(pathDB(5, 1))
+	postings := x.tr.SizeBytes()
+	if got := x.SizeBytes(); got <= postings {
+		t.Errorf("SizeBytes = %d, want more than the postings alone (%d)", got, postings)
+	}
+}

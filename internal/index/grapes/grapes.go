@@ -59,11 +59,16 @@ type Index struct {
 	tr   *trie.Trie
 
 	// memo of the last query's features: Verify runs once per candidate of
-	// the same query, so re-enumerating per candidate would be wasteful.
-	mu    sync.Mutex
-	lastQ *graph.Graph
-	lastF []features.IDCount
-	memoS *features.Scratch
+	// the same query, so re-enumerating per candidate would be wasteful. A
+	// hit requires both the same *Graph and an unchanged structural
+	// fingerprint — pointer identity alone would serve stale features to a
+	// caller that mutates a query graph in place between queries (or after
+	// the allocator reuses a freed graph's address).
+	mu     sync.Mutex
+	lastQ  *graph.Graph
+	lastFP uint64
+	lastF  []features.IDCount
+	memoS  *features.Scratch
 }
 
 var (
@@ -123,15 +128,15 @@ func (x *Index) FeatureMaxPathLen() int { return x.opt.MaxPathLen }
 // feed the graph-level workers — a handful of huge graphs, or an explicit
 // single build worker — the legacy per-vertex-range strategy applies
 // Threads-way parallelism *within* each graph instead, the original Grapes
-// description. Both strategies produce the same index. The trie and the
-// query-feature memo are reset on entry (keeping the dictionary handed out
-// by FeatureDict), so Build is idempotent.
+// description. Both strategies produce the same index. The trie, the
+// query-feature memo and the dictionary contents are reset on entry — the
+// *Dict object handed out by FeatureDict stays valid, but a re-Build does
+// not retain the previous dataset's dead vocabulary.
 func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
+	x.dict.Reset()
 	x.tr = trie.NewSharded(x.dict, x.opt.Shards)
-	x.mu.Lock()
-	x.lastQ, x.lastF = nil, nil
-	x.mu.Unlock()
+	x.resetMemo()
 	opt := features.PathOptions{MaxLen: x.opt.MaxPathLen, Locations: true}
 	if x.opt.Threads > 1 && (x.opt.BuildWorkers <= 1 || len(db) < 2*x.opt.BuildWorkers) {
 		for i, g := range db {
@@ -231,19 +236,38 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 // enumeration is sufficient here. The returned slice is freshly allocated
 // per distinct query and never mutated afterwards, so concurrent Verify
 // calls may keep using a snapshot after the memo moves on.
+//
+// The memo key is (pointer, structural fingerprint): the fingerprint
+// detects in-place mutation of the same graph object (and address reuse),
+// while the pointer check turns a would-be fingerprint collision between
+// two distinct graphs into a harmless recomputation instead of a wrong
+// verification. The hash is paid on every Verify call, but it is O(|q|)
+// on the small query graph and is dwarfed by the induced-subgraph + VF2
+// test that follows (engine query stream benches at parity with the
+// pointer-only memo).
 func (x *Index) queryFeatures(q *graph.Graph) []features.IDCount {
+	fp := graph.Fingerprint(q)
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	if x.lastQ != q {
+	if x.lastQ != q || x.lastFP != fp {
 		qf := features.PathsID(q, features.PathOptions{MaxLen: x.opt.MaxPathLen}, x.dict, x.memoS, false)
-		x.lastQ = q
+		x.lastQ, x.lastFP = q, fp
 		x.lastF = append([]features.IDCount(nil), qf.Counts...)
 	}
 	return x.lastF
 }
 
-// SizeBytes implements index.Method.
-func (x *Index) SizeBytes() int { return x.tr.SizeBytes() }
+// resetMemo invalidates the query-feature memo (Build and LoadIndex).
+func (x *Index) resetMemo() {
+	x.mu.Lock()
+	x.lastQ, x.lastFP, x.lastF = nil, 0, nil
+	x.mu.Unlock()
+}
+
+// SizeBytes implements index.Method: the path trie (postings + location
+// lists) plus the feature dictionary the index owns (see ggsx.SizeBytes on
+// why the dictionary is counted at its owner).
+func (x *Index) SizeBytes() int { return x.tr.SizeBytes() + x.dict.SizeBytes() }
 
 func unionInto(dst, src []int32) []int32 {
 	if len(dst) == 0 {

@@ -1,0 +1,85 @@
+package grapes
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// triangleDB returns one dataset graph: a labeled triangle 1-2-3.
+func triangleDB() []*graph.Graph {
+	g := graph.New(3)
+	g.AddVertex(1)
+	g.AddVertex(2)
+	g.AddVertex(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	return []*graph.Graph{g}
+}
+
+// Regression for the pointer-keyed query-feature memo: a caller that
+// mutates a query graph in place between Verify calls must not be served
+// the previous query's features. With the stale memo, the located vertex
+// set for the mutated query misses the newly referenced labels, the induced
+// subgraph loses the embedding, and Verify wrongly reports false.
+func TestVerifyAfterInPlaceMutation(t *testing.T) {
+	x := New(Options{MaxPathLen: 4})
+	x.Build(triangleDB())
+
+	q := graph.New(2)
+	q.AddVertex(1)
+	if !x.Verify(q, 0) {
+		t.Fatal("single label-1 vertex should embed in the triangle")
+	}
+
+	// Mutate q in place: it is now the edge 1-2, still a subgraph of the
+	// triangle. The stale memo holds only the features of the label-1
+	// vertex, locating just one triangle vertex — too small to host the
+	// edge.
+	q.AddVertex(2)
+	q.AddEdge(0, 1)
+	if !x.Verify(q, 0) {
+		t.Error("edge 1-2 should embed in the triangle after in-place mutation")
+	}
+
+	// And a mutation that makes the query unsatisfiable must not ride a
+	// stale positive either.
+	q2 := graph.New(2)
+	q2.AddVertex(1)
+	q2.AddVertex(2)
+	q2.AddEdge(0, 1)
+	if !x.Verify(q2, 0) {
+		t.Fatal("edge 1-2 should embed")
+	}
+	q2.SetLabel(1, 9) // now edge 1-9: label 9 is nowhere in the dataset
+	if x.Verify(q2, 0) {
+		t.Error("edge 1-9 must not embed in the triangle after relabeling")
+	}
+}
+
+// Same vocabulary-leak regression as ggsx: re-Build on a disjoint dataset
+// keeps the dictionary object but not the dead vocabulary.
+func TestRebuildDoesNotLeakVocabulary(t *testing.T) {
+	mk := func(base graph.Label) []*graph.Graph {
+		g := graph.New(3)
+		g.AddVertex(base)
+		g.AddVertex(base + 1)
+		g.AddVertex(base + 2)
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		return []*graph.Graph{g}
+	}
+	x := New(Options{MaxPathLen: 3})
+	dict := x.FeatureDict()
+	x.Build(mk(1))
+	fresh := New(Options{MaxPathLen: 3})
+	fresh.Build(mk(50))
+	x.Build(mk(50))
+	if x.FeatureDict() != dict {
+		t.Fatal("Build replaced the shared dictionary object")
+	}
+	if got, want := dict.Len(), fresh.FeatureDict().Len(); got != want {
+		t.Errorf("dict after re-Build holds %d keys, want %d", got, want)
+	}
+}

@@ -1,0 +1,78 @@
+package grapes
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/trie"
+)
+
+var _ index.Persistable = (*Index)(nil)
+
+// methodTag identifies Grapes snapshots in the envelope header. Thread
+// count is runtime configuration, not index content, so it is not part of
+// the tag: a Grapes(6) process can load a Grapes(1) snapshot.
+const methodTag = "Grapes"
+
+// SaveIndex implements index.Persistable: an envelope header followed by
+// the path trie — including the per-posting location lists that make
+// Grapes' verification fast — in the segment format of internal/trie.
+func (x *Index) SaveIndex(w io.Writer) error {
+	if x.db == nil {
+		return errors.New("grapes: SaveIndex before Build")
+	}
+	err := index.WriteIndexEnvelope(w, index.IndexEnvelope{
+		Method:     methodTag,
+		MaxPathLen: x.opt.MaxPathLen,
+		DBChecksum: index.DBChecksum(x.db),
+		NumGraphs:  len(x.db),
+	})
+	if err != nil {
+		return fmt.Errorf("grapes: %w", err)
+	}
+	if _, err := x.tr.WriteTo(w); err != nil {
+		return fmt.Errorf("grapes: writing trie: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex implements index.Persistable: restores a SaveIndex snapshot,
+// replacing the index state (dictionary contents included) and
+// invalidating the query-feature memo. Validated against db via the
+// embedded checksum (index.ErrDatasetMismatch on divergence); segment
+// decodes fan out over the build-worker count. The loaded index answers
+// identically to a fresh Build over db.
+func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
+	br := index.AsByteScanner(r)
+	env, err := index.ReadIndexEnvelope(br)
+	if err != nil {
+		return fmt.Errorf("grapes: %w", err)
+	}
+	if err := index.ValidateEnvelope(env, methodTag, db); err != nil {
+		return fmt.Errorf("grapes: %w", err)
+	}
+	// Keep the current vocabulary for rollback: a failed decode must leave
+	// the index exactly as it was (re-interning the saved keys in ID order
+	// restores the identical ID assignment the old trie is keyed by).
+	oldKeys := x.dict.Keys()
+	x.dict.Reset()
+	tr := trie.NewSharded(x.dict, x.opt.Shards)
+	if _, err := tr.ReadFromWorkers(br, x.opt.BuildWorkers); err != nil {
+		x.dict.Reset()
+		for _, k := range oldKeys {
+			x.dict.Intern(k)
+		}
+		return fmt.Errorf("grapes: reading trie: %w", err)
+	}
+	if x.opt.Shards > 0 {
+		tr.Reshard(x.opt.Shards)
+	}
+	x.opt.MaxPathLen = env.MaxPathLen
+	x.db = db
+	x.tr = tr
+	x.resetMemo()
+	return nil
+}

@@ -1,0 +1,164 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Dataset-index persistence. The paper's premise is that index knowledge is
+// expensive to earn and worth keeping; Persistable extends Method with a
+// snapshot round-trip so a process restart costs O(read) instead of
+// O(re-enumerate the dataset). Implemented by the path methods (ggsx,
+// grapes) over the trie segment format (see internal/trie's package and
+// format documentation).
+
+// Persistable is a Method whose built dataset index can be serialised and
+// restored without rebuilding.
+//
+// SaveIndex writes a self-contained snapshot of the built index; LoadIndex
+// replaces the index's state with a snapshot previously written by the same
+// method kind, validating it against db — the dataset the restored index
+// will answer over. Implementations must guarantee that a loaded index is
+// observationally identical to a freshly Built one: same candidates, same
+// statistics, same answers. Like Build, LoadIndex is exclusive: no other
+// method of the index may run concurrently, and structures keyed by the
+// previous dictionary IDs must be rebuilt afterwards.
+type Persistable interface {
+	Method
+	SaveIndex(w io.Writer) error
+	LoadIndex(r io.Reader, db []*graph.Graph) error
+}
+
+// ErrDatasetMismatch reports a snapshot loaded against a dataset other than
+// the one it was saved for. Answers are dataset positions, so such a load
+// would silently return wrong graphs; the checksum guard turns it into this
+// error instead.
+var ErrDatasetMismatch = errors.New("index snapshot belongs to a different dataset")
+
+// DBChecksum fingerprints a dataset: an order-sensitive FNV fold of the
+// per-graph structural fingerprints (the same construction iGQ's cache
+// snapshots use). Embedded in index snapshots as the dataset guard.
+func DBChecksum(db []*graph.Graph) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, g := range db {
+		h = h*1099511628211 ^ graph.Fingerprint(g)
+	}
+	return h
+}
+
+// ByteScanner is the reader shape snapshot loaders need: streaming reads
+// plus single-byte reads for varints.
+type ByteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
+// AsByteScanner returns r itself when it already supports byte reads, or
+// wraps it in a buffered reader. A loader reading several sections from one
+// stream must wrap once and hand the same scanner to every section, or the
+// wrapper's read-ahead would swallow the next section's bytes.
+func AsByteScanner(r io.Reader) ByteScanner {
+	if bs, ok := r.(ByteScanner); ok {
+		return bs
+	}
+	return bufio.NewReader(r)
+}
+
+// IndexEnvelope is the common header of a method-index snapshot: which
+// method wrote it, at what feature length, over which dataset.
+type IndexEnvelope struct {
+	Method     string // Method.Name()-style identifier, e.g. "GGSX"
+	MaxPathLen int    // feature path length the index was built with
+	DBChecksum uint64 // DBChecksum of the indexed dataset
+	NumGraphs  int    // dataset size (cheap pre-checksum sanity)
+}
+
+const (
+	envelopeMagic   = "IGQIDX"
+	envelopeVersion = 1
+	maxMethodName   = 64
+)
+
+// WriteIndexEnvelope writes the envelope header; the method-specific index
+// body (typically a trie snapshot) follows it in the same stream.
+func WriteIndexEnvelope(w io.Writer, env IndexEnvelope) error {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, envelopeMagic...)
+	buf = binary.AppendUvarint(buf, envelopeVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(env.Method)))
+	buf = append(buf, env.Method...)
+	buf = binary.AppendUvarint(buf, uint64(env.MaxPathLen))
+	buf = binary.LittleEndian.AppendUint64(buf, env.DBChecksum)
+	buf = binary.AppendUvarint(buf, uint64(env.NumGraphs))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadIndexEnvelope reads an envelope header written by WriteIndexEnvelope,
+// leaving r positioned at the index body. r should come from AsByteScanner
+// when more sections follow.
+func ReadIndexEnvelope(r io.Reader) (IndexEnvelope, error) {
+	br := AsByteScanner(r)
+	var env IndexEnvelope
+	var magic [len(envelopeMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return env, fmt.Errorf("index: reading snapshot magic: %w", err)
+	}
+	if string(magic[:]) != envelopeMagic {
+		return env, fmt.Errorf("index: not an index snapshot (magic %q)", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return env, fmt.Errorf("index: reading snapshot version: %w", err)
+	}
+	if version < 1 || version > envelopeVersion {
+		return env, fmt.Errorf("index: snapshot version %d unsupported (this build reads ≤ %d)", version, envelopeVersion)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen > maxMethodName {
+		return env, fmt.Errorf("index: bad method name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return env, fmt.Errorf("index: reading method name: %w", err)
+	}
+	env.Method = string(name)
+	mpl, err := binary.ReadUvarint(br)
+	if err != nil {
+		return env, fmt.Errorf("index: reading feature length: %w", err)
+	}
+	env.MaxPathLen = int(mpl)
+	var sum [8]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return env, fmt.Errorf("index: reading dataset checksum: %w", err)
+	}
+	env.DBChecksum = binary.LittleEndian.Uint64(sum[:])
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return env, fmt.Errorf("index: reading dataset size: %w", err)
+	}
+	env.NumGraphs = int(n)
+	return env, nil
+}
+
+// ValidateEnvelope checks a decoded envelope against the loading method and
+// dataset, returning a descriptive error (wrapping ErrDatasetMismatch for
+// dataset divergence) or nil.
+func ValidateEnvelope(env IndexEnvelope, method string, db []*graph.Graph) error {
+	if env.Method != method {
+		return fmt.Errorf("index: snapshot holds a %s index, not %s", env.Method, method)
+	}
+	if env.NumGraphs != len(db) {
+		return fmt.Errorf("%w: snapshot indexed %d graphs, dataset has %d",
+			ErrDatasetMismatch, env.NumGraphs, len(db))
+	}
+	if env.DBChecksum != DBChecksum(db) {
+		return fmt.Errorf("%w: dataset checksum mismatch", ErrDatasetMismatch)
+	}
+	return nil
+}

@@ -1,0 +1,472 @@
+package trie
+
+// On-disk segment format (version 1)
+//
+// A persisted trie is one header followed by one segment per postings
+// shard. Everything scalar is an unsigned varint (encoding/binary) unless
+// noted; everything ordered is delta-encoded against the previous value, so
+// the sorted postings lists and ID-ordered dictionaries that the in-memory
+// store already maintains shrink to near-entropy on disk.
+//
+//	header:
+//	  magic   "IGQTRIE" (7 bytes)
+//	  version uvarint   (currently 1)
+//	  shards  uvarint   (power of two in [1, 64] — the saved layout)
+//	  nkeys   uvarint   (dictionary size)
+//	  nkeys × { klen uvarint, key bytes }   — keys in FeatureID order
+//	segment, one per shard s in [0, shards):
+//	  seglen  uvarint   (byte length of the segment body)
+//	  crc     uint32 LE (IEEE CRC-32 of the segment body)
+//	  body:
+//	    nfeat uvarint
+//	    nfeat × {           — features in ascending FeatureID order
+//	      idΔ    uvarint    (delta to the previous feature's ID)
+//	      nposts uvarint
+//	      nposts × {        — postings in ascending graph-id order
+//	        graphΔ uvarint  (delta to the previous posting's graph id)
+//	        count  uvarint
+//	        nlocs  uvarint
+//	        nlocs × locΔ uvarint   — sorted, deduplicated vertex ids
+//	      }
+//	    }
+//	  }
+//
+// Design notes:
+//
+//   - The dictionary is serialised in full, in ID order, so re-interning
+//     the keys into an empty dictionary reproduces the exact FeatureIDs the
+//     postings are keyed by — the same round-trip property the iGQ cache
+//     snapshot relies on. If the destination dictionary is *not* empty the
+//     loader transparently remaps old IDs to the freshly interned ones
+//     (IDs are process-local handles; canonical strings are the stable
+//     identity).
+//   - Each segment is length-prefixed, CRC-guarded and self-contained:
+//     given the header's dictionary, any segment decodes independently of
+//     the others, which is what lets ReadFrom fan the segment decodes out
+//     over worker goroutines (and leaves the format mmap-friendly for a
+//     future lazy loader).
+//   - Forward compatibility: readers reject versions newer than their own
+//     and shard counts outside [1, 64]; writers must only append new
+//     trailing sections behind a version bump, never reinterpret existing
+//     fields.
+//
+// The byte-level trie (Walk order, NodeCount) is not serialised: it is a
+// pure function of the key set and is rebuilt during load.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+	"slices"
+
+	"repro/internal/features"
+)
+
+const (
+	persistMagic   = "IGQTRIE"
+	persistVersion = 1
+
+	// Decode-time sanity bounds: a corrupt length field must fail cleanly,
+	// not attempt a absurd allocation.
+	maxKeyLen     = 1 << 20
+	maxDictLen    = 1 << 28
+	maxSegmentLen = 1 << 31
+)
+
+// ErrCorrupt reports a snapshot that failed structural validation (bad
+// magic, truncated data, CRC mismatch, out-of-range field).
+var ErrCorrupt = errors.New("trie: corrupt snapshot")
+
+// WriteTo serialises the trie in the segment format above, implementing
+// io.WriterTo. The trie must not be mutated during the call (the usual
+// read-path contract).
+func (t *Trie) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(p []byte) error {
+		m, err := w.Write(p)
+		n += int64(m)
+		return err
+	}
+
+	keys := t.dict.Keys()
+	hdr := make([]byte, 0, 16+len(keys)*8)
+	hdr = append(hdr, persistMagic...)
+	hdr = binary.AppendUvarint(hdr, persistVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(len(t.shards)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(keys)))
+	for _, k := range keys {
+		hdr = binary.AppendUvarint(hdr, uint64(len(k)))
+		hdr = append(hdr, k...)
+	}
+	if err := write(hdr); err != nil {
+		return n, err
+	}
+
+	var seg, pre []byte
+	for s := range t.shards {
+		seg = appendSegment(seg[:0], &t.shards[s])
+		pre = binary.AppendUvarint(pre[:0], uint64(len(seg)))
+		pre = binary.LittleEndian.AppendUint32(pre, crc32.ChecksumIEEE(seg))
+		if err := write(pre); err != nil {
+			return n, err
+		}
+		if err := write(seg); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// appendSegment encodes one shard's postings (features in ID order).
+func appendSegment(buf []byte, sh *shard) []byte {
+	ids := make([]features.FeatureID, 0, len(sh.posts))
+	for id := range sh.posts {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prev := features.FeatureID(0)
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id-prev))
+		prev = id
+		ps := sh.posts[id]
+		buf = binary.AppendUvarint(buf, uint64(len(ps)))
+		prevG := int32(0)
+		for _, p := range ps {
+			buf = binary.AppendUvarint(buf, uint64(p.Graph-prevG))
+			prevG = p.Graph
+			buf = binary.AppendUvarint(buf, uint64(p.Count))
+			buf = binary.AppendUvarint(buf, uint64(len(p.Locs)))
+			prevL := int32(0)
+			for _, l := range p.Locs {
+				buf = binary.AppendUvarint(buf, uint64(l-prevL))
+				prevL = l
+			}
+		}
+	}
+	return buf
+}
+
+// byteScanner is the reader shape the decoder needs: streaming reads for
+// bulk sections plus single-byte reads for varints.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
+// asByteScanner returns r itself when it already supports byte reads, or a
+// bufio wrapper otherwise. Callers loading several sections from one stream
+// must wrap once and pass the same scanner to each loader, or the wrapper's
+// read-ahead would swallow the next section's bytes.
+func asByteScanner(r io.Reader) byteScanner {
+	if bs, ok := r.(byteScanner); ok {
+		return bs
+	}
+	return bufio.NewReader(r)
+}
+
+// countingScanner counts consumed bytes for the io.ReaderFrom return value.
+type countingScanner struct {
+	r byteScanner
+	n int64
+}
+
+func (c *countingScanner) Read(p []byte) (int, error) {
+	m, err := c.r.Read(p)
+	c.n += int64(m)
+	return m, err
+}
+
+func (c *countingScanner) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// ReadFrom replaces the trie's contents with a snapshot previously written
+// by WriteTo, implementing io.ReaderFrom; segment decodes run on one worker
+// per CPU. See ReadFromWorkers for the full contract.
+func (t *Trie) ReadFrom(r io.Reader) (int64, error) {
+	return t.ReadFromWorkers(r, 0)
+}
+
+// ReadFromWorkers is ReadFrom with an explicit decode parallelism (≤ 0
+// selects GOMAXPROCS; the decode is deterministic at any worker count).
+//
+// The trie adopts the *saved* shard layout — use Reshard afterwards to
+// override it; sharding never changes observable behaviour. The snapshot's
+// dictionary keys are interned through the trie's dictionary in ID order:
+// into an empty dictionary this reproduces the saved IDs exactly, and into
+// a non-empty one the postings are remapped to the freshly assigned IDs.
+// Any previous postings of t are discarded.
+//
+// If r is not an io.ByteReader it is wrapped in a buffered reader, which
+// may read past the snapshot's end; pass a bufio.Reader (or bytes.Reader)
+// when trailing data matters.
+func (t *Trie) ReadFromWorkers(r io.Reader, workers int) (int64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cr := &countingScanner{r: asByteScanner(r)}
+	err := t.readFrom(cr, workers)
+	return cr.n, err
+}
+
+func (t *Trie) readFrom(cr *countingScanner, workers int) error {
+	var magic [len(persistMagic)]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
+	}
+	if string(magic[:]) != persistMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+	}
+	version, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return fmt.Errorf("%w: reading version: %v", ErrCorrupt, err)
+	}
+	if version < 1 || version > persistVersion {
+		return fmt.Errorf("trie: snapshot version %d unsupported (this build reads ≤ %d)", version, persistVersion)
+	}
+	savedShards, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return fmt.Errorf("%w: reading shard count: %v", ErrCorrupt, err)
+	}
+	k := int(savedShards)
+	if k < 1 || k > maxShards || k&(k-1) != 0 {
+		return fmt.Errorf("%w: shard count %d not a power of two in [1, %d]", ErrCorrupt, k, maxShards)
+	}
+
+	// Dictionary: intern the saved keys in ID order, building the old→new
+	// ID remap. A fresh dictionary yields the identity remap, which keeps
+	// the segment→shard correspondence of the saved layout and unlocks the
+	// parallel decode below.
+	nKeys, err := binary.ReadUvarint(cr)
+	if err != nil || nKeys > maxDictLen {
+		return fmt.Errorf("%w: dictionary size", ErrCorrupt)
+	}
+	remap := make([]features.FeatureID, nKeys)
+	identity := true
+	var kbuf []byte
+	for i := range remap {
+		klen, err := binary.ReadUvarint(cr)
+		if err != nil || klen > maxKeyLen {
+			return fmt.Errorf("%w: dictionary key length", ErrCorrupt)
+		}
+		if cap(kbuf) < int(klen) {
+			kbuf = make([]byte, klen)
+		}
+		kbuf = kbuf[:klen]
+		if _, err := io.ReadFull(cr, kbuf); err != nil {
+			return fmt.Errorf("%w: reading dictionary key: %v", ErrCorrupt, err)
+		}
+		remap[i] = t.dict.Intern(string(kbuf))
+		if remap[i] != features.FeatureID(i) {
+			identity = false
+		}
+	}
+
+	// Read the segment bodies (CRC-checked) before decoding anything, so a
+	// truncated stream cannot leave the trie half-replaced.
+	segs := make([][]byte, k)
+	for s := 0; s < k; s++ {
+		segLen, err := binary.ReadUvarint(cr)
+		if err != nil || segLen > maxSegmentLen {
+			return fmt.Errorf("%w: segment %d length", ErrCorrupt, s)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(cr, crcBuf[:]); err != nil {
+			return fmt.Errorf("%w: segment %d checksum: %v", ErrCorrupt, s, err)
+		}
+		body := make([]byte, segLen)
+		if _, err := io.ReadFull(cr, body); err != nil {
+			return fmt.Errorf("%w: segment %d body: %v", ErrCorrupt, s, err)
+		}
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return fmt.Errorf("%w: segment %d CRC mismatch", ErrCorrupt, s)
+		}
+		segs[s] = body
+	}
+
+	// Adopt the saved layout and decode. With the identity remap every
+	// saved segment maps 1:1 onto one destination shard, so the segment
+	// decodes are disjoint and run in parallel; with a remap (pre-populated
+	// dictionary) IDs may cross shards, so the decode runs sequentially —
+	// correctness is identical either way.
+	shards := make([]shard, k)
+	for i := range shards {
+		shards[i].posts = make(map[features.FeatureID][]Posting)
+	}
+	mask := uint32(k - 1)
+	perSeg := make([][]features.FeatureID, k)
+	if identity {
+		errs := make([]error, k) // one slot per segment: no cross-worker writes
+		ParallelFor(k, workers, func(_ int, claim func() int) {
+			for s := claim(); s >= 0; s = claim() {
+				perSeg[s], errs[s] = decodeSegment(segs[s], shards[s].posts, remap, mask, uint32(s))
+			}
+		})
+		for s, err := range errs {
+			if err != nil {
+				return fmt.Errorf("segment %d: %w", s, err)
+			}
+		}
+	} else {
+		staged := make(map[features.FeatureID][]Posting)
+		for s := 0; s < k; s++ {
+			ids, err := decodeSegment(segs[s], staged, remap, 0, 0)
+			if err != nil {
+				return fmt.Errorf("segment %d: %w", s, err)
+			}
+			perSeg[s] = ids
+		}
+		for id, ps := range staged {
+			shards[uint32(id)&mask].posts[id] = ps
+		}
+	}
+
+	// Install, then rebuild the byte trie (pure function of the key set —
+	// single-writer, order-insensitive).
+	t.shards = shards
+	t.mask = mask
+	t.root = node{}
+	t.nodes = 0
+	for _, ids := range perSeg {
+		for _, id := range ids {
+			t.insertPath(t.dict.Key(id), id)
+		}
+	}
+	return nil
+}
+
+// decodeSegment decodes one segment body into posts, remapping feature IDs.
+// With wantMask != 0 callers assert every decoded (remapped) ID belongs to
+// shard wantShard — the identity-remap fast path, where posts is that
+// shard's private map. Returns the decoded (remapped) feature IDs.
+func decodeSegment(body []byte, posts map[features.FeatureID][]Posting, remap []features.FeatureID, wantMask, wantShard uint32) ([]features.FeatureID, error) {
+	d := segDecoder{b: body}
+	nFeat, err := d.uvarint()
+	if err != nil || nFeat > uint64(len(body)) {
+		return nil, fmt.Errorf("%w: feature count", ErrCorrupt)
+	}
+	ids := make([]features.FeatureID, 0, nFeat)
+	var prevID uint64
+	for f := uint64(0); f < nFeat; f++ {
+		delta, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		oldID := prevID + delta
+		if f > 0 && delta == 0 {
+			return nil, fmt.Errorf("%w: duplicate feature ID", ErrCorrupt)
+		}
+		prevID = oldID
+		if oldID >= uint64(len(remap)) {
+			return nil, fmt.Errorf("%w: feature ID %d outside dictionary", ErrCorrupt, oldID)
+		}
+		id := remap[oldID]
+		if wantMask != 0 && uint32(id)&wantMask != wantShard {
+			return nil, fmt.Errorf("%w: feature ID %d in wrong segment", ErrCorrupt, oldID)
+		}
+		nPosts, err := d.uvarint()
+		if err != nil || nPosts > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: postings count", ErrCorrupt)
+		}
+		ps := make([]Posting, 0, nPosts)
+		var prevG uint64
+		for p := uint64(0); p < nPosts; p++ {
+			gDelta, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			g := prevG + gDelta
+			if p > 0 && gDelta == 0 {
+				return nil, fmt.Errorf("%w: duplicate posting graph id", ErrCorrupt)
+			}
+			prevG = g
+			count, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			nLocs, err := d.uvarint()
+			if err != nil || nLocs > uint64(len(body)) {
+				return nil, fmt.Errorf("%w: location count", ErrCorrupt)
+			}
+			if g > math.MaxInt32 || count > math.MaxInt32 {
+				return nil, fmt.Errorf("%w: posting field overflow", ErrCorrupt)
+			}
+			var locs []int32
+			if nLocs > 0 {
+				locs = make([]int32, nLocs)
+				var prevL uint64
+				for l := range locs {
+					lDelta, err := d.uvarint()
+					if err != nil {
+						return nil, err
+					}
+					v := prevL + lDelta
+					if l > 0 && lDelta == 0 {
+						return nil, fmt.Errorf("%w: duplicate location", ErrCorrupt)
+					}
+					if v > math.MaxInt32 {
+						return nil, fmt.Errorf("%w: location overflow", ErrCorrupt)
+					}
+					prevL = v
+					locs[l] = int32(v)
+				}
+			}
+			ps = append(ps, Posting{Graph: int32(g), Count: int32(count), Locs: locs})
+		}
+		posts[id] = ps
+		ids = append(ids, id)
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-d.off)
+	}
+	return ids, nil
+}
+
+// segDecoder is a varint cursor over one in-memory segment body.
+type segDecoder struct {
+	b   []byte
+	off int
+}
+
+func (d *segDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+	}
+	d.off += n
+	return v, nil
+}
+
+// Reshard redistributes the postings into k shards (normalised to a power
+// of two in [1, 64]; ≤ 0 selects DefaultShards()). Contents, Walk order,
+// NodeCount and all answers are unchanged — only the layout moves; posting
+// slices are shared, not copied. Like the build path, Reshard is exclusive:
+// no concurrent readers.
+func (t *Trie) Reshard(k int) {
+	k = normalizeShards(k)
+	if k == len(t.shards) {
+		return
+	}
+	shards := make([]shard, k)
+	for i := range shards {
+		shards[i].posts = make(map[features.FeatureID][]Posting)
+	}
+	mask := uint32(k - 1)
+	for s := range t.shards {
+		for id, ps := range t.shards[s].posts {
+			shards[uint32(id)&mask].posts[id] = ps
+		}
+	}
+	t.shards = shards
+	t.mask = mask
+}

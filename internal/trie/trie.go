@@ -26,6 +26,13 @@
 // Children are kept in sorted compact slices: feature alphabets are tiny
 // (digits, '.', ':' and a few letters), so binary search over a slice beats
 // per-node maps on both memory and cache behaviour.
+//
+// The store persists itself (WriteTo/ReadFrom): a versioned header carrying
+// the feature dictionary in ID order, then one independently-decodable,
+// CRC-guarded segment per shard with delta-encoded postings and location
+// lists. Segments decode in parallel on load and a loaded trie is
+// observationally identical to the one saved — see persist.go for the full
+// format specification and compatibility rules.
 package trie
 
 import (
