@@ -7,6 +7,7 @@
 //	igqquery -db dataset.db -queries queries.db [-method grapes] [-super]
 //	         [-cache 500 -window 100] [-no-cache] [-workers N]
 //	         [-save-index snap.igq] [-load-index snap.igq]
+//	         [-append extra.db]
 //
 // With -workers != 1 the queries are served concurrently through the
 // engine's batch pipeline (0 = one worker per CPU); -workers 1 replays the
@@ -17,6 +18,12 @@
 // snapshot written by an earlier -save-index run against the same dataset,
 // skipping the index build entirely; -save-index writes the snapshot after
 // the queries have been served, so the accumulated cache is captured too.
+//
+// -append extends the dataset with the graphs of another file *after* the
+// engine is ready (built or restored), through the engine's O(delta) live
+// mutation path — the index is not rebuilt, and the reported append time
+// shows it. The queries are then served over the extended dataset; answer
+// ids refer to positions in base-then-extra order.
 package main
 
 import (
@@ -46,6 +53,7 @@ func main() {
 		workers = flag.Int("workers", 1, "query-serving goroutines (0 = one per CPU, 1 = sequential)")
 		saveIdx = flag.String("save-index", "", "write an engine snapshot (index + cache) to this file after serving")
 		loadIdx = flag.String("load-index", "", "restore the engine from a snapshot instead of building the index")
+		appendF = flag.String("append", "", "append this file's graphs to the dataset via live O(delta) mutation before serving")
 		quiet   = flag.Bool("quiet", false, "suppress per-query lines")
 	)
 	flag.Parse()
@@ -122,6 +130,20 @@ func main() {
 	}
 
 	ctx := context.Background()
+
+	if *appendF != "" {
+		extra, err := igq.LoadGraphs(*appendF)
+		if err != nil {
+			fatal("loading append graphs: %v", err)
+		}
+		t := time.Now()
+		if err := eng.AddGraphs(ctx, extra); err != nil {
+			fatal("appending graphs: %v", err)
+		}
+		fmt.Printf("appended %d graphs in %v (dataset now %d graphs; no rebuild)\n",
+			len(extra), time.Since(t), len(eng.Dataset()))
+	}
+
 	nWorkers := *workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)

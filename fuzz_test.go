@@ -1,0 +1,135 @@
+package igq
+
+import (
+	"bytes"
+	"context"
+
+	"reflect"
+	"testing"
+)
+
+// fuzzDB is a tiny fixed dataset for the snapshot-decoder fuzz targets.
+func fuzzDB() []*Graph {
+	mk := func(labels []Label, edges [][2]int) *Graph {
+		g := NewGraph(len(labels))
+		for _, l := range labels {
+			g.AddVertex(l)
+		}
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+		return g
+	}
+	return []*Graph{
+		mk([]Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}}),
+		mk([]Label{1, 1, 0, 2}, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		mk([]Label{2, 0}, [][2]int{{0, 1}}),
+		mk([]Label{0, 2, 1, 1}, [][2]int{{0, 1}, {0, 2}, {0, 3}}),
+	}
+}
+
+// FuzzLoadEngine feeds arbitrary bytes — seeded with valid combined engine
+// snapshots (with and without the cache section, GGSX and Grapes) plus
+// truncations and bit flips — into the whole restore stack: engine
+// envelope, index envelope, trie segments, journal sections, gob cache.
+// Every outcome must be a clean error or a working engine; never a panic
+// or a runaway allocation.
+//
+// It also extends PR 4's rollback guarantee to arbitrary corruption: after
+// a failed Engine.LoadIndex on a *live* engine, the engine must answer
+// exactly as before and the shared feature dictionary must be
+// byte-identical.
+func FuzzLoadEngine(f *testing.F) {
+	db := fuzzDB()
+	for _, opt := range []EngineOptions{
+		{Method: GGSX, MaxPathLen: 3, CacheSize: 4, Window: 1},
+		{Method: Grapes, MaxPathLen: 3, DisableCache: true},
+	} {
+		eng, err := NewEngine(db, opt)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if !opt.DisableCache {
+			// Cache one query so the snapshot carries a cache section.
+			if _, err := eng.Query(context.Background(), ExtractQuery(db[1], 0, 2)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := eng.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:len(buf.Bytes())*2/3])
+		flip := append([]byte(nil), buf.Bytes()...)
+		flip[len(flip)/2] ^= 0x10
+		f.Add(flip)
+
+		// An index-only snapshot seed (the LoadIndex grammar).
+		var ibuf bytes.Buffer
+		if err := eng.SaveIndex(&ibuf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(ibuf.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := fuzzDB()
+		opt := EngineOptions{Method: GGSX, MaxPathLen: 3, CacheSize: 4, Window: 1}
+
+		// Whole-engine restore: error or success, never a panic.
+		if eng, err := LoadEngine(bytes.NewReader(data), db, opt); err == nil {
+			// A snapshot the loader accepts must actually serve.
+			if _, qerr := eng.Query(context.Background(), ExtractQuery(db[0], 0, 2)); qerr != nil {
+				t.Fatalf("loaded engine cannot serve: %v", qerr)
+			}
+		}
+
+		// Live-index rollback under arbitrary corruption.
+		eng, err := NewEngine(db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := ExtractQuery(db[1], 0, 3)
+		before, err := eng.Query(context.Background(), probe, WithoutCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizeBefore, _ := eng.IndexSizeBytes()
+		if lerr := eng.LoadIndex(bytes.NewReader(data)); lerr != nil {
+			after, err := eng.Query(context.Background(), probe, WithoutCache())
+			if err != nil {
+				t.Fatalf("post-rollback query: %v", err)
+			}
+			if !reflect.DeepEqual(after.IDs, before.IDs) || after.Stats != before.Stats {
+				t.Fatalf("failed LoadIndex changed answers: %v/%+v -> %v/%+v",
+					before.IDs, before.Stats, after.IDs, after.Stats)
+			}
+			if sizeAfter, _ := eng.IndexSizeBytes(); sizeAfter != sizeBefore {
+				t.Fatalf("failed LoadIndex changed index footprint: %d -> %d", sizeBefore, sizeAfter)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsRoundTrip keeps the fuzz seeds honest in plain test runs:
+// the valid seeds must load successfully.
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	db := fuzzDB()
+	for i, opt := range []EngineOptions{
+		{Method: GGSX, MaxPathLen: 3, CacheSize: 4, Window: 1},
+		{Method: Grapes, MaxPathLen: 3, DisableCache: true},
+	} {
+		eng, err := NewEngine(db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := eng.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadEngine(bytes.NewReader(buf.Bytes()), db, opt); err != nil {
+			t.Fatalf("seed %d does not round-trip: %v", i, err)
+		}
+	}
+}

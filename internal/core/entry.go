@@ -33,6 +33,16 @@ func newEntry(id int32, g *graph.Graph, answer []int32, seq int64) *entry {
 	}
 }
 
+// withAnswer returns a copy of e carrying a different answer set — the
+// copy-on-write step of dataset-mutation patching. Metadata (hits,
+// removed, logCost) carries over by value; the graph and fingerprint are
+// shared (the cached query itself is untouched by dataset mutation).
+func (e *entry) withAnswer(answer []int32) *entry {
+	ne := *e
+	ne.answer = answer
+	return &ne
+}
+
 // logUtility returns ln U(g) = ln C(g) − ln M(g) at sequence number seq.
 // Entries that never alleviated a test have utility -Inf and are evicted
 // first. M(g) is at least 1 to keep the ratio defined for brand-new entries.

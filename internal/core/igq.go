@@ -152,6 +152,12 @@ func (o Options) withDefaults() Options {
 type Outcome struct {
 	Answer []int32 // sorted dataset graph ids
 
+	// Dataset is the dataset generation Answer indexes into — under live
+	// mutation (DatasetAppended/DatasetRemoved) callers must materialise
+	// answers against this exact slice, not whatever generation is current
+	// by the time they look.
+	Dataset []*graph.Graph
+
 	BaseCandidates  int // |CS(g)| from M alone
 	FinalCandidates int // candidates verified after iGQ pruning
 	Verified        int // final candidates that passed verification
@@ -167,14 +173,21 @@ type Outcome struct {
 }
 
 // snapshot is one immutable generation of the cache's read state: the
-// committed entries, the id lookup table, and the two cache-side indexes
-// built over exactly those entries. A snapshot is never mutated after it is
+// dataset and method generation being answered over, the committed
+// entries, the id lookup table, and the two cache-side indexes built over
+// exactly those entries. A snapshot is never mutated after it is
 // installed; flushes build a new one and swap the pointer (the paper's
-// "Ishadow replaces I with a pointer swap"). Entry *metadata* (hits,
-// logCost) is the one mutable element reachable from a snapshot; it is
-// written only under IGQ.mu and read only under IGQ.mu (eviction, Save),
-// never on the lock-free answer path.
+// "Ishadow replaces I with a pointer swap"), and dataset mutations
+// (DatasetAppended/DatasetRemoved) install a generation whose db, m and
+// patched entries change *together* — a query loads one snapshot and sees
+// a fully consistent (dataset, index, cache) triple. Entry *metadata*
+// (hits, logCost) is the one mutable element reachable from a snapshot; it
+// is written only under IGQ.mu and read only under IGQ.mu (eviction,
+// Save), never on the lock-free answer path.
 type snapshot struct {
+	db      []*graph.Graph
+	m       index.Method
+	dbGen   int64 // dataset generation: bumped by each mutation, kept by flushes
 	entries []*entry
 	byID    map[int32]*entry
 	isub    *subIndex
@@ -257,7 +270,7 @@ func New(m index.Method, db []*graph.Graph, opt Options) *IGQ {
 	} else {
 		q.dict = features.NewDict()
 	}
-	q.installEntries(nil)
+	q.installEntries(nil, m, db)
 	return q
 }
 
@@ -299,8 +312,9 @@ func (q *IGQ) putScratch(sc *queryScratch) {
 	q.scratchMu.Unlock()
 }
 
-// Method returns the wrapped method.
-func (q *IGQ) Method() index.Method { return q.m }
+// Method returns the wrapped method of the current snapshot generation
+// (dataset mutations install new method generations).
+func (q *IGQ) Method() index.Method { return q.snap.Load().m }
 
 // CacheLen returns the number of active cached queries (excluding the
 // pending window).
@@ -384,7 +398,7 @@ func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, er
 	}
 	snap := q.snap.Load()
 	q.seq.Add(1)
-	out := &Outcome{}
+	out := &Outcome{Dataset: snap.db}
 	sc := q.getScratch()
 	defer q.putScratch(sc)
 	sc.credits = sc.credits[:0]
@@ -397,7 +411,7 @@ func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, er
 
 	// The count-based fast path is only sound when the method's index was
 	// built over the same dictionary at the same feature length.
-	countFilter, _ := q.m.(index.CountFilterer)
+	countFilter, _ := snap.m.(index.CountFilterer)
 	if countFilter != nil && (!q.methodDict || countFilter.FeatureMaxPathLen() != q.opt.MaxPathLen) {
 		countFilter = nil
 	}
@@ -416,7 +430,7 @@ func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, er
 		if countFilter != nil {
 			cs = normalizeIDs(countFilter.FilterByFeatureCounts(qf))
 		} else {
-			cs = normalizeIDs(q.m.Filter(g))
+			cs = normalizeIDs(snap.m.Filter(g))
 		}
 		out.FilterDur = time.Since(t0)
 	}
@@ -451,8 +465,8 @@ func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, er
 		if len(identical.answer) > 0 {
 			out.Answer = append([]int32(nil), identical.answer...)
 		}
-		q.pendCredit(sc, identical, g.NumVertices(), cs)
-		q.commit(sc, nil, 0, nil, false)
+		q.pendCredit(sc, snap.db, identical, g.NumVertices(), cs)
+		q.commit(sc, snap.dbGen, nil, 0, nil, false)
 		return out, nil
 	}
 
@@ -462,8 +476,8 @@ func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, er
 		if len(e.answer) == 0 {
 			out.Short = EmptyAnswerHit
 			out.Answer = nil
-			q.pendCredit(sc, e, g.NumVertices(), cs)
-			q.commit(sc, g, qfp, nil, admit)
+			q.pendCredit(sc, snap.db, e, g.NumVertices(), cs)
+			q.commit(sc, snap.dbGen, g, qfp, nil, admit)
 			return out, nil
 		}
 	}
@@ -472,13 +486,13 @@ func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, er
 	pruned := cs
 	for _, e := range unionSide {
 		removed := index.IntersectSorted(cs, e.answer)
-		q.pendCredit(sc, e, g.NumVertices(), removed)
+		q.pendCredit(sc, snap.db, e, g.NumVertices(), removed)
 		pruned = index.SubtractSorted(pruned, e.answer)
 	}
 	// Formula (5): intersect with intersect-side answers.
 	for _, e := range intersectSide {
 		removed := index.SubtractSorted(pruned, e.answer)
-		q.pendCredit(sc, e, g.NumVertices(), removed)
+		q.pendCredit(sc, snap.db, e, g.NumVertices(), removed)
 		pruned = index.IntersectSorted(pruned, e.answer)
 	}
 	out.FinalCandidates = len(pruned)
@@ -492,7 +506,7 @@ func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, er
 			return nil, err
 		}
 		out.DatasetIsoTests++
-		if q.m.Verify(g, id) {
+		if snap.m.Verify(g, id) {
 			verified = append(verified, id)
 		}
 	}
@@ -509,7 +523,7 @@ func (q *IGQ) run(ctx context.Context, g *graph.Graph, admit bool) (*Outcome, er
 	}
 	out.Answer = answer
 
-	q.commit(sc, g, qfp, answer, admit)
+	q.commit(sc, snap.dbGen, g, qfp, answer, admit)
 	return out, nil
 }
 
@@ -573,10 +587,10 @@ func (q *IGQ) cacheLookup(snap *snapshot, g *graph.Graph, qfp uint64, qf feature
 // pendCredit buffers one entry's hit credit: the pruned candidates' cost
 // contribution is folded into a single log-sum-exp delta here, lock-free,
 // so the later application under IGQ.mu is O(1) per credited entry.
-func (q *IGQ) pendCredit(sc *queryScratch, e *entry, queryNodes int, prunedIDs []int32) {
+func (q *IGQ) pendCredit(sc *queryScratch, db []*graph.Graph, e *entry, queryNodes int, prunedIDs []int32) {
 	delta := math.Inf(-1)
 	for _, id := range prunedIDs {
-		delta = LogSumExp(delta, LogIsoCost(queryNodes, q.db[id].NumVertices(), q.opt.Labels))
+		delta = LogSumExp(delta, LogIsoCost(queryNodes, db[id].NumVertices(), q.opt.Labels))
 	}
 	sc.credits = append(sc.credits, pendingCredit{e: e, removed: int64(len(prunedIDs)), logCost: delta})
 }
@@ -585,7 +599,14 @@ func (q *IGQ) pendCredit(sc *queryScratch, e *entry, queryNodes int, prunedIDs [
 // is set) the window admission — under the metadata mutex. This is the only
 // lock a non-flushing query ever takes, held for O(hits) float updates plus
 // the window duplicate check.
-func (q *IGQ) commit(sc *queryScratch, g *graph.Graph, qfp uint64, answer []int32, admit bool) {
+//
+// dbGen is the dataset generation the query ran against. If a dataset
+// mutation committed while the query was in flight, its answer references
+// the *old* generation's positions and must not be admitted — admitting it
+// would plant stale knowledge the mutation's cache patch never saw. The
+// credits still apply where their entries survive (metadata heuristics,
+// not answers); credits against superseded entry clones are simply lost.
+func (q *IGQ) commit(sc *queryScratch, dbGen int64, g *graph.Graph, qfp uint64, answer []int32, admit bool) {
 	if len(sc.credits) == 0 && !admit {
 		return
 	}
@@ -594,7 +615,7 @@ func (q *IGQ) commit(sc *queryScratch, g *graph.Graph, qfp uint64, answer []int3
 	for _, c := range sc.credits {
 		c.e.applyCredit(c.removed, c.logCost)
 	}
-	if admit {
+	if admit && q.snap.Load().dbGen == dbGen {
 		q.admitLocked(g, qfp, answer)
 	}
 }
@@ -640,6 +661,7 @@ func (q *IGQ) flushLocked() {
 		return
 	}
 	q.flushes++
+	cur := q.snap.Load()
 	newEntries, newByID := q.planFlushLocked()
 	q.window = nil
 	if q.opt.AsyncMaintenance {
@@ -649,7 +671,7 @@ func (q *IGQ) flushLocked() {
 			defer close(done)
 			isub, isuper := buildIndexes(q.dict, newEntries, q.opt)
 			q.mu.Lock()
-			q.snap.Store(&snapshot{entries: newEntries, byID: newByID, isub: isub, isuper: isuper})
+			q.snap.Store(&snapshot{db: cur.db, m: cur.m, dbGen: cur.dbGen, entries: newEntries, byID: newByID, isub: isub, isuper: isuper})
 			if q.shadowDone == done {
 				q.shadowDone = nil
 			}
@@ -658,7 +680,7 @@ func (q *IGQ) flushLocked() {
 		return
 	}
 	isub, isuper := buildIndexes(q.dict, newEntries, q.opt)
-	q.snap.Store(&snapshot{entries: newEntries, byID: newByID, isub: isub, isuper: isuper})
+	q.snap.Store(&snapshot{db: cur.db, m: cur.m, dbGen: cur.dbGen, entries: newEntries, byID: newByID, isub: isub, isuper: isuper})
 }
 
 // planFlushLocked computes the post-flush entry set without touching the
@@ -774,18 +796,24 @@ func (q *IGQ) RebuildIndexes() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.waitShadowLocked()
-	q.installEntries(q.snap.Load().entries)
+	cur := q.snap.Load()
+	q.installEntries(cur.entries, cur.m, cur.db)
 }
 
 // installEntries builds fresh cache-side indexes over entries and installs
-// them as the served snapshot (construction and Load time).
-func (q *IGQ) installEntries(entries []*entry) {
+// them as the served snapshot over (m, db) — construction, Load and
+// rebuild time.
+func (q *IGQ) installEntries(entries []*entry, m index.Method, db []*graph.Graph) {
 	byID := make(map[int32]*entry, len(entries))
 	for _, e := range entries {
 		byID[e.id] = e
 	}
+	var gen int64
+	if cur := q.snap.Load(); cur != nil {
+		gen = cur.dbGen
+	}
 	isub, isuper := buildIndexes(q.dict, entries, q.opt)
-	q.snap.Store(&snapshot{entries: entries, byID: byID, isub: isub, isuper: isuper})
+	q.snap.Store(&snapshot{db: db, m: m, dbGen: gen, entries: entries, byID: byID, isub: isub, isuper: isuper})
 }
 
 // buildIndexes constructs fresh Isub/Isuper over an entry set; one

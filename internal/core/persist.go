@@ -75,7 +75,7 @@ func (q *IGQ) Save(w io.Writer) error {
 	cur := q.snap.Load()
 	snap := wireSnapshot{
 		Version:    snapshotVersion,
-		DBChecksum: dbChecksum(q.db),
+		DBChecksum: dbChecksum(cur.db),
 		Seq:        q.seq.Load(),
 		NextID:     q.nextID,
 		Flushes:    q.flushes,
@@ -172,6 +172,6 @@ func Load(r io.Reader, m index.Method, db []*graph.Graph, opt Options) (*IGQ, er
 		}
 		entries = kept
 	}
-	q.installEntries(entries)
+	q.installEntries(entries, m, db)
 	return q, nil
 }

@@ -98,17 +98,23 @@ func (d *Dict) Reset() {
 	d.keys = d.keys[:0]
 }
 
-// SizeBytes approximates the dictionary's memory footprint: the canonical
+// DictEntrySizeBytes is the accounted footprint of one interned key: the
 // key bytes (stored once — the map key and the ID-order slice share one
-// string backing) plus per-entry map and slice overhead. Counted by the
-// index that owns the dictionary (paper Fig 18 accounting); tries sharing
-// the dictionary must not add it again.
+// string backing) plus the slice-entry string header and the map entry.
+// Exposed so consumers that *exclude* entries (the trie's retired-feature
+// accounting) stay in lockstep with SizeBytes.
+func DictEntrySizeBytes(key string) int { return len(key) + 16 + 48 }
+
+// SizeBytes approximates the dictionary's memory footprint: the per-entry
+// cost of DictEntrySizeBytes over every key, plus fixed headers. Counted
+// by the index that owns the dictionary (paper Fig 18 accounting); tries
+// sharing the dictionary must not add it again.
 func (d *Dict) SizeBytes() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	sz := 48 // struct, map header, slice header
 	for _, k := range d.keys {
-		sz += len(k) + 16 + 48 // bytes + slice-entry string header + map entry
+		sz += DictEntrySizeBytes(k)
 	}
 	return sz
 }

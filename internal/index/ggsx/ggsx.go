@@ -42,12 +42,16 @@ type Options struct {
 // DefaultOptions mirrors the paper's configuration.
 func DefaultOptions() Options { return Options{MaxPathLen: 4, VerifyAlg: iso.VF2} }
 
-// Index is the GGSX method. Create with New, then Build.
+// Index is the GGSX method. Create with New, then Build. Dataset mutation
+// (AppendGraphs/RemoveGraphs) is copy-on-write: it returns a new Index
+// generation and leaves the receiver serving the old dataset; generations
+// share the dictionary and the delta log.
 type Index struct {
 	opt  Options
 	db   []*graph.Graph
 	dict *features.Dict
 	tr   *trie.Trie
+	log  *index.DeltaLog // unsaved mutations; shared across generations
 }
 
 var (
@@ -65,7 +69,7 @@ func New(opt Options) *Index {
 		opt.BuildWorkers = 1
 	}
 	d := features.NewDict()
-	return &Index{opt: opt, dict: d, tr: trie.NewSharded(d, opt.Shards)}
+	return &Index{opt: opt, dict: d, tr: trie.NewSharded(d, opt.Shards), log: index.NewDeltaLog()}
 }
 
 // Name implements index.Method.
@@ -91,6 +95,7 @@ func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
 	x.dict.Reset()
 	x.tr = trie.NewSharded(x.dict, x.opt.Shards)
+	x.log.NoteFullSave(0) // a rebuild invalidates any snapshot lineage
 	BuildPaths(x.tr, db, features.PathOptions{MaxLen: x.opt.MaxPathLen}, x.opt.BuildWorkers)
 }
 
@@ -167,7 +172,10 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 // dictionary it owns (the dictionary is real index footprint — Fig 18
 // under-reports without it; it is counted here, at its owner, not in
 // trie.SizeBytes, because cache-side tries share the same dictionary).
-func (x *Index) SizeBytes() int { return x.tr.SizeBytes() + x.dict.SizeBytes() }
+// Counted at the live vocabulary: features retired by removals are
+// bookkeeping residue, not index content, so an incrementally maintained
+// index accounts exactly like a fresh build over the surviving dataset.
+func (x *Index) SizeBytes() int { return x.tr.SizeBytes() + x.tr.LiveDictSizeBytes() }
 
 func copyIDs(ids []int32) []int32 {
 	if len(ids) == 0 {

@@ -1,0 +1,205 @@
+package ggsx
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// TestMutationDifferential pins the copy-on-write mutation path to a
+// from-scratch Build over the final dataset: after every append/remove
+// batch the mutated index must match the rebuilt one in trie state, filter
+// results, answers and SizeBytes — and the O(delta) journaled snapshot
+// must load back to the same state.
+func TestMutationDifferential(t *testing.T) {
+	for _, tc := range []struct{ shards, workers int }{{1, 1}, {4, 2}} {
+		t.Run(fmt.Sprintf("shards=%d workers=%d", tc.shards, tc.workers), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			db := make([]*graph.Graph, 16)
+			for i := range db {
+				db[i] = randomGraph(rng, 6+rng.Intn(6), 0.3, 4)
+			}
+			queries := make([]*graph.Graph, 8)
+			for i := range queries {
+				queries[i] = randomGraph(rng, 3+rng.Intn(2), 0.5, 4)
+			}
+
+			var cur index.Mutable = New(Options{MaxPathLen: 3, Shards: tc.shards, BuildWorkers: tc.workers})
+			cur.Build(db)
+
+			snapPath := filepath.Join(t.TempDir(), "base.idx")
+			f, err := os.Create(snapPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cur.(index.Persistable).SaveIndex(f); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			cdb := db
+			for step := 0; step < 10; step++ {
+				if rng.Intn(2) == 0 || len(cdb) < 4 {
+					gs := []*graph.Graph{
+						randomGraph(rng, 5+rng.Intn(5), 0.3, 4),
+						randomGraph(rng, 5+rng.Intn(5), 0.3, 4),
+					}
+					next, ndb, err := cur.AppendGraphs(gs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantDB := append(append([]*graph.Graph(nil), cdb...), gs...)
+					if !reflect.DeepEqual(ndb, wantDB) {
+						t.Fatalf("step %d: AppendGraphs dataset mismatch", step)
+					}
+					cur, cdb = next, ndb
+				} else {
+					ps := []int{rng.Intn(len(cdb))}
+					if rng.Intn(2) == 0 && len(cdb) > 2 {
+						q := rng.Intn(len(cdb))
+						if q != ps[0] {
+							ps = append(ps, q)
+						}
+					}
+					wantDB, _, wantMap, err := index.SwapRemove(cdb, ps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					next, ndb, mapping, err := cur.RemoveGraphs(ps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(ndb, wantDB) || !reflect.DeepEqual(mapping, wantMap) {
+						t.Fatalf("step %d: RemoveGraphs dataset/mapping mismatch", step)
+					}
+					cur, cdb = next, ndb
+				}
+
+				ref := New(Options{MaxPathLen: 3, Shards: tc.shards, BuildWorkers: tc.workers})
+				ref.Build(cdb)
+				cx := cur.(*Index)
+				if got, want := dumpTrie(cx.tr), dumpTrie(ref.tr); got != want {
+					t.Fatalf("step %d: mutated trie diverges from rebuild\ngot:\n%s\nwant:\n%s", step, got, want)
+				}
+				if got, want := cur.SizeBytes(), ref.SizeBytes(); got != want {
+					t.Fatalf("step %d: SizeBytes %d != rebuilt %d", step, got, want)
+				}
+				for qi, q := range queries {
+					if !reflect.DeepEqual(cur.Filter(q), ref.Filter(q)) {
+						t.Fatalf("step %d query %d: Filter diverges", step, qi)
+					}
+					if !reflect.DeepEqual(index.Answer(cur, q), index.Answer(ref, q)) {
+						t.Fatalf("step %d query %d: Answer diverges", step, qi)
+					}
+				}
+
+				// O(delta) persistence: append the journal, reload, compare.
+				f, err := os.OpenFile(snapPath, os.O_RDWR, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := cur.(index.DeltaPersistable).AppendDelta(f); err != nil {
+					t.Fatalf("step %d: AppendDelta: %v", step, err)
+				}
+				f.Close()
+				loaded := New(Options{MaxPathLen: 3, Shards: tc.shards, BuildWorkers: tc.workers})
+				lf, err := os.Open(snapPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = loaded.LoadIndex(lf, cdb)
+				lf.Close()
+				if err != nil {
+					t.Fatalf("step %d: loading journaled snapshot: %v", step, err)
+				}
+				if got, want := dumpTrie(loaded.tr), dumpTrie(ref.tr); got != want {
+					t.Fatalf("step %d: journaled snapshot diverges from rebuild", step)
+				}
+				if got, want := loaded.SizeBytes(), ref.SizeBytes(); got != want {
+					t.Fatalf("step %d: loaded SizeBytes %d != rebuilt %d", step, got, want)
+				}
+
+				// A journaled snapshot must refuse any other dataset.
+				wrong := New(Options{MaxPathLen: 3})
+				wf, _ := os.Open(snapPath)
+				err = wrong.LoadIndex(wf, db)
+				wf.Close()
+				if len(cdb) != len(db) || step > 0 {
+					if err == nil {
+						t.Fatalf("step %d: journaled snapshot loaded against the base dataset", step)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAppendDeltaCompaction drives enough mutation batches through a small
+// base snapshot that the journal outgrows the compaction threshold, and
+// checks the file was folded back into a journal-free base that still
+// loads to the live state.
+func TestAppendDeltaCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := []*graph.Graph{randomGraph(rng, 5, 0.4, 3), randomGraph(rng, 5, 0.4, 3)}
+	var cur index.Mutable = New(Options{MaxPathLen: 3, Shards: 2})
+	cur.Build(db)
+
+	path := filepath.Join(t.TempDir(), "c.idx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.(index.Persistable).SaveIndex(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	base, _ := os.Stat(path)
+
+	var cdb []*graph.Graph = db
+	grew := false
+	for i := 0; i < 40; i++ {
+		next, ndb, err := cur.AppendGraphs([]*graph.Graph{randomGraph(rng, 6, 0.35, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, cdb = next, ndb
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.(index.DeltaPersistable).AppendDelta(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		fi, _ := os.Stat(path)
+		if fi.Size() > base.Size() {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("journal never grew the snapshot — delta path not exercised")
+	}
+	// After 40 small batches against a tiny base the compaction threshold
+	// must have triggered at least once; the final file must load cleanly.
+	loaded := New(Options{MaxPathLen: 3, Shards: 2})
+	lf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = loaded.LoadIndex(lf, cdb)
+	lf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New(Options{MaxPathLen: 3, Shards: 2})
+	ref.Build(cdb)
+	if got, want := dumpTrie(loaded.tr), dumpTrie(ref.tr); got != want {
+		t.Fatal("compacted snapshot diverges from rebuild")
+	}
+}

@@ -17,40 +17,59 @@ const methodTag = "GGSX"
 
 // SaveIndex implements index.Persistable: an envelope header (method,
 // feature length, dataset checksum) followed by the path trie in the
-// segment format of internal/trie. The index must be built.
+// segment format of internal/trie. The index must be built. A full save
+// resets the delta-log lineage: it captures every mutation applied so far,
+// so the written file is the new base for future AppendDelta calls.
 func (x *Index) SaveIndex(w io.Writer) error {
-	if x.db == nil {
-		return errors.New("ggsx: SaveIndex before Build")
+	n, err := x.writeIndex(w)
+	if err != nil {
+		return err
 	}
-	err := index.WriteIndexEnvelope(w, index.IndexEnvelope{
+	x.log.NoteFullSave(n)
+	return nil
+}
+
+// writeIndex writes the full snapshot without touching the delta log
+// (AppendDelta's compaction path calls it under the log's lock).
+func (x *Index) writeIndex(w io.Writer) (int64, error) {
+	if x.db == nil {
+		return 0, errors.New("ggsx: SaveIndex before Build")
+	}
+	cw := &index.CountingWriter{W: w}
+	err := index.WriteIndexEnvelope(cw, index.IndexEnvelope{
 		Method:     methodTag,
 		MaxPathLen: x.opt.MaxPathLen,
 		DBChecksum: index.DBChecksum(x.db),
 		NumGraphs:  len(x.db),
 	})
 	if err != nil {
-		return fmt.Errorf("ggsx: %w", err)
+		return cw.N, fmt.Errorf("ggsx: %w", err)
 	}
-	if _, err := x.tr.WriteTo(w); err != nil {
-		return fmt.Errorf("ggsx: writing trie: %w", err)
+	if _, err := x.tr.WriteTo(cw); err != nil {
+		return cw.N, fmt.Errorf("ggsx: writing trie: %w", err)
 	}
-	return nil
+	return cw.N, nil
 }
 
-// LoadIndex implements index.Persistable: restores a SaveIndex snapshot,
-// replacing the index state (including the dictionary contents — holders of
-// FeatureDict stay wired, but structures keyed by the old IDs must be
-// rebuilt). The snapshot is validated against db via the embedded checksum;
-// loading against a different dataset fails with index.ErrDatasetMismatch.
-// Segment decodes fan out over Options.BuildWorkers goroutines. The loaded
-// index answers identically to a fresh Build over db.
+// LoadIndex implements index.Persistable: restores a SaveIndex snapshot —
+// replaying any delta journals appended to it — replacing the index state
+// (including the dictionary contents — holders of FeatureDict stay wired,
+// but structures keyed by the old IDs must be rebuilt). The snapshot is
+// validated against db via the embedded checksum — for a journaled
+// snapshot, the newest journal's stamp, so a base written for one dataset
+// plus journals leading to db loads cleanly while anything else fails with
+// index.ErrDatasetMismatch. Segment decodes fan out over
+// Options.BuildWorkers goroutines. The loaded index answers identically to
+// a fresh Build over db, and any load failure (corruption, wrong dataset)
+// leaves the live index and the shared dictionary byte-identical to their
+// pre-call state.
 func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	br := index.AsByteScanner(r)
 	env, err := index.ReadIndexEnvelope(br)
 	if err != nil {
 		return fmt.Errorf("ggsx: %w", err)
 	}
-	if err := index.ValidateEnvelope(env, methodTag, db); err != nil {
+	if err := index.ValidateEnvelopeMethod(env, methodTag); err != nil {
 		return fmt.Errorf("ggsx: %w", err)
 	}
 	// The decode interns through the shared dictionary, so keep the current
@@ -58,14 +77,28 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	// as it was — re-interning the saved keys in ID order restores the
 	// identical ID assignment the old trie is keyed by.
 	oldKeys := x.dict.Keys()
-	x.dict.Reset()
-	tr := trie.NewSharded(x.dict, x.opt.Shards)
-	if _, err := tr.ReadFromWorkers(br, x.opt.BuildWorkers); err != nil {
+	rollback := func() {
 		x.dict.Reset()
 		for _, k := range oldKeys {
 			x.dict.Intern(k)
 		}
+	}
+	x.dict.Reset()
+	tr := trie.NewSharded(x.dict, x.opt.Shards)
+	n, err := tr.ReadFromWorkers(br, x.opt.BuildWorkers)
+	if err != nil {
+		rollback()
 		return fmt.Errorf("ggsx: reading trie: %w", err)
+	}
+	// Dataset guard: journals carry the post-mutation fingerprint; a
+	// journal-free snapshot answers for the envelope's base dataset.
+	sum, ng := env.DBChecksum, env.NumGraphs
+	if st := tr.JournalStamp(); st != nil {
+		sum, ng = st.DBChecksum, st.NumGraphs
+	}
+	if err := index.ValidateDataset(sum, ng, db); err != nil {
+		rollback()
+		return fmt.Errorf("ggsx: %w", err)
 	}
 	if x.opt.Shards > 0 {
 		// The snapshot restores its saved layout; an explicit option
@@ -75,5 +108,6 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	x.opt.MaxPathLen = env.MaxPathLen // queries must enumerate at the indexed length
 	x.db = db
 	x.tr = tr
+	x.log.NoteFullSave(n) // the loaded file is the new delta-log base
 	return nil
 }

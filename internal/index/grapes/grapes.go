@@ -57,6 +57,7 @@ type Index struct {
 	db   []*graph.Graph
 	dict *features.Dict
 	tr   *trie.Trie
+	log  *index.DeltaLog // unsaved mutations; shared across generations
 
 	// memo of the last query's features: Verify runs once per candidate of
 	// the same query, so re-enumerating per candidate would be wasteful. A
@@ -89,7 +90,8 @@ func New(opt Options) *Index {
 		opt.BuildWorkers = opt.Threads
 	}
 	d := features.NewDict()
-	return &Index{opt: opt, dict: d, tr: trie.NewSharded(d, opt.Shards), memoS: features.NewScratch()}
+	return &Index{opt: opt, dict: d, tr: trie.NewSharded(d, opt.Shards),
+		log: index.NewDeltaLog(), memoS: features.NewScratch()}
 }
 
 // Name implements index.Method, including the thread count as in the paper.
@@ -136,6 +138,7 @@ func (x *Index) Build(db []*graph.Graph) {
 	x.db = db
 	x.dict.Reset()
 	x.tr = trie.NewSharded(x.dict, x.opt.Shards)
+	x.log.NoteFullSave(0) // a rebuild invalidates any snapshot lineage
 	x.resetMemo()
 	opt := features.PathOptions{MaxLen: x.opt.MaxPathLen, Locations: true}
 	if x.opt.Threads > 1 && (x.opt.BuildWorkers <= 1 || len(db) < 2*x.opt.BuildWorkers) {
@@ -265,9 +268,10 @@ func (x *Index) resetMemo() {
 }
 
 // SizeBytes implements index.Method: the path trie (postings + location
-// lists) plus the feature dictionary the index owns (see ggsx.SizeBytes on
-// why the dictionary is counted at its owner).
-func (x *Index) SizeBytes() int { return x.tr.SizeBytes() + x.dict.SizeBytes() }
+// lists) plus the feature dictionary the index owns, counted at the live
+// vocabulary (see ggsx.SizeBytes on why the dictionary is counted at its
+// owner and why retired features are excluded).
+func (x *Index) SizeBytes() int { return x.tr.SizeBytes() + x.tr.LiveDictSizeBytes() }
 
 func unionInto(dst, src []int32) []int32 {
 	if len(dst) == 0 {

@@ -19,24 +19,36 @@ const methodTag = "Grapes"
 
 // SaveIndex implements index.Persistable: an envelope header followed by
 // the path trie — including the per-posting location lists that make
-// Grapes' verification fast — in the segment format of internal/trie.
+// Grapes' verification fast — in the segment format of internal/trie. A
+// full save resets the delta-log lineage (see ggsx.Index.SaveIndex).
 func (x *Index) SaveIndex(w io.Writer) error {
-	if x.db == nil {
-		return errors.New("grapes: SaveIndex before Build")
+	n, err := x.writeIndex(w)
+	if err != nil {
+		return err
 	}
-	err := index.WriteIndexEnvelope(w, index.IndexEnvelope{
+	x.log.NoteFullSave(n)
+	return nil
+}
+
+// writeIndex writes the full snapshot without touching the delta log.
+func (x *Index) writeIndex(w io.Writer) (int64, error) {
+	if x.db == nil {
+		return 0, errors.New("grapes: SaveIndex before Build")
+	}
+	cw := &index.CountingWriter{W: w}
+	err := index.WriteIndexEnvelope(cw, index.IndexEnvelope{
 		Method:     methodTag,
 		MaxPathLen: x.opt.MaxPathLen,
 		DBChecksum: index.DBChecksum(x.db),
 		NumGraphs:  len(x.db),
 	})
 	if err != nil {
-		return fmt.Errorf("grapes: %w", err)
+		return cw.N, fmt.Errorf("grapes: %w", err)
 	}
-	if _, err := x.tr.WriteTo(w); err != nil {
-		return fmt.Errorf("grapes: writing trie: %w", err)
+	if _, err := x.tr.WriteTo(cw); err != nil {
+		return cw.N, fmt.Errorf("grapes: writing trie: %w", err)
 	}
-	return nil
+	return cw.N, nil
 }
 
 // LoadIndex implements index.Persistable: restores a SaveIndex snapshot,
@@ -51,21 +63,35 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	if err != nil {
 		return fmt.Errorf("grapes: %w", err)
 	}
-	if err := index.ValidateEnvelope(env, methodTag, db); err != nil {
+	if err := index.ValidateEnvelopeMethod(env, methodTag); err != nil {
 		return fmt.Errorf("grapes: %w", err)
 	}
 	// Keep the current vocabulary for rollback: a failed decode must leave
 	// the index exactly as it was (re-interning the saved keys in ID order
 	// restores the identical ID assignment the old trie is keyed by).
 	oldKeys := x.dict.Keys()
-	x.dict.Reset()
-	tr := trie.NewSharded(x.dict, x.opt.Shards)
-	if _, err := tr.ReadFromWorkers(br, x.opt.BuildWorkers); err != nil {
+	rollback := func() {
 		x.dict.Reset()
 		for _, k := range oldKeys {
 			x.dict.Intern(k)
 		}
+	}
+	x.dict.Reset()
+	tr := trie.NewSharded(x.dict, x.opt.Shards)
+	n, err := tr.ReadFromWorkers(br, x.opt.BuildWorkers)
+	if err != nil {
+		rollback()
 		return fmt.Errorf("grapes: reading trie: %w", err)
+	}
+	// Dataset guard: a journaled snapshot answers for the newest journal
+	// stamp's dataset, not the envelope's base (see ggsx.Index.LoadIndex).
+	sum, ng := env.DBChecksum, env.NumGraphs
+	if st := tr.JournalStamp(); st != nil {
+		sum, ng = st.DBChecksum, st.NumGraphs
+	}
+	if err := index.ValidateDataset(sum, ng, db); err != nil {
+		rollback()
+		return fmt.Errorf("grapes: %w", err)
 	}
 	if x.opt.Shards > 0 {
 		tr.Reshard(x.opt.Shards)
@@ -73,6 +99,7 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	x.opt.MaxPathLen = env.MaxPathLen
 	x.db = db
 	x.tr = tr
+	x.log.NoteFullSave(n)
 	x.resetMemo()
 	return nil
 }

@@ -1,0 +1,234 @@
+package index
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/trie"
+)
+
+// Dynamic datasets. A Mutable method maintains its index under dataset
+// mutation in O(delta): appending graphs inserts only the new graphs'
+// features, and removing graphs scrubs only the removed (and swapped)
+// graphs' postings — no re-enumeration of the unchanged dataset. Mutation
+// is copy-on-write: the receiver keeps answering over the pre-mutation
+// dataset (so queries in flight against it stay consistent) and a new
+// method value over the new dataset is returned; installing it is the
+// caller's snapshot swap. DeltaPersistable extends the persistence story
+// the same way: AppendDelta appends the mutations since the last save as a
+// CRC-guarded journal section, so the re-save is O(delta) too.
+
+// ErrNotMutable reports a method without incremental maintenance support.
+var ErrNotMutable = errors.New("index: method does not support dataset mutation")
+
+// Mutable is a Method whose dataset can be mutated in place of a rebuild.
+//
+// Both mutation calls are copy-on-write: they return a new Mutable serving
+// the post-mutation dataset (sharing all unaffected index state with the
+// receiver) together with the new dataset slice; the receiver is left
+// untouched and keeps answering over the old dataset. Like Build, a
+// mutation call is externally exclusive — one mutation at a time, and the
+// caller must not mutate through a stale generation — but it may run
+// concurrently with the receiver's read path.
+type Mutable interface {
+	Method
+	// Dataset returns the dataset this method generation answers over.
+	// Callers must treat it as read-only.
+	Dataset() []*graph.Graph
+	// AppendGraphs returns a generation over append(Dataset(), gs...): the
+	// new graphs occupy positions len(Dataset()).. in order.
+	AppendGraphs(gs []*graph.Graph) (Mutable, []*graph.Graph, error)
+	// RemoveGraphs returns a generation with the graphs at the given
+	// positions removed under the canonical swap-removal of SwapRemove,
+	// plus the old→new position mapping (-1 = removed) callers need to
+	// patch position-keyed state.
+	RemoveGraphs(positions []int) (Mutable, []*graph.Graph, []int32, error)
+}
+
+// DeltaPersistable is a Persistable whose snapshot files accept O(delta)
+// journal appends.
+type DeltaPersistable interface {
+	Persistable
+	// AppendDelta persists every mutation applied since f's snapshot was
+	// written (by SaveIndex or a previous AppendDelta on the same file) as
+	// one journal section appended to f. When accumulated journals outgrow
+	// the compaction threshold — and f supports truncation — the file is
+	// instead rewritten as a fresh compact base, folding all journals in.
+	// The caller must hand the same file lineage to every call: the pending
+	// delta is tracked relative to the last full save. Exclusive with other
+	// persistence and mutation calls.
+	AppendDelta(f io.ReadWriteSeeker) error
+}
+
+// RemoveStep is one swap-removal step: the graph at Removed is deleted and
+// the graph then at SwappedFrom (the last position) takes its place.
+// SwappedFrom == Removed means the removed graph was itself last.
+type RemoveStep struct {
+	Removed      int32
+	SwappedFrom  int32
+	RemovedGraph *graph.Graph // the graph deleted by this step
+	SwappedGraph *graph.Graph // the graph re-homed to Removed (nil when none)
+}
+
+// SwapRemove applies the canonical batch removal semantics shared by every
+// Mutable method and by reference implementations in tests: positions
+// (indices into db, deduplicated, all in range) are processed highest
+// first; each step replaces the removed position with the then-last graph
+// and shrinks the dataset by one. Returns the new dataset (freshly
+// allocated), the steps in application order, and mapping[old] = new
+// position (-1 for removed graphs). db itself is not modified.
+func SwapRemove(db []*graph.Graph, positions []int) ([]*graph.Graph, []RemoveStep, []int32, error) {
+	if len(positions) == 0 {
+		return nil, nil, nil, errors.New("index: no positions to remove")
+	}
+	sorted := append([]int(nil), positions...)
+	slices.Sort(sorted)
+	for i, p := range sorted {
+		if p < 0 || p >= len(db) {
+			return nil, nil, nil, fmt.Errorf("index: remove position %d outside dataset of %d graphs", p, len(db))
+		}
+		if i > 0 && sorted[i-1] == p {
+			return nil, nil, nil, fmt.Errorf("index: duplicate remove position %d", p)
+		}
+	}
+	out := append([]*graph.Graph(nil), db...)
+	mapping := make([]int32, len(db))
+	origAt := make([]int32, len(db)) // origAt[pos] = original index of the graph now at pos
+	for i := range origAt {
+		origAt[i] = int32(i)
+	}
+	steps := make([]RemoveStep, 0, len(sorted))
+	for i := len(sorted) - 1; i >= 0; i-- { // highest first
+		p := sorted[i]
+		last := len(out) - 1
+		mapping[origAt[p]] = -1
+		st := RemoveStep{Removed: int32(p), SwappedFrom: int32(last), RemovedGraph: out[p]}
+		if p != last {
+			st.SwappedGraph = out[last]
+			out[p] = out[last]
+			origAt[p] = origAt[last]
+		}
+		out = out[:last]
+		steps = append(steps, st)
+	}
+	for pos := range out {
+		mapping[origAt[pos]] = int32(pos)
+	}
+	return out, steps, mapping, nil
+}
+
+// ApplyMapping rewrites a sorted slice of dataset positions through a
+// SwapRemove mapping: removed positions are dropped, surviving ones
+// renumbered, and the result re-sorted. Shared by cache-side answer
+// patching and reference implementations.
+func ApplyMapping(ids []int32, mapping []int32) []int32 {
+	out := ids[:0]
+	for _, id := range ids {
+		if m := mapping[id]; m >= 0 {
+			out = append(out, m)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// DeltaLog tracks, per index lineage, the mutations not yet persisted and
+// the base/journal byte split of the snapshot file they belong to. One
+// DeltaLog is shared by every copy-on-write generation of a method, so the
+// pending delta survives mutation swaps.
+type DeltaLog struct {
+	mu           sync.Mutex
+	pending      trie.Journal
+	baseBytes    int64
+	journalBytes int64
+}
+
+// NewDeltaLog returns an empty log.
+func NewDeltaLog() *DeltaLog { return &DeltaLog{} }
+
+// Record stages one applied mutation for the next AppendDelta.
+func (l *DeltaLog) Record(m *trie.Mutation) {
+	l.mu.Lock()
+	m.RecordTo(&l.pending)
+	l.mu.Unlock()
+}
+
+// NoteFullSave resets the log after a full snapshot of n bytes: the
+// pending delta is folded into the new base, and journal accounting
+// restarts from zero.
+func (l *DeltaLog) NoteFullSave(n int64) {
+	l.mu.Lock()
+	l.pending.Reset()
+	l.baseBytes = n
+	l.journalBytes = 0
+	l.mu.Unlock()
+}
+
+// compactionFraction: when accumulated journal bytes exceed this fraction
+// of the base snapshot, AppendIndexDelta folds them into a fresh base
+// instead of appending further (bounding both file growth and replay work
+// at load). Tuning per workload is an open follow-up (see ROADMAP).
+const compactionFraction = 0.5
+
+// truncater is the optional file capability compaction needs.
+type truncater interface{ Truncate(int64) error }
+
+// AppendIndexDelta is the shared AppendDelta implementation for
+// trie-backed methods: it validates that f holds a journal-appendable
+// snapshot written by methodTag, then appends the log's pending journal
+// stamped with the post-mutation dataset fingerprint — or, past the
+// compaction threshold, rewrites f as a fresh base via saveFull (which
+// must not touch the log). No-op when nothing is pending.
+func AppendIndexDelta(f io.ReadWriteSeeker, l *DeltaLog, methodTag string, stamp trie.JournalStamp, saveFull func(io.Writer) (int64, error)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pending.Empty() {
+		return nil
+	}
+	// Validate the header before touching the file on *either* branch: the
+	// compaction rewrite below destroys f's previous contents, so handing
+	// in the wrong file must fail here, not truncate it.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("index: seeking snapshot start: %w", err)
+	}
+	br := bufio.NewReader(f)
+	env, err := ReadIndexEnvelope(br)
+	if err != nil {
+		return err
+	}
+	if env.Method != methodTag {
+		return fmt.Errorf("index: snapshot holds a %s index, not %s", env.Method, methodTag)
+	}
+	if err := trie.CheckJournalable(br); err != nil {
+		return err
+	}
+	if t, ok := f.(truncater); ok && l.baseBytes > 0 &&
+		float64(l.journalBytes) >= compactionFraction*float64(l.baseBytes) {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("index: seeking snapshot start: %w", err)
+		}
+		n, err := saveFull(f)
+		if err != nil {
+			return fmt.Errorf("index: compacting snapshot: %w", err)
+		}
+		if err := t.Truncate(n); err != nil {
+			return fmt.Errorf("index: truncating compacted snapshot: %w", err)
+		}
+		l.pending.Reset()
+		l.baseBytes = n
+		l.journalBytes = 0
+		return nil
+	}
+	n, err := trie.AppendJournalSection(f, &l.pending, stamp)
+	if err != nil {
+		return err
+	}
+	l.journalBytes += n
+	l.pending.Reset()
+	return nil
+}

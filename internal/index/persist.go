@@ -69,6 +69,19 @@ func AsByteScanner(r io.Reader) ByteScanner {
 	return bufio.NewReader(r)
 }
 
+// CountingWriter wraps a writer, counting the bytes written — shared by
+// the method persisters for delta-log base-size accounting.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	m, err := c.W.Write(p)
+	c.N += int64(m)
+	return m, err
+}
+
 // IndexEnvelope is the common header of a method-index snapshot: which
 // method wrote it, at what feature length, over which dataset.
 type IndexEnvelope struct {
@@ -150,14 +163,34 @@ func ReadIndexEnvelope(r io.Reader) (IndexEnvelope, error) {
 // dataset, returning a descriptive error (wrapping ErrDatasetMismatch for
 // dataset divergence) or nil.
 func ValidateEnvelope(env IndexEnvelope, method string, db []*graph.Graph) error {
+	if err := ValidateEnvelopeMethod(env, method); err != nil {
+		return err
+	}
+	return ValidateDataset(env.DBChecksum, env.NumGraphs, db)
+}
+
+// ValidateEnvelopeMethod checks only the method identity of an envelope.
+// Loaders of journal-appendable snapshots use it for the fail-fast check
+// and validate the dataset afterwards via ValidateDataset against the
+// newest journal stamp — a journaled snapshot's envelope still carries the
+// *base* dataset's fingerprint, while the file as a whole decodes to the
+// post-mutation dataset's index.
+func ValidateEnvelopeMethod(env IndexEnvelope, method string) error {
 	if env.Method != method {
 		return fmt.Errorf("index: snapshot holds a %s index, not %s", env.Method, method)
 	}
-	if env.NumGraphs != len(db) {
+	return nil
+}
+
+// ValidateDataset checks a recorded dataset fingerprint (from the envelope
+// or from the newest journal stamp) against the dataset a snapshot is
+// being loaded over, wrapping ErrDatasetMismatch on divergence.
+func ValidateDataset(checksum uint64, numGraphs int, db []*graph.Graph) error {
+	if numGraphs != len(db) {
 		return fmt.Errorf("%w: snapshot indexed %d graphs, dataset has %d",
-			ErrDatasetMismatch, env.NumGraphs, len(db))
+			ErrDatasetMismatch, numGraphs, len(db))
 	}
-	if env.DBChecksum != DBChecksum(db) {
+	if checksum != DBChecksum(db) {
 		return fmt.Errorf("%w: dataset checksum mismatch", ErrDatasetMismatch)
 	}
 	return nil

@@ -1,0 +1,117 @@
+package trie
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// fuzzSeedTrie builds a small representative trie: multi-shard postings,
+// location lists, a removal (dead-key compaction on write) and a pending
+// byte-trie resurrection case.
+func fuzzSeedTrie() *Trie {
+	tr := NewSharded(features.NewDict(), 4)
+	tr.Insert("ab", Posting{Graph: 0, Count: 2, Locs: []int32{0, 3}})
+	tr.Insert("abc", Posting{Graph: 0, Count: 1})
+	tr.Insert("abd", Posting{Graph: 1, Count: 4, Locs: []int32{1}})
+	tr.Insert("b", Posting{Graph: 2, Count: 1})
+	tr.Insert("zz", Posting{Graph: 1, Count: 1})
+	tr.RemoveGraph(1) // drains "abd" and "zz": exercises dict compaction
+	return tr
+}
+
+// FuzzTrieReadFrom feeds arbitrary bytes — seeded with valid version-1 and
+// version-2 snapshots, journaled snapshots, truncations and bit flips —
+// into the snapshot decoder. The decoder must return an error or a valid
+// trie; it must never panic, and the sanity bounds must keep a lying
+// length field from forcing an absurd allocation.
+func FuzzTrieReadFrom(f *testing.F) {
+	// Seed: plain v2 snapshot (with a compacted dictionary).
+	var v2 bytes.Buffer
+	if _, err := fuzzSeedTrie().WriteTo(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+
+	// Seed: v2 snapshot with a journal section holding both op kinds.
+	tr := fuzzSeedTrie()
+	mut := tr.NewMutation()
+	mut.AppendGraph(3, []GraphFeature{{Key: "abd", Count: 2, Locs: []int32{0, 2}}, {Key: "q", Count: 1}})
+	mut.RemoveGraph(0, 3,
+		[]string{"ab", "abc"},
+		[]GraphFeature{{Key: "abd", Count: 2, Locs: []int32{0, 2}}, {Key: "q", Count: 1}})
+	var j1 Journal
+	mut.RecordTo(&j1)
+	f.Add(journaledSeed(f, &j1))
+
+	// Seed: version-1 snapshot (v2 bytes with the version field patched and
+	// the section terminator stripped; the v1 grammar has no sections).
+	v1 := append([]byte(nil), v2.Bytes()...)
+	v1[len(persistMagic)] = 1
+	v1 = v1[:len(v1)-1]
+	f.Add(v1)
+
+	// Seeds: truncation and bit flips of the valid v2 snapshot.
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	flip := append([]byte(nil), v2.Bytes()...)
+	flip[len(flip)/3] ^= 0x20
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewSharded(features.NewDict(), 0)
+		// Error or success — never a panic, never unbounded allocation.
+		_, _ = tr.ReadFrom(bytes.NewReader(data))
+	})
+}
+
+// journaledSeed encodes seedTrie's base snapshot plus one journal section.
+func journaledSeed(f *testing.F, j *Journal) []byte {
+	f.Helper()
+	var base bytes.Buffer
+	if _, err := fuzzSeedTrie().WriteTo(&base); err != nil {
+		f.Fatal(err)
+	}
+	rw := &memFile{b: append([]byte(nil), base.Bytes()...)}
+	if _, err := AppendJournalSection(rw, j, JournalStamp{DBChecksum: 7, NumGraphs: 4}); err != nil {
+		f.Fatal(err)
+	}
+	return rw.b
+}
+
+// memFile is a minimal in-memory io.ReadWriteSeeker for seed construction.
+type memFile struct {
+	b   []byte
+	off int64
+}
+
+func (m *memFile) Read(p []byte) (int, error) {
+	if m.off >= int64(len(m.b)) {
+		return 0, bytes.ErrTooLarge // unused in practice
+	}
+	n := copy(p, m.b[m.off:])
+	m.off += int64(n)
+	return n, nil
+}
+
+func (m *memFile) Write(p []byte) (int, error) {
+	need := m.off + int64(len(p))
+	for int64(len(m.b)) < need {
+		m.b = append(m.b, 0)
+	}
+	copy(m.b[m.off:], p)
+	m.off = need
+	return len(p), nil
+}
+
+func (m *memFile) Seek(offset int64, whence int) (int64, error) {
+	switch whence {
+	case 0:
+		m.off = offset
+	case 1:
+		m.off += offset
+	case 2:
+		m.off = int64(len(m.b)) + offset
+	}
+	return m.off, nil
+}

@@ -1,0 +1,168 @@
+package trie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// TestJournalReplayDifferential drives a mutation sequence, persisting each
+// batch as an O(delta) journal section appended to one snapshot file, and
+// pins the reloaded trie to the live mutated one after every append.
+func TestJournalReplayDifferential(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7 + shards)))
+			table := map[int32][]GraphFeature{}
+			cur := NewSharded(features.NewDict(), shards)
+			next := int32(0)
+
+			mut := cur.NewMutation()
+			for i := 0; i < 10; i++ {
+				fs := synthFeats(rng, 14)
+				table[next] = fs
+				mut.AppendGraph(next, fs)
+				next++
+			}
+			cur = mut.Apply()
+
+			path := filepath.Join(t.TempDir(), "base.trie")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cur.WriteTo(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			for step := 0; step < 12; step++ {
+				mut := cur.NewMutation()
+				if rng.Intn(3) > 0 || len(table) < 2 {
+					fs := synthFeats(rng, 14)
+					table[next] = fs
+					mut.AppendGraph(next, fs)
+					next++
+				} else {
+					p := int32(rng.Intn(int(next)))
+					last := next - 1
+					mut.RemoveGraph(p, last, keysOf(table[p]), table[last])
+					if p != last {
+						table[p] = table[last]
+					}
+					delete(table, last)
+					next--
+				}
+				var j Journal
+				mut.RecordTo(&j)
+				cur = mut.Apply()
+
+				f, err := os.OpenFile(path, os.O_RDWR, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := CheckJournalable(f); err != nil {
+					t.Fatal(err)
+				}
+				stamp := JournalStamp{DBChecksum: uint64(step + 1), NumGraphs: int(next)}
+				if _, err := AppendJournalSection(f, &j, stamp); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				back := NewSharded(features.NewDict(), shards)
+				if _, err := back.ReadFrom(bytes.NewReader(data)); err != nil {
+					t.Fatalf("step %d: reloading journaled snapshot: %v", step, err)
+				}
+				if got, want := dumpState(back), dumpState(cur); got != want {
+					t.Fatalf("step %d: journal replay diverges from live mutation\ngot:\n%s\nwant:\n%s", step, got, want)
+				}
+				if got, want := back.LiveDictSizeBytes(), cur.LiveDictSizeBytes(); got != want {
+					t.Fatalf("step %d: reloaded live dict bytes %d != live %d", step, got, want)
+				}
+				st := back.JournalStamp()
+				if st == nil || *st != stamp {
+					t.Fatalf("step %d: JournalStamp = %v, want %v", step, st, stamp)
+				}
+			}
+
+			// The snapshot survives a re-save (journals folded into a fresh
+			// compact base with no sections).
+			var buf bytes.Buffer
+			if _, err := cur.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			flat := NewSharded(features.NewDict(), shards)
+			if _, err := flat.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := dumpState(flat), dumpState(cur); got != want {
+				t.Fatal("compacted re-save diverges from live state")
+			}
+			if flat.JournalStamp() != nil {
+				t.Error("fresh full snapshot unexpectedly carries a journal stamp")
+			}
+		})
+	}
+}
+
+// TestJournalCorruption: a torn or bit-flipped journal section must fail
+// the load with an error, never a panic.
+func TestJournalCorruption(t *testing.T) {
+	tr := NewSharded(features.NewDict(), 2)
+	mut := tr.NewMutation()
+	mut.AppendGraph(0, []GraphFeature{{Key: "ab", Count: 1}, {Key: "cd", Count: 2, Locs: []int32{1, 4}}})
+	tr = mut.Apply()
+
+	var base bytes.Buffer
+	if _, err := tr.WriteTo(&base); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "j.trie")
+	if err := os.WriteFile(path, base.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mut2 := tr.NewMutation()
+	mut2.AppendGraph(1, []GraphFeature{{Key: "ab", Count: 3}})
+	var j Journal
+	mut2.RecordTo(&j)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendJournalSection(f, &j, JournalStamp{DBChecksum: 9, NumGraphs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte) {
+		t.Run(name, func(t *testing.T) {
+			back := NewSharded(features.NewDict(), 2)
+			if _, err := back.ReadFrom(bytes.NewReader(data)); err == nil {
+				t.Errorf("%s: corrupt snapshot loaded without error", name)
+			}
+		})
+	}
+	check("truncated-terminator", good[:len(good)-1])
+	check("truncated-journal", good[:len(good)-4])
+	flip := append([]byte(nil), good...)
+	flip[len(flip)-3] ^= 0x40 // inside the journal body → CRC mismatch
+	check("bitflip", flip)
+}

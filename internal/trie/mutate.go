@@ -1,0 +1,352 @@
+package trie
+
+// Incremental maintenance. A built Trie is immutable on its read path
+// (lock-free Get/GetByID/Walk), so dataset mutation cannot touch it in
+// place while queries are in flight. Instead a Mutation stages a batch of
+// dataset changes — appended graphs and swap-removals — against a base trie
+// and Apply produces a *new* Trie holding the post-mutation state:
+//
+//   - shards that received no staged postings share their postings map with
+//     the base (one pointer copy);
+//   - an affected shard's map is copied once (pointer-sized entries), and
+//     only the posting slices of the features actually touched are
+//     re-allocated — untouched features keep sharing the base's slices;
+//   - the byte trie is updated by path copying: inserting or pruning a key
+//     clones the O(len(key)) nodes along its path and shares every other
+//     subtree with the base.
+//
+// The base trie is never written, so readers holding it are unaffected;
+// installing the new trie is the caller's snapshot swap (the engine's
+// mutation discipline). The staged ops double as the on-disk delta journal
+// (see journal.go): recording them into a Journal and replaying that
+// journal through this same Apply path is what makes a journaled snapshot
+// land byte-identically on the live in-memory state.
+//
+// Feature identity across removals: postings of a drained feature (no
+// occurrences left after a removal) are deleted and its byte-trie path is
+// pruned, but its dictionary entry cannot be reclaimed — FeatureIDs are
+// dense process-local handles and other index generations may still hold
+// them. The trie instead tracks such features in a dead set: they are
+// excluded from size accounting (LiveDictSizeBytes) and from persisted
+// snapshots (WriteTo compacts the dictionary), so observable state always
+// matches a from-scratch build over the surviving dataset. A later append
+// that re-introduces the feature resurrects it.
+
+import (
+	"maps"
+	"sort"
+
+	"repro/internal/features"
+)
+
+// GraphFeature is one feature occurrence record of a single graph: the
+// canonical key, the occurrence count, and (Grapes) the sorted vertex
+// locations. Mutations and journals are keyed by canonical strings, not
+// FeatureIDs — IDs are process-local, strings are the stable identity.
+type GraphFeature struct {
+	Key   string
+	Count int32
+	Locs  []int32
+}
+
+// op kinds of a staged mutation / journal entry.
+const (
+	opAppend byte = 1
+	opRemove byte = 2
+)
+
+// mutOp is one staged dataset operation.
+type mutOp struct {
+	kind    byte
+	graph   int32          // append: the new graph's id; remove: the vacated position
+	swapped int32          // remove: the old id of the graph moved into `graph` (== graph when none)
+	feats   []GraphFeature // append: new graph's features; remove: the swapped graph's features
+	scrub   []string       // remove: the removed graph's feature keys
+}
+
+// Mutation stages a batch of dataset changes against a base trie. Stage ops
+// with AppendGraph/RemoveGraph (in dataset-op order), then Apply. A
+// Mutation is single-goroutine state; the produced trie is as concurrency-
+// safe as any built trie.
+type Mutation struct {
+	base *Trie
+	ops  []mutOp
+}
+
+// NewMutation returns an empty mutation staged against t.
+func (t *Trie) NewMutation() *Mutation { return &Mutation{base: t} }
+
+// Empty reports whether no ops were staged.
+func (m *Mutation) Empty() bool { return len(m.ops) == 0 }
+
+// AppendGraph stages the postings of a newly appended graph: id must not
+// hold any posting in the base trie (dataset positions grow monotonically
+// within one mutation batch).
+func (m *Mutation) AppendGraph(id int32, feats []GraphFeature) {
+	m.ops = append(m.ops, mutOp{kind: opAppend, graph: id, feats: feats})
+}
+
+// RemoveGraph stages one swap-removal step: the postings of the graph at
+// position `removed` (feature keys in scrubKeys) are deleted, and — when
+// swappedFrom != removed — the graph previously at position swappedFrom is
+// re-homed to position `removed` (its full feature records in swappedFeats;
+// its old postings are deleted and re-inserted at the new id).
+func (m *Mutation) RemoveGraph(removed, swappedFrom int32, scrubKeys []string, swappedFeats []GraphFeature) {
+	m.ops = append(m.ops, mutOp{
+		kind:    opRemove,
+		graph:   removed,
+		swapped: swappedFrom,
+		feats:   swappedFeats,
+		scrub:   scrubKeys,
+	})
+}
+
+// RecordTo appends the staged ops to a delta journal (persisted later via
+// AppendJournalSection). Ops are shared, not copied — stage, record, Apply,
+// then discard the Mutation.
+func (m *Mutation) RecordTo(j *Journal) { j.ops = append(j.ops, m.ops...) }
+
+// Apply builds the post-mutation trie. The base is left untouched and keeps
+// answering over the pre-mutation dataset; unaffected shards, posting
+// slices and byte-trie subtrees are shared between the two. Cost is
+// O(staged features + one map copy per affected shard), independent of the
+// dataset size.
+func (m *Mutation) Apply() *Trie {
+	a := newApplier(m.base)
+	for _, op := range m.ops {
+		a.apply(op)
+	}
+	return a.t
+}
+
+// applier is the working state of one Apply: the trie under construction
+// plus ownership tracking for copy-on-write.
+type applier struct {
+	t     *Trie
+	owned []bool             // shards whose postings map is private to t
+	nodes map[*node]struct{} // byte-trie nodes owned (cloned or created) by this applier
+
+	// ownedFeat marks features whose posting slice has already been copied
+	// out of the base by this applier: the first write to a feature copies
+	// its slice once (with growth room), every later write mutates the
+	// private copy in place — so a batch costs one copy per *touched
+	// feature*, not one per posting.
+	ownedFeat map[features.FeatureID]struct{}
+}
+
+func newApplier(base *Trie) *applier {
+	t := &Trie{
+		dict:   base.dict,
+		mask:   base.mask,
+		nodes:  base.nodes,
+		dead:   maps.Clone(base.dead),
+		shards: append([]shard(nil), base.shards...),
+	}
+	// The root is cloned up front so path copies below never write a node
+	// reachable from the base.
+	t.root = *cloneNode(&base.root)
+	return &applier{
+		t:         t,
+		owned:     make([]bool, len(t.shards)),
+		nodes:     map[*node]struct{}{},
+		ownedFeat: map[features.FeatureID]struct{}{},
+	}
+}
+
+// cloneNode shallow-copies a byte-trie node with private label/children
+// slices (the grandchildren stay shared).
+func cloneNode(n *node) *node {
+	return &node{
+		labels:   append([]byte(nil), n.labels...),
+		children: append([]*node(nil), n.children...),
+		id:       n.id,
+		terminal: n.terminal,
+	}
+}
+
+// shardFor returns a privately owned postings map for the feature's shard,
+// copying the base's map on first touch.
+func (a *applier) shardFor(id features.FeatureID) *shard {
+	s := int(uint32(id) & a.t.mask)
+	if !a.owned[s] {
+		a.t.shards[s].posts = maps.Clone(a.t.shards[s].posts)
+		if a.t.shards[s].posts == nil {
+			a.t.shards[s].posts = make(map[features.FeatureID][]Posting)
+		}
+		a.owned[s] = true
+	}
+	return &a.t.shards[s]
+}
+
+func (a *applier) apply(op mutOp) {
+	switch op.kind {
+	case opAppend:
+		for _, f := range op.feats {
+			a.insert(f.Key, Posting{Graph: op.graph, Count: f.Count, Locs: f.Locs})
+		}
+	case opRemove:
+		for _, k := range op.scrub {
+			a.removePosting(k, op.graph)
+		}
+		if op.swapped != op.graph {
+			for _, f := range op.feats {
+				a.removePosting(f.Key, op.swapped)
+			}
+			for _, f := range op.feats {
+				a.insert(f.Key, Posting{Graph: op.graph, Count: f.Count, Locs: f.Locs})
+			}
+		}
+	}
+}
+
+// ownFeature hands back a posting slice private to this applier, copying
+// the base's slice (with growth room) on the feature's first touch.
+// Posting Locs stay shared with the base — they are never mutated in
+// place, only replaced.
+func (a *applier) ownFeature(id features.FeatureID, ps []Posting) []Posting {
+	if _, own := a.ownedFeat[id]; own {
+		return ps
+	}
+	a.ownedFeat[id] = struct{}{}
+	return append(make([]Posting, 0, len(ps)+4), ps...)
+}
+
+// insert adds one posting for key, interning it, re-creating the byte-trie
+// path when the feature is new to (or was drained from) this trie, and
+// resurrecting it from the dead set if needed.
+func (a *applier) insert(key string, p Posting) {
+	id := a.t.dict.Intern(key)
+	sh := a.shardFor(id)
+	ps, seen := sh.posts[id]
+	if !seen {
+		a.insertPathCOW(key, id)
+		delete(a.t.dead, id)
+	}
+	ps = a.ownFeature(id, ps)
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= p.Graph })
+	if i < len(ps) && ps[i].Graph == p.Graph {
+		ps[i].Count += p.Count
+		ps[i].Locs = unionSorted(ps[i].Locs, p.Locs) // replaces, never mutates
+	} else {
+		ps = append(ps, Posting{})
+		copy(ps[i+1:], ps[i:])
+		ps[i] = Posting{Graph: p.Graph, Count: p.Count, Locs: append([]int32(nil), p.Locs...)}
+	}
+	sh.posts[id] = ps
+}
+
+// removePosting drops the posting of graph g under key, if present. A
+// feature drained to zero postings is deleted, its byte-trie path pruned
+// and its ID retired to the dead set.
+func (a *applier) removePosting(key string, g int32) {
+	id, ok := a.t.dict.Lookup(key)
+	if !ok {
+		return
+	}
+	sh := a.shardFor(id)
+	ps, seen := sh.posts[id]
+	if !seen {
+		return
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= g })
+	if i >= len(ps) || ps[i].Graph != g {
+		return
+	}
+	if len(ps) == 1 {
+		delete(sh.posts, id)
+		delete(a.ownedFeat, id)
+		a.removePathCOW(key)
+		if a.t.dead == nil {
+			a.t.dead = make(map[features.FeatureID]struct{})
+		}
+		a.t.dead[id] = struct{}{}
+		return
+	}
+	ps = a.ownFeature(id, ps)
+	ps = append(ps[:i], ps[i+1:]...)
+	sh.posts[id] = ps
+}
+
+// child returns n's child for byte b and its index, or (nil, insertion
+// point) when absent.
+func childOf(n *node, b byte) (*node, int) {
+	i := sort.Search(len(n.labels), func(i int) bool { return n.labels[i] >= b })
+	if i < len(n.labels) && n.labels[i] == b {
+		return n.children[i], i
+	}
+	return nil, i
+}
+
+// ownedChild descends from n (which must be applier-owned) to its child for
+// byte b, cloning the child first unless this applier already owns it.
+func (a *applier) ownedChild(n *node, b byte) *node {
+	c, i := childOf(n, b)
+	if c == nil {
+		return nil
+	}
+	if _, ok := a.nodes[c]; !ok {
+		c = cloneNode(c)
+		a.nodes[c] = struct{}{}
+		n.children[i] = c
+	}
+	return c
+}
+
+// insertPathCOW records key in the byte trie by path copying: every node on
+// the path is applier-owned (cloned at most once per Apply); missing nodes
+// are created, counted into t.nodes.
+func (a *applier) insertPathCOW(key string, id features.FeatureID) {
+	n := &a.t.root
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if c := a.ownedChild(n, b); c != nil {
+			n = c
+			continue
+		}
+		c := &node{}
+		a.nodes[c] = struct{}{}
+		_, at := childOf(n, b)
+		n.labels = append(n.labels, 0)
+		copy(n.labels[at+1:], n.labels[at:])
+		n.labels[at] = b
+		n.children = append(n.children, nil)
+		copy(n.children[at+1:], n.children[at:])
+		n.children[at] = c
+		a.t.nodes++
+		n = c
+	}
+	n.terminal = true
+	n.id = id
+}
+
+// removePathCOW unsets key's terminal and prunes any childless non-terminal
+// suffix of its path, again by path copying.
+func (a *applier) removePathCOW(key string) {
+	type step struct {
+		parent *node
+		b      byte
+	}
+	path := make([]step, 0, len(key))
+	n := &a.t.root
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		c := a.ownedChild(n, b)
+		if c == nil {
+			return // key was never in the byte trie
+		}
+		path = append(path, step{parent: n, b: b})
+		n = c
+	}
+	n.terminal = false
+	for i := len(path) - 1; i >= 0; i-- {
+		if len(n.children) > 0 || n.terminal {
+			break
+		}
+		p := path[i].parent
+		_, at := childOf(p, path[i].b)
+		p.labels = append(p.labels[:at], p.labels[at+1:]...)
+		p.children = append(p.children[:at], p.children[at+1:]...)
+		a.t.nodes--
+		n = p
+	}
+}

@@ -1,0 +1,237 @@
+package trie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// dumpState renders the observable state of a trie: node count, key count and
+// every (key, postings) pair in Walk order — the differential identity the
+// mutation and journal paths are pinned to.
+func dumpState(t *Trie) string {
+	out := fmt.Sprintf("nodes=%d len=%d\n", t.NodeCount(), t.Len())
+	t.Walk(func(k string, ps []Posting) {
+		out += fmt.Sprintf("%q ->", k)
+		for _, p := range ps {
+			out += fmt.Sprintf(" {g=%d c=%d locs=%v}", p.Graph, p.Count, p.Locs)
+		}
+		out += "\n"
+	})
+	return out
+}
+
+// featSet is a tiny synthetic feature family for mutation tests.
+func synthFeats(rng *rand.Rand, nKeys int) []GraphFeature {
+	n := 1 + rng.Intn(4)
+	fs := make([]GraphFeature, 0, n)
+	seen := map[string]bool{}
+	for len(fs) < n {
+		k := fmt.Sprintf("f%02d", rng.Intn(nKeys))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		var locs []int32
+		for v := int32(0); v < 6; v++ {
+			if rng.Intn(3) == 0 {
+				locs = append(locs, v)
+			}
+		}
+		fs = append(fs, GraphFeature{Key: k, Count: int32(1 + rng.Intn(3)), Locs: locs})
+	}
+	return fs
+}
+
+// applyRef mirrors a graph->features table into a fresh sequentially built
+// trie — the from-scratch reference the mutated trie must match.
+func buildRef(d *features.Dict, shards int, table map[int32][]GraphFeature) *Trie {
+	tr := NewSharded(d, shards)
+	ids := make([]int32, 0, len(table))
+	for id := range table {
+		ids = append(ids, id)
+	}
+	sortIDsForTest(ids)
+	for _, id := range ids {
+		for _, f := range table[id] {
+			tr.Insert(f.Key, Posting{Graph: id, Count: f.Count, Locs: f.Locs})
+		}
+	}
+	return tr
+}
+
+func sortIDsForTest(ids []int32) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// TestMutationDifferential drives random append/remove batches through the
+// COW mutation path and pins the result, at every step, to a from-scratch
+// build over the surviving table — including Walk order, NodeCount, Len,
+// SizeBytes, live dictionary accounting and the persisted byte stream.
+func TestMutationDifferential(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + shards)))
+			table := map[int32][]GraphFeature{}
+			cur := NewSharded(features.NewDict(), shards)
+			next := int32(0)
+
+			// Seed with an initial batch.
+			mut := cur.NewMutation()
+			for i := 0; i < 8; i++ {
+				fs := synthFeats(rng, 12)
+				table[next] = fs
+				mut.AppendGraph(next, fs)
+				next++
+			}
+			cur = mut.Apply()
+
+			for step := 0; step < 30; step++ {
+				mut := cur.NewMutation()
+				if rng.Intn(3) > 0 || len(table) < 2 {
+					for i := 0; i < 1+rng.Intn(3); i++ {
+						fs := synthFeats(rng, 12)
+						table[next] = fs
+						mut.AppendGraph(next, fs)
+						next++
+					}
+				} else {
+					// swap-remove a random position
+					p := int32(rng.Intn(int(next)))
+					for table[p] == nil {
+						p = int32(rng.Intn(int(next)))
+					}
+					last := next - 1
+					mut.RemoveGraph(p, last, keysOf(table[p]), table[last])
+					if p != last {
+						table[p] = table[last]
+					} else {
+						delete(table, p)
+					}
+					delete(table, last)
+					next--
+					// re-key table: positions are dense [0, next)
+					if p != last {
+						// nothing further: table[p] now holds old last
+					}
+				}
+				prev := cur
+				prevDump := dumpState(prev)
+				cur = mut.Apply()
+				if got := dumpState(prev); got != prevDump {
+					t.Fatalf("step %d: base trie mutated by Apply", step)
+				}
+
+				ref := buildRef(features.NewDict(), shards, table)
+				if got, want := dumpState(cur), dumpState(ref); got != want {
+					t.Fatalf("step %d: mutated trie diverges from fresh build\ngot:\n%s\nwant:\n%s", step, got, want)
+				}
+				if got, want := cur.SizeBytes(), ref.SizeBytes(); got != want {
+					t.Fatalf("step %d: SizeBytes %d != fresh %d", step, got, want)
+				}
+				if got, want := cur.LiveDictSizeBytes(), ref.dict.SizeBytes(); got != want {
+					t.Fatalf("step %d: LiveDictSizeBytes %d != fresh dict %d", step, got, want)
+				}
+
+				// Persisted form must be byte-identical to the fresh build's
+				// (compacted dictionary hides the mutation history) whenever
+				// the live dictionary order still matches the fresh interning
+				// order; at minimum it must round-trip to the same state.
+				var buf bytes.Buffer
+				if _, err := cur.WriteTo(&buf); err != nil {
+					t.Fatalf("step %d: WriteTo: %v", step, err)
+				}
+				back := NewSharded(features.NewDict(), shards)
+				if _, err := back.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatalf("step %d: ReadFrom: %v", step, err)
+				}
+				if got, want := dumpState(back), dumpState(cur); got != want {
+					t.Fatalf("step %d: persisted round-trip diverges", step)
+				}
+				if got, want := back.LiveDictSizeBytes(), ref.dict.SizeBytes(); got != want {
+					t.Fatalf("step %d: reloaded dict bytes %d != fresh %d", step, got, want)
+				}
+			}
+		})
+	}
+}
+
+func keysOf(fs []GraphFeature) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Key
+	}
+	return out
+}
+
+// TestRemoveGraphPersistDifferential is the regression for the PR 1
+// RemoveGraph fix having no persist-path coverage: after in-place removals,
+// Walk, NodeCount, SizeBytes and the persisted byte stream must all agree
+// with a trie that never held the removed graph.
+func TestRemoveGraphPersistDifferential(t *testing.T) {
+	mk := func(withG1 bool) *Trie {
+		tr := NewSharded(features.NewDict(), 4)
+		tr.Insert("ab", Posting{Graph: 0, Count: 1})
+		tr.Insert("abc", Posting{Graph: 0, Count: 2, Locs: []int32{1, 3}})
+		if withG1 {
+			tr.Insert("abd", Posting{Graph: 1, Count: 1}) // only graph 1: drains on removal
+			tr.Insert("ab", Posting{Graph: 1, Count: 3})
+			tr.Insert("zz", Posting{Graph: 1, Count: 1, Locs: []int32{0}})
+		}
+		tr.Insert("b", Posting{Graph: 2, Count: 1})
+		return tr
+	}
+	tr := mk(true)
+	tr.RemoveGraph(1)
+	ref := mk(false)
+
+	if got, want := dumpState(tr), dumpState(ref); got != want {
+		t.Fatalf("after RemoveGraph, trie diverges from never-inserted reference\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := tr.SizeBytes(), ref.SizeBytes(); got != want {
+		t.Errorf("SizeBytes after removal = %d, want %d", got, want)
+	}
+	if tr.Contains("abd") || tr.Contains("zz") {
+		t.Error("drained keys still reported as contained")
+	}
+	if got, want := tr.LiveDictSizeBytes(), ref.dict.SizeBytes(); got != want {
+		t.Errorf("LiveDictSizeBytes after removal = %d, want %d (dead keys must not count)", got, want)
+	}
+
+	// Persist path: the snapshot must decode to the same observable state,
+	// with the dictionary compacted to the live vocabulary.
+	var buf, refBuf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.WriteTo(&refBuf); err != nil {
+		t.Fatal(err)
+	}
+	back := NewSharded(features.NewDict(), 4)
+	if _, err := back.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dumpState(back), dumpState(ref); got != want {
+		t.Fatalf("persisted removal state diverges from reference")
+	}
+	if back.Dict().Len() != ref.Dict().Len() {
+		t.Errorf("reloaded dictionary holds %d keys, want %d (snapshot must compact dead vocabulary)",
+			back.Dict().Len(), ref.Dict().Len())
+	}
+
+	// Resurrection: re-inserting a drained key must bring it fully back.
+	tr.Insert("abd", Posting{Graph: 0, Count: 5})
+	if !tr.Contains("abd") {
+		t.Error("resurrected key not contained")
+	}
+	if tr.DeadLen() != 1 { // "zz" stays dead
+		t.Errorf("DeadLen = %d after resurrection, want 1", tr.DeadLen())
+	}
+}

@@ -1,18 +1,20 @@
 package trie
 
-// On-disk segment format (version 1)
+// On-disk segment format (version 2)
 //
-// A persisted trie is one header followed by one segment per postings
-// shard. Everything scalar is an unsigned varint (encoding/binary) unless
-// noted; everything ordered is delta-encoded against the previous value, so
-// the sorted postings lists and ID-ordered dictionaries that the in-memory
-// store already maintains shrink to near-entropy on disk.
+// A persisted trie is one header, one segment per postings shard, and —
+// since version 2 — a trailing *section stream* that carries O(delta)
+// journal appends. Everything scalar is an unsigned varint
+// (encoding/binary) unless noted; everything ordered is delta-encoded
+// against the previous value, so the sorted postings lists and ID-ordered
+// dictionaries that the in-memory store already maintains shrink to
+// near-entropy on disk.
 //
 //	header:
 //	  magic   "IGQTRIE" (7 bytes)
-//	  version uvarint   (currently 1)
+//	  version uvarint   (currently 2)
 //	  shards  uvarint   (power of two in [1, 64] — the saved layout)
-//	  nkeys   uvarint   (dictionary size)
+//	  nkeys   uvarint   (dictionary size; live vocabulary only — see below)
 //	  nkeys × { klen uvarint, key bytes }   — keys in FeatureID order
 //	segment, one per shard s in [0, shards):
 //	  seglen  uvarint   (byte length of the segment body)
@@ -21,7 +23,7 @@ package trie
 //	    nfeat uvarint
 //	    nfeat × {           — features in ascending FeatureID order
 //	      idΔ    uvarint    (delta to the previous feature's ID)
-//	      nposts uvarint
+//	      nposts uvarint    (≥ 1 in version ≥ 2 snapshots)
 //	      nposts × {        — postings in ascending graph-id order
 //	        graphΔ uvarint  (delta to the previous posting's graph id)
 //	        count  uvarint
@@ -30,6 +32,9 @@ package trie
 //	      }
 //	    }
 //	  }
+//	sections (version ≥ 2):
+//	  { 'J' seclen uvarint, crc uint32 LE, journal body }*   — see journal.go
+//	  'E'               — terminator
 //
 // Design notes:
 //
@@ -40,15 +45,30 @@ package trie
 //     loader transparently remaps old IDs to the freshly interned ones
 //     (IDs are process-local handles; canonical strings are the stable
 //     identity).
+//   - The written dictionary is *compacted*: features retired by removals
+//     (the in-memory dead set) are skipped and segment feature IDs are
+//     remapped to the compact numbering, so a snapshot of an incrementally
+//     maintained trie is indistinguishable from one of a fresh build over
+//     the surviving dataset.
 //   - Each segment is length-prefixed, CRC-guarded and self-contained:
 //     given the header's dictionary, any segment decodes independently of
 //     the others, which is what lets ReadFrom fan the segment decodes out
 //     over worker goroutines (and leaves the format mmap-friendly for a
 //     future lazy loader).
+//   - The section stream is what makes an on-disk snapshot *appendable*:
+//     AppendJournalSection (journal.go) replaces the trailing terminator
+//     with one more CRC-guarded journal section plus a fresh terminator,
+//     so persisting a mutation batch costs O(delta) instead of a full
+//     rewrite. ReadFrom replays journals in order through the same
+//     Mutation.Apply path live mutation uses. WriteTo itself always emits
+//     a compact base (zero journal sections); folding accumulated journals
+//     back into base segments is exactly a WriteTo of the loaded state,
+//     which is how the method-level compaction threshold is implemented.
 //   - Forward compatibility: readers reject versions newer than their own
-//     and shard counts outside [1, 64]; writers must only append new
-//     trailing sections behind a version bump, never reinterpret existing
-//     fields.
+//     and shard counts outside [1, 64]; version-1 snapshots (no section
+//     stream, possibly empty postings lists) still load. Writers must only
+//     append new trailing sections behind a version bump, never
+//     reinterpret existing fields.
 //
 // The byte-level trie (Walk order, NodeCount) is not serialised: it is a
 // pure function of the key set and is rebuilt during load.
@@ -69,13 +89,19 @@ import (
 
 const (
 	persistMagic   = "IGQTRIE"
-	persistVersion = 1
+	persistVersion = 2
+
+	// Section tags of the version ≥ 2 trailing stream.
+	sectionJournal = 'J'
+	sectionEnd     = 'E'
 
 	// Decode-time sanity bounds: a corrupt length field must fail cleanly,
-	// not attempt a absurd allocation.
-	maxKeyLen     = 1 << 20
-	maxDictLen    = 1 << 28
-	maxSegmentLen = 1 << 31
+	// not attempt an absurd allocation. Length-prefixed bulk reads
+	// additionally grow their buffers incrementally (readFullCapped), so a
+	// lying length costs at most the bytes actually present in the stream.
+	maxKeyLen     = 1 << 16
+	maxDictLen    = 1 << 24
+	maxSegmentLen = 1 << 30
 )
 
 // ErrCorrupt reports a snapshot that failed structural validation (bad
@@ -93,13 +119,29 @@ func (t *Trie) WriteTo(w io.Writer) (int64, error) {
 		return err
 	}
 
+	// Compacted dictionary: retired (dead) features are skipped and the
+	// surviving IDs renumbered densely, so the snapshot carries exactly the
+	// live vocabulary a fresh build over the same postings would intern.
 	keys := t.dict.Keys()
-	hdr := make([]byte, 0, 16+len(keys)*8)
+	var remap []features.FeatureID // nil = identity (no dead features)
+	live := keys
+	if len(t.dead) > 0 {
+		remap = make([]features.FeatureID, len(keys))
+		live = make([]string, 0, len(keys)-len(t.dead))
+		for i, k := range keys {
+			if _, gone := t.dead[features.FeatureID(i)]; gone {
+				continue
+			}
+			remap[i] = features.FeatureID(len(live))
+			live = append(live, k)
+		}
+	}
+	hdr := make([]byte, 0, 16+len(live)*8)
 	hdr = append(hdr, persistMagic...)
 	hdr = binary.AppendUvarint(hdr, persistVersion)
 	hdr = binary.AppendUvarint(hdr, uint64(len(t.shards)))
-	hdr = binary.AppendUvarint(hdr, uint64(len(keys)))
-	for _, k := range keys {
+	hdr = binary.AppendUvarint(hdr, uint64(len(live)))
+	for _, k := range live {
 		hdr = binary.AppendUvarint(hdr, uint64(len(k)))
 		hdr = append(hdr, k...)
 	}
@@ -108,36 +150,83 @@ func (t *Trie) WriteTo(w io.Writer) (int64, error) {
 	}
 
 	var seg, pre []byte
-	for s := range t.shards {
-		seg = appendSegment(seg[:0], &t.shards[s])
+	writeSeg := func(feats []segFeature) error {
+		seg = appendSegment(seg[:0], feats)
 		pre = binary.AppendUvarint(pre[:0], uint64(len(seg)))
 		pre = binary.LittleEndian.AppendUint32(pre, crc32.ChecksumIEEE(seg))
 		if err := write(pre); err != nil {
-			return n, err
+			return err
 		}
-		if err := write(seg); err != nil {
-			return n, err
+		return write(seg)
+	}
+	if remap == nil {
+		var feats []segFeature
+		for s := range t.shards {
+			sh := &t.shards[s]
+			feats = feats[:0]
+			for id, ps := range sh.posts {
+				feats = append(feats, segFeature{id: id, ps: ps})
+			}
+			sortSegFeatures(feats)
+			if err := writeSeg(feats); err != nil {
+				return n, err
+			}
 		}
+	} else {
+		// Compaction moved the IDs, so features are redistributed into the
+		// segment their *written* ID selects (segment = id mod shards — the
+		// invariant the parallel identity-remap decode relies on).
+		buckets := make([][]segFeature, len(t.shards))
+		mask := t.mask
+		for s := range t.shards {
+			for id, ps := range t.shards[s].posts {
+				wid := remap[id]
+				b := uint32(wid) & mask
+				buckets[b] = append(buckets[b], segFeature{id: wid, ps: ps})
+			}
+		}
+		for _, feats := range buckets {
+			sortSegFeatures(feats)
+			if err := writeSeg(feats); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := write([]byte{sectionEnd}); err != nil {
+		return n, err
 	}
 	return n, nil
 }
 
-// appendSegment encodes one shard's postings (features in ID order).
-func appendSegment(buf []byte, sh *shard) []byte {
-	ids := make([]features.FeatureID, 0, len(sh.posts))
-	for id := range sh.posts {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+// segFeature pairs one feature's written ID with its postings.
+type segFeature struct {
+	id features.FeatureID
+	ps []Posting
+}
+
+func sortSegFeatures(feats []segFeature) {
+	slices.SortFunc(feats, func(a, b segFeature) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// appendSegment encodes one segment's features (pre-sorted by written ID).
+func appendSegment(buf []byte, feats []segFeature) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(feats)))
 	prev := features.FeatureID(0)
-	for _, id := range ids {
-		buf = binary.AppendUvarint(buf, uint64(id-prev))
-		prev = id
-		ps := sh.posts[id]
-		buf = binary.AppendUvarint(buf, uint64(len(ps)))
+	for _, f := range feats {
+		buf = binary.AppendUvarint(buf, uint64(f.id-prev))
+		prev = f.id
+		buf = binary.AppendUvarint(buf, uint64(len(f.ps)))
 		prevG := int32(0)
-		for _, p := range ps {
+		for _, p := range f.ps {
 			buf = binary.AppendUvarint(buf, uint64(p.Graph-prevG))
 			prevG = p.Graph
 			buf = binary.AppendUvarint(buf, uint64(p.Count))
@@ -251,10 +340,12 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	if err != nil || nKeys > maxDictLen {
 		return fmt.Errorf("%w: dictionary size", ErrCorrupt)
 	}
-	remap := make([]features.FeatureID, nKeys)
+	// remap grows as keys actually arrive, so a lying count cannot force a
+	// large upfront allocation.
+	remap := make([]features.FeatureID, 0, min(nKeys, 1<<16))
 	identity := true
 	var kbuf []byte
-	for i := range remap {
+	for i := uint64(0); i < nKeys; i++ {
 		klen, err := binary.ReadUvarint(cr)
 		if err != nil || klen > maxKeyLen {
 			return fmt.Errorf("%w: dictionary key length", ErrCorrupt)
@@ -266,8 +357,9 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 		if _, err := io.ReadFull(cr, kbuf); err != nil {
 			return fmt.Errorf("%w: reading dictionary key: %v", ErrCorrupt, err)
 		}
-		remap[i] = t.dict.Intern(string(kbuf))
-		if remap[i] != features.FeatureID(i) {
+		id := t.dict.Intern(string(kbuf))
+		remap = append(remap, id)
+		if id != features.FeatureID(i) {
 			identity = false
 		}
 	}
@@ -276,29 +368,54 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	// truncated stream cannot leave the trie half-replaced.
 	segs := make([][]byte, k)
 	for s := 0; s < k; s++ {
-		segLen, err := binary.ReadUvarint(cr)
-		if err != nil || segLen > maxSegmentLen {
-			return fmt.Errorf("%w: segment %d length", ErrCorrupt, s)
-		}
-		var crcBuf [4]byte
-		if _, err := io.ReadFull(cr, crcBuf[:]); err != nil {
-			return fmt.Errorf("%w: segment %d checksum: %v", ErrCorrupt, s, err)
-		}
-		body := make([]byte, segLen)
-		if _, err := io.ReadFull(cr, body); err != nil {
-			return fmt.Errorf("%w: segment %d body: %v", ErrCorrupt, s, err)
-		}
-		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBuf[:]) {
-			return fmt.Errorf("%w: segment %d CRC mismatch", ErrCorrupt, s)
+		body, err := readSection(cr, fmt.Sprintf("segment %d", s))
+		if err != nil {
+			return err
 		}
 		segs[s] = body
+	}
+
+	// Version ≥ 2 snapshots carry a trailing section stream. Read and
+	// decode every journal section before installing anything, so a corrupt
+	// journal fails the load with the trie untouched (apart from dictionary
+	// interning, as documented).
+	type journalRec struct {
+		stamp JournalStamp
+		ops   []mutOp
+	}
+	var journals []journalRec
+	if version >= 2 {
+		for {
+			tag, err := cr.ReadByte()
+			if err != nil {
+				return fmt.Errorf("%w: reading section tag: %v", ErrCorrupt, err)
+			}
+			if tag == sectionEnd {
+				break
+			}
+			if tag != sectionJournal {
+				return fmt.Errorf("%w: unknown section tag %q", ErrCorrupt, tag)
+			}
+			body, err := readSection(cr, "journal")
+			if err != nil {
+				return err
+			}
+			stamp, ops, err := decodeJournalBody(body)
+			if err != nil {
+				return err
+			}
+			journals = append(journals, journalRec{stamp: stamp, ops: ops})
+		}
 	}
 
 	// Adopt the saved layout and decode. With the identity remap every
 	// saved segment maps 1:1 onto one destination shard, so the segment
 	// decodes are disjoint and run in parallel; with a remap (pre-populated
 	// dictionary) IDs may cross shards, so the decode runs sequentially —
-	// correctness is identical either way.
+	// correctness is identical either way. Version-1 snapshots may carry
+	// features with zero postings (drained by the old RemoveGraph); version
+	// ≥ 2 writers never emit them, so the decoder rejects them there.
+	allowEmpty := version < 2
 	shards := make([]shard, k)
 	for i := range shards {
 		shards[i].posts = make(map[features.FeatureID][]Posting)
@@ -309,7 +426,7 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 		errs := make([]error, k) // one slot per segment: no cross-worker writes
 		ParallelFor(k, workers, func(_ int, claim func() int) {
 			for s := claim(); s >= 0; s = claim() {
-				perSeg[s], errs[s] = decodeSegment(segs[s], shards[s].posts, remap, mask, uint32(s))
+				perSeg[s], errs[s] = decodeSegment(segs[s], shards[s].posts, remap, mask, uint32(s), allowEmpty)
 			}
 		})
 		for s, err := range errs {
@@ -320,7 +437,7 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	} else {
 		staged := make(map[features.FeatureID][]Posting)
 		for s := 0; s < k; s++ {
-			ids, err := decodeSegment(segs[s], staged, remap, 0, 0)
+			ids, err := decodeSegment(segs[s], staged, remap, 0, 0, allowEmpty)
 			if err != nil {
 				return fmt.Errorf("segment %d: %w", s, err)
 			}
@@ -337,19 +454,66 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	t.mask = mask
 	t.root = node{}
 	t.nodes = 0
+	t.dead = nil
+	t.stamp = nil
 	for _, ids := range perSeg {
 		for _, id := range ids {
 			t.insertPath(t.dict.Key(id), id)
 		}
 	}
+	// Replay the journals in append order through the live mutation path
+	// (decode above already validated them; Apply itself cannot fail).
+	for _, j := range journals {
+		t.replayJournal(j.stamp, j.ops)
+	}
 	return nil
+}
+
+// readSection reads one length-prefixed CRC-guarded block (segments and
+// journal sections share the frame). The body buffer grows as bytes
+// actually arrive, so a corrupt length cannot force an absurd allocation.
+func readSection(cr *countingScanner, what string) ([]byte, error) {
+	secLen, err := binary.ReadUvarint(cr)
+	if err != nil || secLen > maxSegmentLen {
+		return nil, fmt.Errorf("%w: %s length", ErrCorrupt, what)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: %s checksum: %v", ErrCorrupt, what, err)
+	}
+	body, err := readFullCapped(cr, secLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s body: %v", ErrCorrupt, what, err)
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return nil, fmt.Errorf("%w: %s CRC mismatch", ErrCorrupt, what)
+	}
+	return body, nil
+}
+
+// readFullCapped reads exactly n bytes, growing the buffer in bounded
+// chunks so a lying length field costs at most the bytes actually present.
+func readFullCapped(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		next := min(n-uint64(len(buf)), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, next)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // decodeSegment decodes one segment body into posts, remapping feature IDs.
 // With wantMask != 0 callers assert every decoded (remapped) ID belongs to
 // shard wantShard — the identity-remap fast path, where posts is that
-// shard's private map. Returns the decoded (remapped) feature IDs.
-func decodeSegment(body []byte, posts map[features.FeatureID][]Posting, remap []features.FeatureID, wantMask, wantShard uint32) ([]features.FeatureID, error) {
+// shard's private map. allowEmpty admits features with zero postings
+// (legal only in version-1 snapshots). Returns the decoded (remapped)
+// feature IDs.
+func decodeSegment(body []byte, posts map[features.FeatureID][]Posting, remap []features.FeatureID, wantMask, wantShard uint32, allowEmpty bool) ([]features.FeatureID, error) {
 	d := segDecoder{b: body}
 	nFeat, err := d.uvarint()
 	if err != nil || nFeat > uint64(len(body)) {
@@ -377,6 +541,9 @@ func decodeSegment(body []byte, posts map[features.FeatureID][]Posting, remap []
 		nPosts, err := d.uvarint()
 		if err != nil || nPosts > uint64(len(body)) {
 			return nil, fmt.Errorf("%w: postings count", ErrCorrupt)
+		}
+		if nPosts == 0 && !allowEmpty {
+			return nil, fmt.Errorf("%w: feature with no postings", ErrCorrupt)
 		}
 		ps := make([]Posting, 0, nPosts)
 		var prevG uint64

@@ -88,6 +88,20 @@ type Trie struct {
 	mask   uint32 // len(shards)-1; shard counts are powers of two
 	root   node
 	nodes  int
+
+	// dead holds features whose postings this trie drained by removal.
+	// Their dictionary entries cannot be reclaimed (FeatureIDs are dense
+	// process-local handles shared across index generations), so the trie
+	// remembers them instead: dead features are excluded from size
+	// accounting (LiveDictSizeBytes) and from persisted snapshots, and are
+	// resurrected if a later insert re-introduces the key. Invariant: a
+	// dead feature has no postings in this trie.
+	dead map[features.FeatureID]struct{}
+
+	// stamp is the dataset fingerprint carried by the last delta journal
+	// replayed into this trie by ReadFrom (nil when the snapshot had no
+	// journal sections); see journal.go.
+	stamp *JournalStamp
 }
 
 // maxShards bounds the shard count: beyond this the per-shard maps are too
@@ -187,6 +201,7 @@ func (t *Trie) Insert(key string, p Posting) {
 	sh := t.shardFor(id)
 	if _, seen := sh.posts[id]; !seen {
 		t.insertPath(key, id)
+		delete(t.dead, id)
 	}
 	addPosting(sh, id, p)
 }
@@ -197,6 +212,7 @@ func (t *Trie) InsertID(id features.FeatureID, p Posting) {
 	sh := t.shardFor(id)
 	if _, seen := sh.posts[id]; !seen {
 		t.insertPath(t.dict.Key(id), id)
+		delete(t.dead, id)
 	}
 	addPosting(sh, id, p)
 }
@@ -254,20 +270,63 @@ func (t *Trie) Walk(fn func(key string, postings []Posting)) {
 }
 
 // RemoveGraph deletes every posting of the given graph id across all keys.
-// Keys left with no postings remain in the trie structurally but report no
-// postings (and Contains returns false for them); Rebuild (constructing a
-// fresh trie) is the intended compaction path, matching the paper's
-// shadow-index maintenance where the query index is rebuilt over the
-// retained cache contents.
+// Features drained to zero postings are removed outright: their postings
+// map entry is deleted, their byte-trie path is pruned (so Walk, NodeCount,
+// SizeBytes and a persisted snapshot all agree with a trie never holding
+// the key) and their dictionary ID is retired to the dead set. Like the
+// build path, RemoveGraph is exclusive — no concurrent readers; concurrent
+// mutation goes through Mutation/Apply instead.
 func (t *Trie) RemoveGraph(id int32) {
 	for s := range t.shards {
 		posts := t.shards[s].posts
 		for fid, ps := range posts {
 			i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= id })
-			if i < len(ps) && ps[i].Graph == id {
-				posts[fid] = append(ps[:i], ps[i+1:]...)
+			if i >= len(ps) || ps[i].Graph != id {
+				continue
 			}
+			if len(ps) == 1 {
+				delete(posts, fid)
+				t.removePath(t.dict.Key(fid))
+				if t.dead == nil {
+					t.dead = make(map[features.FeatureID]struct{})
+				}
+				t.dead[fid] = struct{}{}
+				continue
+			}
+			posts[fid] = append(ps[:i], ps[i+1:]...)
 		}
+	}
+}
+
+// removePath unsets key's terminal flag in the byte trie and prunes the
+// childless non-terminal tail of its path (the in-place sibling of the
+// applier's removePathCOW; exclusive access required).
+func (t *Trie) removePath(key string) {
+	type step struct {
+		parent *node
+		at     int
+	}
+	path := make([]step, 0, len(key))
+	n := &t.root
+	for i := 0; i < len(key); i++ {
+		c, at := childOf(n, key[i])
+		if c == nil {
+			return
+		}
+		path = append(path, step{parent: n, at: at})
+		n = c
+	}
+	n.terminal = false
+	for i := len(path) - 1; i >= 0; i-- {
+		if len(n.children) > 0 || n.terminal {
+			break
+		}
+		p := path[i].parent
+		at := path[i].at
+		p.labels = append(p.labels[:at], p.labels[at+1:]...)
+		p.children = append(p.children[:at], p.children[at+1:]...)
+		t.nodes--
+		n = p
 	}
 }
 
@@ -295,6 +354,24 @@ func (t *Trie) SizeBytes() int {
 	}
 	return sz
 }
+
+// LiveDictSizeBytes reports the feature dictionary's footprint counted at
+// this trie's live vocabulary: Dict.SizeBytes minus the entries this trie
+// retired to the dead set. Index owners (the path methods) report this
+// instead of Dict.SizeBytes so an incrementally maintained index accounts
+// exactly like a from-scratch build over the surviving dataset — retired
+// keys are bookkeeping residue, not index content.
+func (t *Trie) LiveDictSizeBytes() int {
+	sz := t.dict.SizeBytes()
+	for id := range t.dead {
+		sz -= features.DictEntrySizeBytes(t.dict.Key(id))
+	}
+	return sz
+}
+
+// DeadLen returns the number of retired (drained) features this trie
+// tracks — diagnostics and tests.
+func (t *Trie) DeadLen() int { return len(t.dead) }
 
 // ParallelFor fans n items out over up to workers goroutines (capped at n;
 // ≤ 1 runs inline). Each goroutine receives its worker index — for
@@ -419,6 +496,7 @@ func (b *Builder) Merge() {
 	for _, ids := range newIDs {
 		for _, id := range ids {
 			t.insertPath(t.dict.Key(id), id)
+			delete(t.dead, id) // resurrect a previously drained feature
 		}
 	}
 	for _, w := range b.workers {
