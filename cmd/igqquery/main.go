@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -92,32 +93,32 @@ func main() {
 
 	// Pre-flight the snapshot destination before serving a potentially long
 	// workload: an unwritable path or a method without index persistence
-	// should fail in milliseconds, not after the last query.
-	var saveFile *os.File
+	// should fail in milliseconds, not after the last query. The probe must
+	// not truncate an existing snapshot (the previous good one has to
+	// survive until the new bytes are complete), so it tests writability
+	// with a sibling temp file, never the target itself.
 	if *saveIdx != "" {
 		switch strings.ToLower(*method) {
 		case "grapes", "ggsx":
 		default:
 			fatal("-save-index requires a persistable method (grapes or ggsx), not %s", *method)
 		}
-		f, err := os.Create(*saveIdx)
-		if err != nil {
-			fatal("creating index snapshot: %v", err)
+		if err := probeWritable(*saveIdx); err != nil {
+			fatal("index snapshot destination: %v", err)
 		}
-		saveFile = f
 	}
 
 	t0 := time.Now()
 	var eng *igq.Engine
 	if *loadIdx != "" {
-		f, err := os.Open(*loadIdx)
-		if err != nil {
-			fatal("opening index snapshot: %v", err)
-		}
-		eng, err = igq.LoadEngine(f, db, opt)
-		f.Close()
+		var rep igq.LoadReport
+		eng, rep, err = igq.LoadEngineFile(*loadIdx, db, opt)
 		if err != nil {
 			fatal("loading index snapshot: %v", err)
+		}
+		if rec := rep.RecoveredTail; rec != nil {
+			fmt.Printf("snapshot had a torn journal tail (crash mid-append?): dropped %d bytes / %d uncommitted ops; repaired=%v\n",
+				rec.DiscardedBytes, rec.DroppedOps, rep.Repaired)
 		}
 		fmt.Printf("restored %s engine over %d graphs from %s in %v (no rebuild)\n",
 			eng.MethodName(), len(db), *loadIdx, time.Since(t0))
@@ -185,13 +186,12 @@ func main() {
 	fmt.Printf("cache short-circuits: %d, sub/super hits: %d/%d, cached queries: %d, flushes: %d\n",
 		st.AnsweredByCache, st.SubHits, st.SuperHits, st.CachedQueries, st.Flushes)
 
-	if saveFile != nil {
+	if *saveIdx != "" {
+		// Atomic save: the bytes land in a temp file and replace the target
+		// with a rename only once complete, so a crash mid-save (or a failed
+		// serve above) never destroys a previous good snapshot.
 		t2 := time.Now()
-		err := eng.Save(saveFile)
-		if cerr := saveFile.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := igq.SaveEngineFile(*saveIdx, eng); err != nil {
 			fatal("saving index snapshot: %v", err)
 		}
 		var size int64
@@ -201,6 +201,19 @@ func main() {
 		fmt.Printf("saved engine snapshot (index + cache) to %s (%d bytes) in %v\n",
 			*saveIdx, size, time.Since(t2))
 	}
+}
+
+// probeWritable verifies path's directory accepts new files without
+// touching path itself.
+func probeWritable(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".igqquery-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 func fatal(format string, args ...interface{}) {

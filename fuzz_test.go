@@ -6,6 +6,8 @@ import (
 
 	"reflect"
 	"testing"
+
+	"repro/internal/persistio"
 )
 
 // fuzzDB is a tiny fixed dataset for the snapshot-decoder fuzz targets.
@@ -71,17 +73,51 @@ func FuzzLoadEngine(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(ibuf.Bytes())
+
+		// Journaled snapshot seeds: a delta append on top of the base,
+		// intact and torn at several depths — the tail-recovery grammar.
+		mf := persistio.NewMemFile()
+		if err := eng.SaveIndex(mf); err != nil {
+			f.Fatal(err)
+		}
+		if err := eng.AddGraphs(context.Background(), fuzzDB()); err != nil {
+			f.Fatal(err)
+		}
+		if err := eng.AppendIndexDelta(mf); err != nil {
+			f.Fatal(err)
+		}
+		jb := append([]byte(nil), mf.Bytes()...)
+		f.Add(jb)
+		f.Add(jb[:len(jb)-1]) // complete section, missing terminator
+		f.Add(jb[:len(jb)-5]) // torn mid-section
+		f.Add(jb[:len(jb)-(len(jb)-ibuf.Len())/2])
+
+		// A combined engine snapshot torn at the tail.
+		f.Add(buf.Bytes()[:len(buf.Bytes())-2])
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		db := fuzzDB()
 		opt := EngineOptions{Method: GGSX, MaxPathLen: 3, CacheSize: 4, Window: 1}
 
-		// Whole-engine restore: error or success, never a panic.
-		if eng, err := LoadEngine(bytes.NewReader(data), db, opt); err == nil {
+		// Whole-engine restore: error or success (possibly with a salvaged
+		// torn tail), never a panic, never a half-applied state.
+		if eng, rep, err := LoadEngineReport(bytes.NewReader(data), db, opt); err == nil {
 			// A snapshot the loader accepts must actually serve.
 			if _, qerr := eng.Query(context.Background(), ExtractQuery(db[0], 0, 2)); qerr != nil {
 				t.Fatalf("loaded engine cannot serve: %v", qerr)
+			}
+			if rep.RecoveredTail != nil {
+				// Self-heal idempotence: re-saving the recovered engine
+				// must yield a clean snapshot (this is what LoadEngineFile
+				// writes back to disk when it repairs).
+				var heal bytes.Buffer
+				if err := eng.Save(&heal); err != nil {
+					t.Fatalf("saving recovered engine: %v", err)
+				}
+				if _, rep2, err := LoadEngineReport(bytes.NewReader(heal.Bytes()), db, opt); err != nil || rep2.RecoveredTail != nil {
+					t.Fatalf("re-save of recovered engine is not clean: rep=%+v err=%v", rep2, err)
+				}
 			}
 		}
 
@@ -96,7 +132,7 @@ func FuzzLoadEngine(f *testing.F) {
 			t.Fatal(err)
 		}
 		sizeBefore, _ := eng.IndexSizeBytes()
-		if lerr := eng.LoadIndex(bytes.NewReader(data)); lerr != nil {
+		if _, lerr := eng.LoadIndex(bytes.NewReader(data)); lerr != nil {
 			after, err := eng.Query(context.Background(), probe, WithoutCache())
 			if err != nil {
 				t.Fatalf("post-rollback query: %v", err)

@@ -103,6 +103,40 @@
 // -append, and the "incremental" experiment gates append + delta-save
 // beating rebuild + full save by ≥5× at bench scale.
 //
+// # Durability and crash safety
+//
+// The persistence layer assumes the process can die at any byte of any
+// write, and is built so no crash ever costs more than the operation that
+// was in flight:
+//
+//   - Snapshot files are written atomically. SaveEngineFile and
+//     SaveIndexFile stage the bytes in a temp file in the destination's
+//     directory, fsync, rename over the target and fsync the directory —
+//     a crash at any point leaves either the old snapshot or the new one,
+//     never a torn file (internal/persistio.AtomicWriteFile).
+//   - Delta appends commit on their trailing terminator byte and are
+//     fsynced before AppendIndexDelta returns. A crash mid-append leaves
+//     the previous snapshot plus a torn trailing journal; loads self-heal
+//     it by dropping the uncommitted tail — the loaded state is exactly
+//     pre-append or post-append, never in between — and report the salvage
+//     in LoadReport.RecoveredTail. Corruption anywhere *before* the tail
+//     is damage, not a crash signature, and still fails the load.
+//     LoadEngineFile additionally rewrites a recovered file as a clean
+//     snapshot (LoadReport.Repaired), so the next start loads cleanly.
+//   - Journal compaction is workload-adaptive and crash-safe: journals
+//     fold into a fresh base when their replay-weighted size outgrows the
+//     base, with removal-heavy journals compacting earlier (removals
+//     replay several times heavier than appends), and the rewrite goes
+//     through the same atomic temp+rename path when the file supports it.
+//   - Serving is panic-isolated: a panic in a method's filter/verify hot
+//     path is contained to the query that hit it (returned as a
+//     *PanicError, counted in EngineStats.Panics); concurrent queries,
+//     mutations and saves are unaffected.
+//
+// These guarantees are enforced by byte-granularity fault injection in CI:
+// every persistence operation is killed at every byte boundary and the
+// reload differentially compared against pre- and post-op oracles.
+//
 // QuerySubgraph and QuerySupergraph are deprecated synonyms for Query; new
 // code should pass a context and use Query.
 package igq
@@ -113,7 +147,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -126,6 +162,8 @@ import (
 	"repro/internal/index/ggsx"
 	"repro/internal/index/grapes"
 	"repro/internal/iso"
+	"repro/internal/persistio"
+	"repro/internal/trie"
 	"repro/internal/workload"
 )
 
@@ -250,6 +288,7 @@ type Engine struct {
 	nCacheIso   atomic.Int64
 	nSubHits    atomic.Int64
 	nSuperHits  atomic.Int64
+	nPanics     atomic.Int64
 }
 
 // Result is the outcome of one query.
@@ -286,6 +325,7 @@ type EngineStats struct {
 	CacheIsoTests   int64 // isomorphism tests against cached query graphs
 	SubHits         int64 // cached supergraph-of-query hits across all queries
 	SuperHits       int64 // cached subgraph-of-query hits across all queries
+	Panics          int64 // panics contained by the serving isolation (see PanicError)
 	CachedQueries   int   // current committed cache population
 	WindowPending   int   // admissions awaiting the next flush
 	Flushes         int   // window flushes (cache-index rebuilds) so far
@@ -348,6 +388,15 @@ func (opt EngineOptions) coreOptions() core.Options {
 	}
 }
 
+// coreOptions wires the engine's panic containment into the core
+// configuration: a panicking background shadow-index build is counted in
+// Stats().Panics instead of crashing the process.
+func (e *Engine) coreOptions() core.Options {
+	co := e.opt.coreOptions()
+	co.PanicHandler = func(any, []byte) { e.nPanics.Add(1) }
+	return co
+}
+
 // NewEngine indexes db and returns a ready engine.
 func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
 	if len(db) == 0 {
@@ -362,7 +411,7 @@ func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
 	e := &Engine{superQ: opt.Supergraph, opt: opt}
 	e.view.Store(&engineView{db: db, m: m})
 	if !opt.DisableCache {
-		e.ig.Store(core.New(m, db, opt.coreOptions()))
+		e.ig.Store(core.New(m, db, e.coreOptions()))
 	}
 	return e, nil
 }
@@ -394,6 +443,21 @@ func WithoutCache() QueryOption { return func(c *queryConfig) { c.noCache = true
 // latency-bounded serving paths.
 func WithoutAdmission() QueryOption { return func(c *queryConfig) { c.noAdmit = true } }
 
+// PanicError is the outcome of a query whose processing panicked — a
+// malformed query graph or a misbehaving method implementation. The panic
+// is contained to the one query: the engine keeps serving, concurrent
+// queries and mutations are unaffected, and Stats().Panics counts the
+// containment. The panic value and the goroutine stack at the panic site
+// are preserved for diagnosis.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // debug.Stack() captured at recovery
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("igq: query panicked: %v", p.Value)
+}
+
 // Query answers q under the engine's configured semantics: for subgraph
 // engines, the dataset graphs containing q; for supergraph engines
 // (EngineOptions.Supergraph), the dataset graphs contained in q.
@@ -401,8 +465,17 @@ func WithoutAdmission() QueryOption { return func(c *queryConfig) { c.noAdmit = 
 // Safe for concurrent use from any number of goroutines. ctx is checked
 // before work starts and inside the candidate-verification loop — the
 // dominant cost of a hard query — and a cancelled query returns ctx's
-// error, leaving no trace in the cache.
-func (e *Engine) Query(ctx context.Context, q *Graph, opts ...QueryOption) (Result, error) {
+// error, leaving no trace in the cache. A panic anywhere in the query
+// path — a poisoned query graph, a buggy method — is contained to this
+// call and surfaced as a *PanicError instead of crashing the process.
+func (e *Engine) Query(ctx context.Context, q *Graph, opts ...QueryOption) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.nPanics.Add(1)
+			res = Result{}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if q == nil {
 		return Result{}, errors.New("igq: nil query")
 	}
@@ -415,7 +488,6 @@ func (e *Engine) Query(ctx context.Context, q *Graph, opts ...QueryOption) (Resu
 		return e.queryPlain(ctx, q)
 	}
 	var o *core.Outcome
-	var err error
 	if cfg.noAdmit {
 		o, err = ig.QueryNoAdmit(ctx, q)
 	} else {
@@ -497,6 +569,7 @@ func (e *Engine) Stats() EngineStats {
 		CacheIsoTests:   e.nCacheIso.Load(),
 		SubHits:         e.nSubHits.Load(),
 		SuperHits:       e.nSuperHits.Load(),
+		Panics:          e.nPanics.Load(),
 	}
 	if ig := e.ig.Load(); ig != nil {
 		st.CachedQueries = ig.CacheLen()
@@ -559,7 +632,7 @@ func (e *Engine) LoadCache(r io.Reader) error {
 		return errors.New("igq: cache disabled")
 	}
 	v := e.view.Load()
-	ig, err := core.Load(r, v.m, v.db, e.opt.coreOptions())
+	ig, err := core.Load(r, v.m, v.db, e.coreOptions())
 	if err != nil {
 		return err
 	}
@@ -584,6 +657,48 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 	return p.SaveIndex(w)
 }
 
+// TailRecovery describes a torn trailing delta journal a load salvaged —
+// the signature of a crash mid-AppendIndexDelta. Everything up to
+// CommittedBytes (an absolute offset in the loaded stream) was intact and
+// loaded; the DiscardedBytes beyond it — the torn section, claiming
+// DroppedOps mutations that never fully committed — were dropped. The
+// loaded state is exactly the snapshot as of the last completed append:
+// pre-crash-op or post-crash-op, never in between.
+type TailRecovery struct {
+	CommittedBytes int64 // absolute end of the intact prefix
+	DiscardedBytes int64 // torn bytes dropped after it
+	DroppedOps     int   // mutation ops the torn section claimed (best-effort)
+}
+
+// LoadReport describes what a load found and did.
+type LoadReport struct {
+	// RecoveredTail is non-nil when the load self-healed a torn journal
+	// tail (nil for a clean snapshot).
+	RecoveredTail *TailRecovery
+	// CacheDiscarded reports that a combined snapshot's cache section was
+	// dropped along with the torn tail (the stream beyond the tear is
+	// untrustworthy); the engine starts with a fresh empty cache. Cached
+	// knowledge is re-earnable — the index is what recovery protects.
+	CacheDiscarded bool
+	// Repaired reports that LoadEngineFile rewrote the file as a clean
+	// snapshot after a recovery.
+	Repaired bool
+}
+
+// tailRecoveryFrom translates an index-layer recovery report into the
+// public one, shifting its offsets by the bytes this layer consumed before
+// handing the stream down.
+func tailRecoveryFrom(rec *trie.TailRecovery, base int64) *TailRecovery {
+	if rec == nil {
+		return nil
+	}
+	return &TailRecovery{
+		CommittedBytes: base + rec.CommittedBytes,
+		DiscardedBytes: rec.DiscardedBytes,
+		DroppedOps:     rec.DroppedOps,
+	}
+}
+
 // LoadIndex replaces the engine's dataset index with a snapshot previously
 // written by SaveIndex on the same method kind and the same dataset (a
 // checksum guard rejects anything else). The cache-side indexes are rebuilt
@@ -591,23 +706,29 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 // must not run concurrently with queries — it exists to re-synchronise a
 // freshly constructed engine; pure cold starts should use LoadEngine, which
 // never builds in the first place.
-func (e *Engine) LoadIndex(r io.Reader) error {
+//
+// A snapshot whose trailing delta journal is torn (crash mid-append) is
+// self-healed: the committed prefix loads and the damage is reported in
+// LoadReport.RecoveredTail. Corruption anywhere else fails the load and
+// leaves the engine untouched.
+func (e *Engine) LoadIndex(r io.Reader) (LoadReport, error) {
 	e.mutMu.Lock()
 	defer e.mutMu.Unlock()
 	v := e.view.Load()
 	p, ok := v.m.(index.Persistable)
 	if !ok {
-		return fmt.Errorf("igq: method %s does not support index persistence", v.m.Name())
+		return LoadReport{}, fmt.Errorf("igq: method %s does not support index persistence", v.m.Name())
 	}
-	if err := p.LoadIndex(r, v.db); err != nil {
-		return err
+	rep, err := p.LoadIndex(r, v.db)
+	if err != nil {
+		return LoadReport{}, err
 	}
 	if ig := e.ig.Load(); ig != nil {
 		// The method's dictionary was reset by the load; cache postings
 		// keyed by the old FeatureIDs must be rebuilt.
 		ig.RebuildIndexes()
 	}
-	return nil
+	return LoadReport{RecoveredTail: tailRecoveryFrom(rep.RecoveredTail, 0)}, nil
 }
 
 // AddGraphs appends graphs to the engine's dataset, maintaining everything
@@ -783,44 +904,66 @@ func (e *Engine) Save(w io.Writer) error {
 // restored on top. The snapshot must match db (checksum-guarded) and
 // opt.Method must match the saved index's method. The loaded engine
 // answers byte-identically to one freshly built by NewEngine.
+//
+// A snapshot whose trailing delta journal is torn (crash mid-append) is
+// self-healed to the state of the last committed append; LoadEngineReport
+// exposes the recovery details, and LoadEngineFile additionally repairs
+// the file on disk.
 func LoadEngine(r io.Reader, db []*Graph, opt EngineOptions) (*Engine, error) {
+	e, _, err := LoadEngineReport(r, db, opt)
+	return e, err
+}
+
+// LoadEngineReport is LoadEngine plus a report of what the load found: a
+// non-nil LoadReport.RecoveredTail means the snapshot's trailing delta
+// journal was torn and the committed prefix was loaded instead (with the
+// cache section, which follows the tear in a combined snapshot, discarded
+// and rebuilt empty). The offsets in the report are absolute within r, so
+// a caller owning the underlying file can repair it — or use
+// LoadEngineFile, which does.
+func LoadEngineReport(r io.Reader, db []*Graph, opt EngineOptions) (*Engine, LoadReport, error) {
 	if len(db) == 0 {
-		return nil, errors.New("igq: empty dataset")
+		return nil, LoadReport{}, errors.New("igq: empty dataset")
 	}
 	opt = opt.normalized()
-	br := index.AsByteScanner(r)
+	// Count header bytes so index-section recovery offsets can be
+	// translated into r-absolute ones.
+	cr := &index.CountingScanner{R: index.AsByteScanner(r)}
 	var magic [len(engineMagic)]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("igq: reading snapshot magic: %w", err)
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, LoadReport{}, fmt.Errorf("igq: reading snapshot magic: %w", err)
 	}
 	if string(magic[:]) != engineMagic {
-		return nil, fmt.Errorf("igq: not an engine snapshot (magic %q)", magic)
+		return nil, LoadReport{}, fmt.Errorf("igq: not an engine snapshot (magic %q)", magic)
 	}
-	version, err := binary.ReadUvarint(br)
+	version, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("igq: reading snapshot version: %w", err)
+		return nil, LoadReport{}, fmt.Errorf("igq: reading snapshot version: %w", err)
 	}
 	if version < 1 || version > engineSnapshotVersion {
-		return nil, fmt.Errorf("igq: engine snapshot version %d unsupported (this build reads ≤ %d)",
+		return nil, LoadReport{}, fmt.Errorf("igq: engine snapshot version %d unsupported (this build reads ≤ %d)",
 			version, engineSnapshotVersion)
 	}
-	flags, err := binary.ReadUvarint(br)
+	flags, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("igq: reading snapshot flags: %w", err)
+		return nil, LoadReport{}, fmt.Errorf("igq: reading snapshot flags: %w", err)
 	}
 	m, err := newMethod(opt)
 	if err != nil {
-		return nil, err
+		return nil, LoadReport{}, err
 	}
 	p, ok := m.(index.Persistable)
 	if !ok {
-		return nil, fmt.Errorf("igq: method %s does not support index persistence", m.Name())
+		return nil, LoadReport{}, fmt.Errorf("igq: method %s does not support index persistence", m.Name())
 	}
-	// br is a ByteScanner, so LoadIndex consumes exactly the index section
-	// and leaves br positioned at the cache section.
-	if err := p.LoadIndex(br, db); err != nil {
-		return nil, err
+	headerBytes := cr.N
+	// cr is a ByteScanner, so LoadIndex consumes exactly the index section
+	// and leaves cr positioned at the cache section.
+	idxRep, err := p.LoadIndex(cr, db)
+	if err != nil {
+		return nil, LoadReport{}, err
 	}
+	rep := LoadReport{RecoveredTail: tailRecoveryFrom(idxRep.RecoveredTail, headerBytes)}
 	if cf, ok := m.(index.CountFilterer); ok {
 		// The snapshot's feature length wins (the index was built with it);
 		// keep the cache-side enumeration consistent with it.
@@ -829,17 +972,63 @@ func LoadEngine(r io.Reader, db []*Graph, opt EngineOptions) (*Engine, error) {
 	e := &Engine{superQ: opt.Supergraph, opt: opt}
 	e.view.Store(&engineView{db: db, m: m})
 	if !opt.DisableCache {
-		if flags&engineFlagCache != 0 {
-			ig, err := core.Load(br, m, db, opt.coreOptions())
+		if flags&engineFlagCache != 0 && rep.RecoveredTail == nil {
+			ig, err := core.Load(cr, m, db, e.coreOptions())
 			if err != nil {
-				return nil, fmt.Errorf("igq: restoring cache: %w", err)
+				return nil, LoadReport{}, fmt.Errorf("igq: restoring cache: %w", err)
 			}
 			e.ig.Store(ig)
 		} else {
-			e.ig.Store(core.New(m, db, opt.coreOptions()))
+			// Either the snapshot carries no cache, or tail recovery
+			// consumed the rest of the stream (the cache section sits after
+			// the tear and cannot be trusted): start with a fresh cache —
+			// cached knowledge is cheap to re-earn, the index is not.
+			if flags&engineFlagCache != 0 && rep.RecoveredTail != nil {
+				rep.CacheDiscarded = true
+			}
+			e.ig.Store(core.New(m, db, e.coreOptions()))
 		}
 	}
-	return e, nil
+	return e, rep, nil
+}
+
+// SaveEngineFile atomically writes a combined engine snapshot (Engine.Save)
+// to path: the bytes land in a temp file in path's directory, are fsynced,
+// and replace path with a rename only once complete — a crash at any point
+// leaves either the old snapshot or the new one, never a torn file.
+func SaveEngineFile(path string, e *Engine) error {
+	return persistio.AtomicWriteFile(path, e.Save)
+}
+
+// SaveIndexFile atomically writes an index-only snapshot (Engine.SaveIndex)
+// to path, with the same all-or-nothing guarantee as SaveEngineFile. The
+// written file is the new base for AppendIndexDelta.
+func SaveIndexFile(path string, e *Engine) error {
+	return persistio.AtomicWriteFile(path, e.SaveIndex)
+}
+
+// LoadEngineFile is LoadEngineReport over a snapshot file, with on-disk
+// self-healing: when the load recovers a torn journal tail, the file is
+// rewritten (atomically) as a clean snapshot of the recovered state, so
+// the next start loads cleanly and the file accepts delta appends again.
+// LoadReport.Repaired reports the rewrite.
+func LoadEngineFile(path string, db []*Graph, opt EngineOptions) (*Engine, LoadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, LoadReport{}, err
+	}
+	e, rep, err := LoadEngineReport(f, db, opt)
+	f.Close()
+	if err != nil {
+		return nil, rep, err
+	}
+	if rep.RecoveredTail != nil {
+		if err := SaveEngineFile(path, e); err != nil {
+			return nil, rep, fmt.Errorf("igq: repairing snapshot %s: %w", path, err)
+		}
+		rep.Repaired = true
+	}
+	return e, rep, nil
 }
 
 // BatchResult pairs a query index with its result.

@@ -38,6 +38,7 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,6 +113,13 @@ type Options struct {
 	// window flushes and §5.2 shadow builds (0 = GOMAXPROCS). Any worker
 	// count yields the same indexes and the same answers.
 	BuildWorkers int
+	// PanicHandler, when set, is invoked with the recovered value and the
+	// goroutine stack if an asynchronous shadow-index build panics. The
+	// panic is contained: the previous snapshot keeps serving and the next
+	// flush proceeds normally (the flushed window's entries are lost, not
+	// corrupted — a cache is knowledge, not truth). A nil handler lets the
+	// panic drop the shadow build silently with the same containment.
+	PanicHandler func(recovered any, stack []byte)
 }
 
 // EvictionPolicy selects how flush picks victims.
@@ -669,6 +677,24 @@ func (q *IGQ) flushLocked() {
 		q.shadowDone = done
 		go func() {
 			defer close(done)
+			// A panicking build must not take the process down — the engine
+			// keeps serving on the previous snapshot. The deferred recover
+			// also unparks waitShadowLocked waiters (done still closes) and
+			// clears the in-flight marker so later flushes are not blocked
+			// forever on a build that will never finish.
+			defer func() {
+				if r := recover(); r != nil {
+					stack := debug.Stack()
+					q.mu.Lock()
+					if q.shadowDone == done {
+						q.shadowDone = nil
+					}
+					q.mu.Unlock()
+					if h := q.opt.PanicHandler; h != nil {
+						h(r, stack)
+					}
+				}
+			}()
 			isub, isuper := buildIndexes(q.dict, newEntries, q.opt)
 			q.mu.Lock()
 			q.snap.Store(&snapshot{db: cur.db, m: cur.m, dbGen: cur.dbGen, entries: newEntries, byID: newByID, isub: isub, isuper: isuper})

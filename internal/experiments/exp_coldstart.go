@@ -12,6 +12,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/index/ggsx"
 	"repro/internal/index/grapes"
+	"repro/internal/persistio"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -85,16 +86,11 @@ func runColdstart(cfg Config, w io.Writer) error {
 		if cfg.LoadIndexPath != "" {
 			loadPath = filepath.Join(cfg.LoadIndexPath, m.name+".idx")
 		} else {
-			f, err := os.Create(snapPath)
-			if err != nil {
-				return err
-			}
+			// Atomic write: a crash mid-save must not leave a torn snapshot
+			// where a previous good one stood (temp + fsync + rename).
 			t0 = time.Now()
-			err = built.SaveIndex(f)
+			err := persistio.AtomicWriteFile(snapPath, built.SaveIndex)
 			saveDur = time.Since(t0)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
 			if err != nil {
 				return fmt.Errorf("%s: saving index: %w", m.name, err)
 			}
@@ -111,11 +107,14 @@ func runColdstart(cfg Config, w io.Writer) error {
 			return err
 		}
 		t0 = time.Now()
-		err = loaded.LoadIndex(f, db)
+		rep, err := loaded.LoadIndex(f, db)
 		loadDur := time.Since(t0)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("%s: loading index: %w", m.name, err)
+		}
+		if rep.RecoveredTail != nil {
+			return fmt.Errorf("%s: clean snapshot reported a recovered tail: %+v", m.name, rep.RecoveredTail)
 		}
 
 		// Differential identity check: answers (candidates and verified

@@ -12,6 +12,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/index/ggsx"
 	"repro/internal/index/grapes"
+	"repro/internal/persistio"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -84,15 +85,7 @@ func runIncremental(cfg Config, w io.Writer) error {
 		t0 := time.Now()
 		rebuilt.Build(all)
 		fullPath := filepath.Join(snapDir, m.name+".full.idx")
-		ff, err := os.Create(fullPath)
-		if err != nil {
-			return err
-		}
-		err = rebuilt.SaveIndex(ff)
-		if cerr := ff.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := persistio.AtomicWriteFile(fullPath, rebuilt.SaveIndex); err != nil {
 			return fmt.Errorf("%s: full save: %w", m.name, err)
 		}
 		staticDur := time.Since(t0)
@@ -106,15 +99,7 @@ func runIncremental(cfg Config, w io.Writer) error {
 		served := m.fresh()
 		served.Build(base)
 		deltaPath := filepath.Join(snapDir, m.name+".delta.idx")
-		df, err := os.Create(deltaPath)
-		if err != nil {
-			return err
-		}
-		err = served.SaveIndex(df)
-		if cerr := df.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := persistio.AtomicWriteFile(deltaPath, served.SaveIndex); err != nil {
 			return fmt.Errorf("%s: base save: %w", m.name, err)
 		}
 		baseInfo, err := os.Stat(deltaPath)
@@ -131,7 +116,10 @@ func runIncremental(cfg Config, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: AppendGraphs: %w", m.name, err)
 		}
-		df, err = os.OpenFile(deltaPath, os.O_RDWR, 0)
+		// persistio.OpenFile hands AppendDelta a file with fsync and
+		// atomic-rewrite capability, so the append is durable and a
+		// threshold-triggered compaction is crash-safe.
+		df, err := persistio.OpenFile(deltaPath)
 		if err != nil {
 			return err
 		}
@@ -159,10 +147,13 @@ func runIncremental(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		err = loaded.LoadIndex(lf, newDB)
+		rep, err := loaded.LoadIndex(lf, newDB)
 		lf.Close()
 		if err != nil {
 			return fmt.Errorf("%s: loading journaled snapshot: %w", m.name, err)
+		}
+		if rep.RecoveredTail != nil {
+			return fmt.Errorf("%s: clean journaled snapshot reported a recovered tail: %+v", m.name, rep.RecoveredTail)
 		}
 		for i, q := range qs {
 			want := rebuilt.Filter(q.G)

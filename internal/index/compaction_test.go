@@ -1,0 +1,76 @@
+package index
+
+import "testing"
+
+// TestCompactionDueWeighting pins the workload-adaptive threshold: the
+// same journal byte debt that is tolerable for an append-only lineage
+// must trigger compaction when the ops are removals, because removals
+// replay several times heavier (postings scrub + swapped-graph re-home).
+func TestCompactionDueWeighting(t *testing.T) {
+	mk := func(base, journal int64, appends, removes int) *DeltaLog {
+		return &DeltaLog{
+			baseBytes:      base,
+			journalBytes:   journal,
+			journalAppends: appends,
+			journalRemoves: removes,
+		}
+	}
+
+	cases := []struct {
+		name string
+		l    *DeltaLog
+		want bool
+	}{
+		// Append-only: plain byte ratio, threshold at base/2.
+		{"append-only under", mk(1000, 499, 10, 0), false},
+		{"append-only at", mk(1000, 500, 10, 0), true},
+		// The same 200 journal bytes: fine for appends, overdue for
+		// removals (weight 1+3 → effective 800 ≥ 500).
+		{"mixed bytes appends", mk(1000, 200, 10, 0), false},
+		{"same bytes removals", mk(1000, 200, 0, 10), true},
+		// All-removal lineage compacts at base/8 (weight 4).
+		{"all-removal under", mk(1000, 124, 0, 6), false},
+		{"all-removal at", mk(1000, 125, 0, 6), true},
+		// Half removals → weight 2.5: threshold at base/5.
+		{"half-removal at", mk(1000, 200, 5, 5), true},
+		{"half-removal under", mk(1000, 199, 5, 5), false},
+		// No base snapshot yet → nothing to compact against.
+		{"no base", mk(0, 10_000, 0, 100), false},
+		// Empty journal never compacts regardless of mix.
+		{"no journal bytes", mk(1000, 0, 0, 50), false},
+	}
+	for _, c := range cases {
+		if got := c.l.compactionDue(); got != c.want {
+			t.Errorf("%s: compactionDue() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCompactionRemovalHeavyEarlier sweeps a growing journal under two op
+// mixes and pins that the removal-heavy lineage crosses the threshold at
+// strictly fewer journal bytes.
+func TestCompactionRemovalHeavyEarlier(t *testing.T) {
+	first := func(removes bool) int64 {
+		l := &DeltaLog{baseBytes: 10_000}
+		for step := int64(1); ; step++ {
+			l.journalBytes += 100
+			if removes {
+				l.journalRemoves += 2
+			} else {
+				l.journalAppends += 2
+			}
+			if l.compactionDue() {
+				return l.journalBytes
+			}
+			if step > 1000 {
+				t.Fatal("threshold never crossed")
+			}
+		}
+	}
+	appendAt, removeAt := first(false), first(true)
+	if removeAt >= appendAt {
+		t.Fatalf("removal-heavy lineage compacted at %d bytes, append-only at %d — want strictly earlier",
+			removeAt, appendAt)
+	}
+	t.Logf("append-only compacts at %d journal bytes, removal-heavy at %d", appendAt, removeAt)
+}

@@ -1,0 +1,301 @@
+package index_test
+
+// Crash-recovery soak: the differential harness of the durability story.
+// Every persistence operation (journal append, threshold compaction) is
+// killed at every byte boundary through a fault-injecting file, and the
+// reload after each simulated crash must yield exactly the pre-operation
+// or the post-operation index — never a failed load, never a half-applied
+// delta. The oracles are the live copy-on-write generations themselves:
+// the pre-mutation method keeps answering over the old dataset while the
+// post-mutation one answers over the new, so both sides of the crash are
+// directly probeable.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/index/ggsx"
+	"repro/internal/index/grapes"
+	"repro/internal/persistio"
+)
+
+// soakDB builds n small random connected graphs.
+func soakDB(rng *rand.Rand, n int) []*graph.Graph {
+	db := make([]*graph.Graph, n)
+	for i := range db {
+		nv := 4 + rng.Intn(5)
+		g := graph.New(nv)
+		for v := 0; v < nv; v++ {
+			g.AddVertex(graph.Label(rng.Intn(4)))
+		}
+		for v := 1; v < nv; v++ {
+			g.AddEdge(v, rng.Intn(v))
+		}
+		for e := 0; e < nv/2; e++ {
+			g.AddEdge(rng.Intn(nv), rng.Intn(nv))
+		}
+		db[i] = g
+	}
+	return db
+}
+
+// soakProbes extracts small probe queries from the dataset pool.
+func soakProbes(rng *rand.Rand, pool []*graph.Graph, n int) []*graph.Graph {
+	qs := make([]*graph.Graph, 0, n)
+	for i := 0; i < n; i++ {
+		src := pool[rng.Intn(len(pool))]
+		vs := []int{rng.Intn(src.NumVertices())}
+		for _, w := range src.Neighbors(vs[0]) {
+			vs = append(vs, int(w))
+			if len(vs) == 3 {
+				break
+			}
+		}
+		q, _ := src.InducedSubgraph(vs)
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+// sameState reports whether the loaded index answers identically to the
+// oracle generation over the probes. It deliberately compares observable
+// behaviour (Filter candidates and verified answers) rather than
+// SizeBytes: copy-on-write generations share postings storage, so a live
+// pre-mutation generation's footprint grows when its successor appends —
+// answers are generation-isolated, footprint is not.
+func sameState(loaded, oracle index.Persistable, probes []*graph.Graph) bool {
+	for _, q := range probes {
+		if !reflect.DeepEqual(loaded.Filter(q), oracle.Filter(q)) {
+			return false
+		}
+		if !reflect.DeepEqual(index.Answer(loaded, q), index.Answer(oracle, q)) {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyCrashState loads data into a fresh index and asserts it equals
+// exactly the pre-op or the post-op oracle. A snapshot killed mid-append
+// loads against exactly one of the two datasets (the dataset stamp follows
+// the committed journal prefix), which selects the oracle to compare.
+func verifyCrashState(t *testing.T, fresh func() index.Persistable, data []byte,
+	pre index.Persistable, preDB []*graph.Graph,
+	post index.Persistable, postDB []*graph.Graph,
+	probes []*graph.Graph) {
+	t.Helper()
+	ld := fresh()
+	if _, err := ld.LoadIndex(persistio.NewMemFileBytes(data), preDB); err == nil {
+		if !sameState(ld, pre, probes) {
+			t.Fatalf("crashed snapshot loaded against pre-op dataset but diverges from pre-op state")
+		}
+		return
+	}
+	ld = fresh()
+	if _, err := ld.LoadIndex(persistio.NewMemFileBytes(data), postDB); err != nil {
+		t.Fatalf("crashed snapshot loads against neither pre-op nor post-op dataset: %v", err)
+	}
+	if !sameState(ld, post, probes) {
+		t.Fatalf("crashed snapshot loaded against post-op dataset but diverges from post-op state")
+	}
+}
+
+// TestCrashSoakAppendDelta drives a randomized mutate/persist/load soak,
+// killing every AppendDelta at every byte boundary.
+func TestCrashSoakAppendDelta(t *testing.T) {
+	methods := []struct {
+		name  string
+		fresh func() index.Persistable
+	}{
+		{"ggsx", func() index.Persistable { return ggsx.New(ggsx.Options{MaxPathLen: 3, Shards: 2}) }},
+		{"grapes", func() index.Persistable { return grapes.New(grapes.Options{MaxPathLen: 3, Shards: 2}) }},
+	}
+	for _, m := range methods {
+		t.Run(m.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4242))
+			db := soakDB(rng, 10)
+			cur := m.fresh()
+			cur.Build(db)
+			probes := soakProbes(rng, db, 8)
+
+			file := persistio.NewMemFile()
+			if err := cur.SaveIndex(file); err != nil {
+				t.Fatal(err)
+			}
+
+			steps := 6
+			if testing.Short() {
+				steps = 3
+			}
+			for step := 0; step < steps; step++ {
+				pre, preDB := cur, db
+				mu := cur.(index.Mutable)
+				var (
+					postM index.Mutable
+					newDB []*graph.Graph
+					err   error
+				)
+				if rng.Intn(3) > 0 || len(db) < 4 {
+					postM, newDB, err = mu.AppendGraphs(soakDB(rng, 1+rng.Intn(3)))
+				} else {
+					postM, newDB, _, err = mu.RemoveGraphs([]int{rng.Intn(len(db))})
+				}
+				if err != nil {
+					t.Fatalf("step %d: mutation: %v", step, err)
+				}
+				post := postM.(index.Persistable)
+				postDB := newDB
+
+				// Kill the append at every byte boundary. A failed attempt
+				// leaves the pending delta staged, so the next attempt
+				// replays the identical operation on a fresh clone.
+				dp := post.(index.DeltaPersistable)
+				var final *persistio.MemFile
+				for k := int64(0); ; k++ {
+					clone := file.Clone()
+					ff := persistio.NewFaultFile(clone)
+					ff.CrashAfterBytes(k)
+					err := dp.AppendDelta(ff)
+					if err == nil {
+						final = clone
+						if k == 0 {
+							t.Fatalf("step %d: AppendDelta persisted zero bytes", step)
+						}
+						break
+					}
+					verifyCrashState(t, m.fresh, clone.Bytes(), pre, preDB, post, postDB, probes)
+					if k > 1<<20 {
+						t.Fatal("crash sweep did not terminate")
+					}
+				}
+
+				// The surviving file after the successful attempt holds
+				// exactly the post-op state.
+				ld := m.fresh()
+				rep, err := ld.LoadIndex(persistio.NewMemFileBytes(final.Bytes()), postDB)
+				if err != nil {
+					t.Fatalf("step %d: reloading committed snapshot: %v", step, err)
+				}
+				if rep.RecoveredTail != nil {
+					t.Fatalf("step %d: committed snapshot reported a recovered tail: %+v", step, rep.RecoveredTail)
+				}
+				if !sameState(ld, post, probes) {
+					t.Fatalf("step %d: committed snapshot diverges from post-op state", step)
+				}
+
+				file, cur, db = final, post, postDB
+				probes = append(probes, soakProbes(rng, db, 2)...)
+			}
+		})
+	}
+}
+
+// TestCrashSoakCompaction pushes the delta log past the compaction
+// threshold and kills the atomic compaction rewrite at every byte
+// boundary: the previous journaled snapshot must survive every crash
+// point intact, and the successful rewrite must replace the file whole.
+func TestCrashSoakCompaction(t *testing.T) {
+	fresh := func() index.Persistable { return ggsx.New(ggsx.Options{MaxPathLen: 3, Shards: 2}) }
+	rng := rand.New(rand.NewSource(99))
+	db := soakDB(rng, 6)
+	cur := fresh()
+	cur.Build(db)
+	probes := soakProbes(rng, db, 6)
+
+	file := persistio.NewMemFile()
+	if err := cur.SaveIndex(file); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the persisted journal until the *next* append must compact
+	// (the weighted debt check runs against journals already on disk).
+	for i := 0; ; i++ {
+		mu := cur.(index.Mutable)
+		next, newDB, err := mu.AppendGraphs(soakDB(rng, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := next.(index.Persistable)
+		prevLen := file.Len()
+		ff := persistio.NewFaultFile(file)
+		if err := post.(index.DeltaPersistable).AppendDelta(ff); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		cur, db = post, newDB
+		probes = append(probes, soakProbes(rng, db, 2)...)
+		if int64(file.Len()) == ff.Written() {
+			// The whole file was rewritten: this append compacted.
+			break
+		}
+		if file.Len() <= prevLen {
+			t.Fatalf("append %d: file did not grow (%d -> %d)", i, prevLen, file.Len())
+		}
+		if i > 64 {
+			t.Fatal("compaction never triggered")
+		}
+	}
+
+	// One more mutation, then sweep the compaction-or-append at every
+	// byte boundary after re-inflating the journal debt.
+	for round := 0; round < 2; round++ {
+		mu := cur.(index.Mutable)
+		pre, preDB := cur, db
+		next, newDB, err := mu.AppendGraphs(soakDB(rng, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := next.(index.Persistable)
+		dp := post.(index.DeltaPersistable)
+		var final *persistio.MemFile
+		for k := int64(0); ; k++ {
+			clone := file.Clone()
+			ff := persistio.NewFaultFile(clone)
+			ff.CrashAfterBytes(k)
+			err := dp.AppendDelta(ff)
+			if err == nil {
+				final = clone
+				break
+			}
+			verifyCrashState(t, fresh, clone.Bytes(), pre.(index.Persistable), preDB, post, newDB, probes)
+			if k > 1<<20 {
+				t.Fatal("crash sweep did not terminate")
+			}
+		}
+		ld := fresh()
+		if _, err := ld.LoadIndex(persistio.NewMemFileBytes(final.Bytes()), newDB); err != nil {
+			t.Fatalf("round %d: reloading: %v", round, err)
+		}
+		if !sameState(ld, post, probes) {
+			t.Fatalf("round %d: committed snapshot diverges from post-op state", round)
+		}
+		file, cur, db = final, post, newDB
+	}
+}
+
+// TestAppendDeltaSyncFailure: a failed durability barrier must surface as
+// an error (the caller cannot treat the delta as persisted).
+func TestAppendDeltaSyncFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := soakDB(rng, 6)
+	x := ggsx.New(ggsx.Options{MaxPathLen: 3})
+	x.Build(db)
+	file := persistio.NewMemFile()
+	if err := x.SaveIndex(file); err != nil {
+		t.Fatal(err)
+	}
+	next, _, err := x.AppendGraphs(soakDB(rng, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := persistio.NewFaultFile(file)
+	ff.FailNextSync(nil)
+	if err := next.(index.DeltaPersistable).AppendDelta(ff); err == nil {
+		t.Fatal("AppendDelta swallowed a sync failure")
+	} else if got := fmt.Sprint(err); got == "" {
+		t.Fatal("empty error")
+	}
+}

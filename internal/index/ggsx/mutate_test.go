@@ -113,7 +113,7 @@ func TestMutationDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				err = loaded.LoadIndex(lf, cdb)
+				_, err = loaded.LoadIndex(lf, cdb)
 				lf.Close()
 				if err != nil {
 					t.Fatalf("step %d: loading journaled snapshot: %v", step, err)
@@ -128,7 +128,7 @@ func TestMutationDifferential(t *testing.T) {
 				// A journaled snapshot must refuse any other dataset.
 				wrong := New(Options{MaxPathLen: 3})
 				wf, _ := os.Open(snapPath)
-				err = wrong.LoadIndex(wf, db)
+				_, err = wrong.LoadIndex(wf, db)
 				wf.Close()
 				if len(cdb) != len(db) || step > 0 {
 					if err == nil {
@@ -192,7 +192,7 @@ func TestAppendDeltaCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = loaded.LoadIndex(lf, cdb)
+	_, err = loaded.LoadIndex(lf, cdb)
 	lf.Close()
 	if err != nil {
 		t.Fatal(err)

@@ -63,15 +63,22 @@ func (x *Index) writeIndex(w io.Writer) (int64, error) {
 // a fresh Build over db, and any load failure (corruption, wrong dataset)
 // leaves the live index and the shared dictionary byte-identical to their
 // pre-call state.
-func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
-	br := index.AsByteScanner(r)
-	env, err := index.ReadIndexEnvelope(br)
+//
+// By default a torn trailing journal section (the crash-mid-append
+// signature) is salvaged: the committed prefix loads and the damage is
+// reported in LoadReport.RecoveredTail with reader-absolute offsets.
+// index.StrictLoad fails on any damage instead.
+func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph, opts ...index.LoadOption) (index.LoadReport, error) {
+	cfg := index.ResolveLoadOptions(opts)
+	cr := &index.CountingScanner{R: index.AsByteScanner(r)}
+	env, err := index.ReadIndexEnvelope(cr)
 	if err != nil {
-		return fmt.Errorf("ggsx: %w", err)
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("ggsx: %w", err)
 	}
 	if err := index.ValidateEnvelopeMethod(env, methodTag); err != nil {
-		return fmt.Errorf("ggsx: %w", err)
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("ggsx: %w", err)
 	}
+	envBytes := cr.N
 	// The decode interns through the shared dictionary, so keep the current
 	// vocabulary for rollback: a failed decode must leave the index exactly
 	// as it was — re-interning the saved keys in ID order restores the
@@ -85,10 +92,15 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	}
 	x.dict.Reset()
 	tr := trie.NewSharded(x.dict, x.opt.Shards)
-	n, err := tr.ReadFromWorkers(br, x.opt.BuildWorkers)
+	n, rec, err := tr.ReadFromOptions(cr, trie.LoadOptions{Workers: x.opt.BuildWorkers, Strict: cfg.Strict})
 	if err != nil {
 		rollback()
-		return fmt.Errorf("ggsx: reading trie: %w", err)
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("ggsx: reading trie: %w", err)
+	}
+	if rec != nil {
+		// Translate trie-relative recovery offsets into reader-absolute
+		// ones so callers owning the file can repair it in place.
+		rec.CommittedBytes += envBytes
 	}
 	// Dataset guard: journals carry the post-mutation fingerprint; a
 	// journal-free snapshot answers for the envelope's base dataset.
@@ -98,7 +110,7 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	}
 	if err := index.ValidateDataset(sum, ng, db); err != nil {
 		rollback()
-		return fmt.Errorf("ggsx: %w", err)
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("ggsx: %w", err)
 	}
 	if x.opt.Shards > 0 {
 		// The snapshot restores its saved layout; an explicit option
@@ -108,6 +120,13 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	x.opt.MaxPathLen = env.MaxPathLen // queries must enumerate at the indexed length
 	x.db = db
 	x.tr = tr
-	x.log.NoteFullSave(n) // the loaded file is the new delta-log base
-	return nil
+	// The loaded file is the new delta-log base — after a tail recovery,
+	// only up to the committed prefix (the torn bytes must be repaired
+	// away before the file accepts further appends).
+	base := envBytes + n
+	if rec != nil {
+		base = rec.CommittedBytes
+	}
+	x.log.NoteFullSave(base)
+	return index.LoadReport{Bytes: cr.N, RecoveredTail: rec}, nil
 }

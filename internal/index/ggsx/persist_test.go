@@ -69,7 +69,7 @@ func TestSaveLoadRoundTripIdentity(t *testing.T) {
 		{MaxPathLen: 3, Shards: 16, BuildWorkers: 2},
 	} {
 		for _, loadCfg := range []Options{
-			{MaxPathLen: 3},                           // adopt saved layout
+			{MaxPathLen: 3}, // adopt saved layout
 			{MaxPathLen: 3, Shards: 2, BuildWorkers: 4}, // explicit re-shard
 		} {
 			name := fmt.Sprintf("save[s=%d,w=%d]/load[s=%d,w=%d]",
@@ -82,7 +82,7 @@ func TestSaveLoadRoundTripIdentity(t *testing.T) {
 					t.Fatal(err)
 				}
 				loaded := New(loadCfg)
-				if err := loaded.LoadIndex(bytes.NewReader(buf.Bytes()), db); err != nil {
+				if _, err := loaded.LoadIndex(bytes.NewReader(buf.Bytes()), db); err != nil {
 					t.Fatal(err)
 				}
 				// Shard headers scale with the layout; net of those, the
@@ -116,7 +116,7 @@ func TestLoadIndexRejectsWrongDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 	y := New(Options{MaxPathLen: 3})
-	err := y.LoadIndex(bytes.NewReader(buf.Bytes()), other)
+	_, err := y.LoadIndex(bytes.NewReader(buf.Bytes()), other)
 	if !errors.Is(err, index.ErrDatasetMismatch) {
 		t.Errorf("load against different dataset: got %v, want ErrDatasetMismatch", err)
 	}
@@ -124,7 +124,7 @@ func TestLoadIndexRejectsWrongDataset(t *testing.T) {
 	// different dataset too.
 	reordered := append([]*graph.Graph(nil), db[1:]...)
 	reordered = append(reordered, db[0])
-	err = y.LoadIndex(bytes.NewReader(buf.Bytes()), reordered)
+	_, err = y.LoadIndex(bytes.NewReader(buf.Bytes()), reordered)
 	if !errors.Is(err, index.ErrDatasetMismatch) {
 		t.Errorf("load against reordered dataset: got %v, want ErrDatasetMismatch", err)
 	}
@@ -139,7 +139,7 @@ func TestLoadIndexRejectsWrongMethod(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Replace(buf.Bytes(), []byte("GGSX"), []byte("XSGG"), 1)
-	if err := x.LoadIndex(bytes.NewReader(data), db); err == nil {
+	if _, err := x.LoadIndex(bytes.NewReader(data), db); err == nil {
 		t.Error("foreign-method snapshot loaded without error")
 	}
 }
@@ -161,7 +161,7 @@ func TestLoadIndexFailureLeavesIndexIntact(t *testing.T) {
 		t.Fatal(err)
 	}
 	truncated := buf.Bytes()[:buf.Len()-10] // valid envelope, torn trie
-	if err := x.LoadIndex(bytes.NewReader(truncated), db); err == nil {
+	if _, err := x.LoadIndex(bytes.NewReader(truncated), db); err == nil {
 		t.Fatal("truncated snapshot loaded without error")
 	}
 	if got := x.FeatureDict().Len(); got == 0 {

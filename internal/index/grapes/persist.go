@@ -57,15 +57,21 @@ func (x *Index) writeIndex(w io.Writer) (int64, error) {
 // embedded checksum (index.ErrDatasetMismatch on divergence); segment
 // decodes fan out over the build-worker count. The loaded index answers
 // identically to a fresh Build over db.
-func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
-	br := index.AsByteScanner(r)
-	env, err := index.ReadIndexEnvelope(br)
+//
+// Torn trailing journal sections are salvaged by default and reported in
+// LoadReport.RecoveredTail; index.StrictLoad fails on any damage instead
+// (see ggsx.Index.LoadIndex).
+func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph, opts ...index.LoadOption) (index.LoadReport, error) {
+	cfg := index.ResolveLoadOptions(opts)
+	cr := &index.CountingScanner{R: index.AsByteScanner(r)}
+	env, err := index.ReadIndexEnvelope(cr)
 	if err != nil {
-		return fmt.Errorf("grapes: %w", err)
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("grapes: %w", err)
 	}
 	if err := index.ValidateEnvelopeMethod(env, methodTag); err != nil {
-		return fmt.Errorf("grapes: %w", err)
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("grapes: %w", err)
 	}
+	envBytes := cr.N
 	// Keep the current vocabulary for rollback: a failed decode must leave
 	// the index exactly as it was (re-interning the saved keys in ID order
 	// restores the identical ID assignment the old trie is keyed by).
@@ -78,10 +84,13 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	}
 	x.dict.Reset()
 	tr := trie.NewSharded(x.dict, x.opt.Shards)
-	n, err := tr.ReadFromWorkers(br, x.opt.BuildWorkers)
+	n, rec, err := tr.ReadFromOptions(cr, trie.LoadOptions{Workers: x.opt.BuildWorkers, Strict: cfg.Strict})
 	if err != nil {
 		rollback()
-		return fmt.Errorf("grapes: reading trie: %w", err)
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("grapes: reading trie: %w", err)
+	}
+	if rec != nil {
+		rec.CommittedBytes += envBytes // translate to reader-absolute offsets
 	}
 	// Dataset guard: a journaled snapshot answers for the newest journal
 	// stamp's dataset, not the envelope's base (see ggsx.Index.LoadIndex).
@@ -91,7 +100,7 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	}
 	if err := index.ValidateDataset(sum, ng, db); err != nil {
 		rollback()
-		return fmt.Errorf("grapes: %w", err)
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("grapes: %w", err)
 	}
 	if x.opt.Shards > 0 {
 		tr.Reshard(x.opt.Shards)
@@ -99,7 +108,11 @@ func (x *Index) LoadIndex(r io.Reader, db []*graph.Graph) error {
 	x.opt.MaxPathLen = env.MaxPathLen
 	x.db = db
 	x.tr = tr
-	x.log.NoteFullSave(n)
+	base := envBytes + n
+	if rec != nil {
+		base = rec.CommittedBytes // torn bytes are not part of the new base
+	}
+	x.log.NoteFullSave(base)
 	x.resetMemo()
-	return nil
+	return index.LoadReport{Bytes: cr.N, RecoveredTail: rec}, nil
 }

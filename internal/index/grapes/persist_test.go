@@ -73,7 +73,7 @@ func TestSaveLoadRoundTripIdentity(t *testing.T) {
 					t.Fatal(err)
 				}
 				loaded := New(loadCfg)
-				if err := loaded.LoadIndex(bytes.NewReader(buf.Bytes()), db); err != nil {
+				if _, err := loaded.LoadIndex(bytes.NewReader(buf.Bytes()), db); err != nil {
 					t.Fatal(err)
 				}
 				// Shard headers scale with the layout; net of those, the
@@ -106,7 +106,7 @@ func TestLoadIndexRejectsWrongDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 	y := New(Options{MaxPathLen: 3})
-	err := y.LoadIndex(bytes.NewReader(buf.Bytes()), randomDB(15, 32))
+	_, err := y.LoadIndex(bytes.NewReader(buf.Bytes()), randomDB(15, 32))
 	if !errors.Is(err, index.ErrDatasetMismatch) {
 		t.Errorf("got %v, want ErrDatasetMismatch", err)
 	}
@@ -123,7 +123,7 @@ func TestLoadIndexRejectsForeignSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Replace(buf.Bytes(), []byte("Grapes"), []byte("GGSX\x00\x00"), 1)
-	if err := x.LoadIndex(bytes.NewReader(data), db); err == nil {
+	if _, err := x.LoadIndex(bytes.NewReader(data), db); err == nil {
 		t.Error("foreign snapshot loaded without error")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/persistio"
 	"repro/internal/trie"
 )
 
@@ -56,12 +57,15 @@ type DeltaPersistable interface {
 	Persistable
 	// AppendDelta persists every mutation applied since f's snapshot was
 	// written (by SaveIndex or a previous AppendDelta on the same file) as
-	// one journal section appended to f. When accumulated journals outgrow
-	// the compaction threshold — and f supports truncation — the file is
-	// instead rewritten as a fresh compact base, folding all journals in.
-	// The caller must hand the same file lineage to every call: the pending
-	// delta is tracked relative to the last full save. Exclusive with other
-	// persistence and mutation calls.
+	// one journal section appended to f, fsyncing afterwards when f
+	// supports it. When accumulated journals outgrow the workload-adaptive
+	// compaction threshold (removal-heavy journals compact earlier — see
+	// removalReplayWeight), the file is instead rewritten as a fresh
+	// compact base folding all journals in: atomically via
+	// persistio.AtomicRewriter when f supports it, else in place via
+	// truncation. The caller must hand the same file lineage to every
+	// call: the pending delta is tracked relative to the last full save.
+	// Exclusive with other persistence and mutation calls.
 	AppendDelta(f io.ReadWriteSeeker) error
 }
 
@@ -146,6 +150,12 @@ type DeltaLog struct {
 	pending      trie.Journal
 	baseBytes    int64
 	journalBytes int64
+
+	// Persisted-journal op mix since the last full save — the signal the
+	// workload-adaptive compaction threshold weighs (removals replay
+	// heavier than appends).
+	journalAppends int
+	journalRemoves int
 }
 
 // NewDeltaLog returns an empty log.
@@ -166,16 +176,47 @@ func (l *DeltaLog) NoteFullSave(n int64) {
 	l.pending.Reset()
 	l.baseBytes = n
 	l.journalBytes = 0
+	l.journalAppends = 0
+	l.journalRemoves = 0
 	l.mu.Unlock()
 }
 
-// compactionFraction: when accumulated journal bytes exceed this fraction
-// of the base snapshot, AppendIndexDelta folds them into a fresh base
-// instead of appending further (bounding both file growth and replay work
-// at load). Tuning per workload is an open follow-up (see ROADMAP).
-const compactionFraction = 0.5
+// Workload-adaptive compaction threshold. Journals are folded into a
+// fresh base when their *replay-weighted* size outgrows
+// compactionFraction of the base snapshot. The weight follows the
+// observed op mix of the journal lineage (persisted sections plus the
+// pending batch): an append replays as pure insertion, but a removal
+// scrubs postings, prunes byte-trie paths and re-homes the swapped
+// graph's features — several times the work per journal byte — so
+// removal-heavy journals hit the threshold earlier, bounding reload
+// latency where the fixed byte-ratio threshold would let replay cost
+// grow unchecked.
+const (
+	compactionFraction = 0.5
+	// removalReplayWeight scales a pure-removal journal's effective size:
+	// weight ramps linearly from 1 (all appends) to 1+removalReplayWeight
+	// (all removals), so an all-removal journal compacts at 1/(1+w) of
+	// the byte threshold — 1/8 of the base instead of 1/2 at w=3.
+	removalReplayWeight = 3.0
+)
 
-// truncater is the optional file capability compaction needs.
+// compactionDue reports whether the weighted journal debt crosses the
+// threshold. Caller holds l.mu.
+func (l *DeltaLog) compactionDue() bool {
+	if l.baseBytes <= 0 {
+		return false
+	}
+	appends, removes := l.pending.OpMix()
+	appends += l.journalAppends
+	removes += l.journalRemoves
+	weight := 1.0
+	if total := appends + removes; total > 0 {
+		weight += removalReplayWeight * float64(removes) / float64(total)
+	}
+	return float64(l.journalBytes)*weight >= compactionFraction*float64(l.baseBytes)
+}
+
+// truncater is the optional file capability in-place compaction needs.
 type truncater interface{ Truncate(int64) error }
 
 // AppendIndexDelta is the shared AppendDelta implementation for
@@ -207,28 +248,68 @@ func AppendIndexDelta(f io.ReadWriteSeeker, l *DeltaLog, methodTag string, stamp
 	if err := trie.CheckJournalable(br); err != nil {
 		return err
 	}
-	if t, ok := f.(truncater); ok && l.baseBytes > 0 &&
-		float64(l.journalBytes) >= compactionFraction*float64(l.baseBytes) {
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return fmt.Errorf("index: seeking snapshot start: %w", err)
+	if l.compactionDue() {
+		if ar, ok := f.(persistio.AtomicRewriter); ok {
+			// Crash-safe compaction: the fresh base is written to the side
+			// and swapped in whole, so a crash mid-rewrite leaves the old
+			// journaled snapshot — still loadable — untouched.
+			var n int64
+			err := ar.AtomicRewrite(func(w io.Writer) error {
+				var err error
+				n, err = saveFull(w)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("index: compacting snapshot: %w", err)
+			}
+			l.noteCompacted(n)
+			return nil
 		}
-		n, err := saveFull(f)
-		if err != nil {
-			return fmt.Errorf("index: compacting snapshot: %w", err)
+		if t, ok := f.(truncater); ok {
+			// In-place fallback for plain seekable files: not crash-safe
+			// (a crash mid-rewrite corrupts the base), but the only option
+			// without atomic-rewrite capability.
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return fmt.Errorf("index: seeking snapshot start: %w", err)
+			}
+			n, err := saveFull(f)
+			if err != nil {
+				return fmt.Errorf("index: compacting snapshot: %w", err)
+			}
+			if err := t.Truncate(n); err != nil {
+				return fmt.Errorf("index: truncating compacted snapshot: %w", err)
+			}
+			if err := persistio.Sync(f); err != nil {
+				return fmt.Errorf("index: syncing compacted snapshot: %w", err)
+			}
+			l.noteCompacted(n)
+			return nil
 		}
-		if err := t.Truncate(n); err != nil {
-			return fmt.Errorf("index: truncating compacted snapshot: %w", err)
-		}
-		l.pending.Reset()
-		l.baseBytes = n
-		l.journalBytes = 0
-		return nil
+		// No rewrite capability: fall through to a plain append.
 	}
 	n, err := trie.AppendJournalSection(f, &l.pending, stamp)
 	if err != nil {
 		return err
 	}
+	// The terminator byte is the commit point; fsync makes it durable
+	// before we discard the pending delta.
+	if err := persistio.Sync(f); err != nil {
+		return fmt.Errorf("index: syncing appended delta: %w", err)
+	}
+	appends, removes := l.pending.OpMix()
+	l.journalAppends += appends
+	l.journalRemoves += removes
 	l.journalBytes += n
 	l.pending.Reset()
 	return nil
+}
+
+// noteCompacted resets accounting after a successful compaction of n base
+// bytes. Caller holds l.mu.
+func (l *DeltaLog) noteCompacted(n int64) {
+	l.pending.Reset()
+	l.baseBytes = n
+	l.journalBytes = 0
+	l.journalAppends = 0
+	l.journalRemoves = 0
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"repro/internal/graph"
+	"repro/internal/trie"
 )
 
 // Dataset-index persistence. The paper's premise is that index knowledge is
@@ -28,10 +29,54 @@ import (
 // statistics, same answers. Like Build, LoadIndex is exclusive: no other
 // method of the index may run concurrently, and structures keyed by the
 // previous dictionary IDs must be rebuilt afterwards.
+//
+// Durability contract: by default LoadIndex salvages a snapshot whose
+// trailing journal section is torn (the crash-mid-append signature),
+// loading the committed prefix and reporting the damage in
+// LoadReport.RecoveredTail; StrictLoad restores fail-on-anything.
+// Corruption anywhere before the journal tail always fails, and a failed
+// load leaves the index and its dictionary byte-identical to their
+// pre-call state.
 type Persistable interface {
 	Method
 	SaveIndex(w io.Writer) error
-	LoadIndex(r io.Reader, db []*graph.Graph) error
+	LoadIndex(r io.Reader, db []*graph.Graph, opts ...LoadOption) (LoadReport, error)
+}
+
+// LoadReport describes a completed LoadIndex.
+type LoadReport struct {
+	// Bytes is the number of bytes consumed from the reader (including a
+	// discarded torn tail).
+	Bytes int64
+	// RecoveredTail is non-nil when the load salvaged a torn journal
+	// tail; its offsets are absolute within the reader handed to
+	// LoadIndex, so a caller owning the underlying file can repair it
+	// with trie.RepairSnapshotTail.
+	RecoveredTail *trie.TailRecovery
+}
+
+// LoadConfig is the resolved option set of one LoadIndex call.
+type LoadConfig struct {
+	// Strict fails the load on any structural damage instead of
+	// recovering a torn journal tail.
+	Strict bool
+}
+
+// LoadOption customises one LoadIndex call.
+type LoadOption func(*LoadConfig)
+
+// StrictLoad makes the load fail on any structural damage, including a
+// torn trailing journal section the default mode would salvage.
+func StrictLoad() LoadOption { return func(c *LoadConfig) { c.Strict = true } }
+
+// ResolveLoadOptions folds opts into a LoadConfig (for implementations
+// outside this package).
+func ResolveLoadOptions(opts []LoadOption) LoadConfig {
+	var cfg LoadConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // ErrDatasetMismatch reports a snapshot loaded against a dataset other than
@@ -67,6 +112,28 @@ func AsByteScanner(r io.Reader) ByteScanner {
 		return bs
 	}
 	return bufio.NewReader(r)
+}
+
+// CountingScanner wraps a ByteScanner, counting consumed bytes — the
+// method loaders use it to translate section-relative recovery offsets
+// into stream-absolute ones.
+type CountingScanner struct {
+	R ByteScanner
+	N int64
+}
+
+func (c *CountingScanner) Read(p []byte) (int, error) {
+	m, err := c.R.Read(p)
+	c.N += int64(m)
+	return m, err
+}
+
+func (c *CountingScanner) ReadByte() (byte, error) {
+	b, err := c.R.ReadByte()
+	if err == nil {
+		c.N++
+	}
+	return b, err
 }
 
 // CountingWriter wraps a writer, counting the bytes written — shared by

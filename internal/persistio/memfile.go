@@ -1,0 +1,109 @@
+package persistio
+
+import (
+	"fmt"
+	"io"
+)
+
+// MemFile is an in-memory File with the same observable contract as an
+// *os.File opened O_RDWR: sparse writes zero-fill, reads at EOF return
+// io.EOF, Truncate extends or shrinks, Sync is a no-op. It also supports
+// AtomicRewrite (buffer-and-swap), so crash tests can drive the exact
+// code paths real snapshot files take without touching disk.
+type MemFile struct {
+	b   []byte
+	off int64
+}
+
+// NewMemFile returns an empty MemFile.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// NewMemFileBytes returns a MemFile holding a copy of b, positioned at 0.
+func NewMemFileBytes(b []byte) *MemFile {
+	return &MemFile{b: append([]byte(nil), b...)}
+}
+
+// Bytes returns the file contents. The slice aliases the file; callers
+// must not retain it across writes.
+func (m *MemFile) Bytes() []byte { return m.b }
+
+// Len returns the file size.
+func (m *MemFile) Len() int64 { return int64(len(m.b)) }
+
+// Clone returns an independent copy of the file, positioned at 0 — the
+// crash harness forks one per injected fault point.
+func (m *MemFile) Clone() *MemFile { return NewMemFileBytes(m.b) }
+
+func (m *MemFile) Read(p []byte) (int, error) {
+	if m.off >= int64(len(m.b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.b[m.off:])
+	m.off += int64(n)
+	return n, nil
+}
+
+func (m *MemFile) Write(p []byte) (int, error) {
+	need := m.off + int64(len(p))
+	if int64(len(m.b)) < need {
+		m.b = append(m.b, make([]byte, need-int64(len(m.b)))...)
+	}
+	copy(m.b[m.off:], p)
+	m.off = need
+	return len(p), nil
+}
+
+func (m *MemFile) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = m.off + offset
+	case io.SeekEnd:
+		abs = int64(len(m.b)) + offset
+	default:
+		return 0, fmt.Errorf("persistio: invalid seek whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("persistio: negative seek offset %d", abs)
+	}
+	m.off = abs
+	return abs, nil
+}
+
+func (m *MemFile) Sync() error { return nil }
+
+func (m *MemFile) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("persistio: negative truncate size %d", size)
+	}
+	if size <= int64(len(m.b)) {
+		m.b = m.b[:size]
+	} else {
+		m.b = append(m.b, make([]byte, size-int64(len(m.b)))...)
+	}
+	return nil
+}
+
+// AtomicRewrite implements AtomicRewriter by buffer-and-swap: the new
+// contents accumulate in a scratch buffer and replace the file only if
+// write succeeds, mirroring the temp-file-plus-rename of PathFile.
+func (m *MemFile) AtomicRewrite(write func(w io.Writer) error) error {
+	scratch := &MemFile{}
+	if err := write(scratch); err != nil {
+		return err
+	}
+	m.b = scratch.b
+	m.off = 0
+	return nil
+}
+
+var (
+	_ File           = (*MemFile)(nil)
+	_ AtomicRewriter = (*MemFile)(nil)
+	_ File           = (*FaultFile)(nil)
+	_ AtomicRewriter = (*FaultFile)(nil)
+	_ File           = (*PathFile)(nil)
+	_ AtomicRewriter = (*PathFile)(nil)
+)

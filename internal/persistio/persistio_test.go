@@ -1,0 +1,318 @@
+package persistio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertNoStrays fails if the directory holds anything besides the named
+// files — a leaked temp file is a durability bug (crash loops would fill
+// the disk).
+func assertNoStrays(t *testing.T, dir string, want ...string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, w := range want {
+		allowed[w] = true
+	}
+	for _, e := range entries {
+		if !allowed[e.Name()] {
+			t.Errorf("stray file %q left in %s", e.Name(), dir)
+		}
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); string(got) != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+
+	// Overwrite: the old content is replaced whole.
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("second, longer content"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); string(got) != "second, longer content" {
+		t.Fatalf("content = %q after overwrite", got)
+	}
+
+	// A failing write callback leaves the destination untouched and cleans
+	// up the temp file.
+	boom := errors.New("boom")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("torn gar"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := readFile(t, path); string(got) != "second, longer content" {
+		t.Fatalf("failed write damaged destination: %q", got)
+	}
+	assertNoStrays(t, dir, "snap")
+}
+
+// TestAtomicWriteFileCrashSweep kills the save at every byte boundary of
+// the payload: the destination must retain its previous contents for every
+// crash point, and succeed exactly when the budget covers the payload.
+func TestAtomicWriteFileCrashSweep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := os.WriteFile(path, []byte("good old snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("replacement contents v2")
+
+	for cut := int64(0); cut <= int64(len(payload)); cut++ {
+		var ff *FaultFile
+		err := AtomicWriteFileWrapped(path, func(f File) File {
+			ff = NewFaultFile(f)
+			ff.CrashAfterBytes(cut)
+			return ff
+		}, func(w io.Writer) error {
+			// Write byte by byte so every boundary is a real fault point.
+			for i := range payload {
+				if _, err := w.Write(payload[i : i+1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if cut < int64(len(payload)) {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("cut=%d: err = %v, want ErrCrashed", cut, err)
+			}
+			if got := readFile(t, path); string(got) != "good old snapshot" {
+				t.Fatalf("cut=%d: crash destroyed the previous snapshot: %q", cut, got)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("cut=%d (full budget): %v", cut, err)
+			}
+			if got := readFile(t, path); !bytes.Equal(got, payload) {
+				t.Fatalf("cut=%d: content %q, want %q", cut, got, payload)
+			}
+		}
+		assertNoStrays(t, dir, "snap")
+	}
+}
+
+func TestMemFile(t *testing.T) {
+	m := NewMemFile()
+	if _, err := m.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Seek(6, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(m, buf); err != nil || string(buf) != "world" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+	if _, err := m.Read(buf); err != io.EOF {
+		t.Fatalf("read at EOF: %v, want io.EOF", err)
+	}
+	if err := m.Truncate(5); err != nil || string(m.Bytes()) != "hello" {
+		t.Fatalf("truncate: %q, %v", m.Bytes(), err)
+	}
+	// Sparse write past EOF zero-fills.
+	if _, err := m.Seek(7, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if want := "hello\x00\x00x"; string(m.Bytes()) != want {
+		t.Fatalf("sparse write: %q, want %q", m.Bytes(), want)
+	}
+	if _, err := m.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+
+	cl := m.Clone()
+	cl.Truncate(0)
+	if m.Len() == 0 {
+		t.Fatal("Clone shares storage with the original")
+	}
+
+	// AtomicRewrite success replaces content; failure keeps it.
+	if err := m.AtomicRewrite(func(w io.Writer) error {
+		_, err := w.Write([]byte("rewritten"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Bytes()) != "rewritten" {
+		t.Fatalf("after rewrite: %q", m.Bytes())
+	}
+	boom := errors.New("boom")
+	if err := m.AtomicRewrite(func(w io.Writer) error {
+		w.Write([]byte("torn"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(m.Bytes()) != "rewritten" {
+		t.Fatalf("failed rewrite damaged contents: %q", m.Bytes())
+	}
+}
+
+func TestFaultFileCrashModel(t *testing.T) {
+	m := NewMemFile()
+	ff := NewFaultFile(m)
+	ff.CrashAfterBytes(3)
+	n, err := ff.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write = (%d, %v), want (3, ErrCrashed)", n, err)
+	}
+	if string(m.Bytes()) != "abc" {
+		t.Fatalf("persisted %q, want the 3-byte prefix", m.Bytes())
+	}
+	if !ff.Crashed() || ff.Written() != 3 {
+		t.Fatalf("Crashed=%v Written=%d", ff.Crashed(), ff.Written())
+	}
+	// Everything after the crash fails: the process is dead.
+	if _, err := ff.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash write: %v", err)
+	}
+	if _, err := ff.Read(make([]byte, 1)); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash read: %v", err)
+	}
+	if _, err := ff.Seek(0, io.SeekStart); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash seek: %v", err)
+	}
+	if err := ff.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash sync: %v", err)
+	}
+	if err := ff.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash truncate: %v", err)
+	}
+}
+
+func TestFaultFileOneShotFaults(t *testing.T) {
+	m := NewMemFile()
+	ff := NewFaultFile(m)
+
+	ff.FailNextWrite(nil)
+	if _, err := ff.Write([]byte("a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write: %v", err)
+	}
+	if _, err := ff.Write([]byte("a")); err != nil {
+		t.Fatalf("fault not one-shot: %v", err)
+	}
+
+	ff.ShortNextWrite()
+	n, err := ff.Write([]byte("bbbb"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write = (%d, %v), want (2, ErrInjected)", n, err)
+	}
+
+	ff.FailNextSync(nil)
+	if err := ff.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed sync: %v", err)
+	}
+	if err := ff.Sync(); err != nil {
+		t.Fatalf("sync fault not one-shot: %v", err)
+	}
+}
+
+// TestFaultFileAtomicRewrite: a crash inside the rewrite callback aborts
+// the swap — the previous contents survive, matching the real-file
+// temp+rename semantics.
+func TestFaultFileAtomicRewrite(t *testing.T) {
+	m := NewMemFileBytes([]byte("previous contents"))
+	ff := NewFaultFile(m)
+	ff.CrashAfterBytes(4)
+	err := ff.AtomicRewrite(func(w io.Writer) error {
+		_, err := w.Write([]byte("new contents that will not fit"))
+		return err
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if string(m.Bytes()) != "previous contents" {
+		t.Fatalf("aborted rewrite damaged contents: %q", m.Bytes())
+	}
+
+	ff2 := NewFaultFile(NewMemFileBytes([]byte("old")))
+	if err := ff2.AtomicRewrite(func(w io.Writer) error {
+		_, err := w.Write([]byte("new"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(ff2.f.(*MemFile).Bytes()) != "new" {
+		t.Fatal("fault-free rewrite did not apply")
+	}
+}
+
+func TestPathFileAtomicRewrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := os.WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Path() != path {
+		t.Fatalf("Path() = %q", f.Path())
+	}
+	if err := f.AtomicRewrite(func(w io.Writer) error {
+		_, err := io.Copy(w, strings.NewReader("v2 rewritten"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The handle follows the new inode: reads see the rewritten bytes.
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "v2 rewritten" {
+		t.Fatalf("post-rewrite read through handle: %q, %v", got, err)
+	}
+	if got := readFile(t, path); string(got) != "v2 rewritten" {
+		t.Fatalf("on disk: %q", got)
+	}
+	assertNoStrays(t, dir, "snap")
+}
+
+// TestSync covers the best-effort barrier helper.
+func TestSync(t *testing.T) {
+	if err := Sync(&bytes.Buffer{}); err != nil {
+		t.Fatalf("Sync on a plain writer: %v", err)
+	}
+	ff := NewFaultFile(NewMemFile())
+	ff.FailNextSync(nil)
+	if err := Sync(ff); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync did not reach the File: %v", err)
+	}
+}

@@ -58,10 +58,59 @@ func FuzzTrieReadFrom(f *testing.F) {
 	flip[len(flip)/3] ^= 0x20
 	f.Add(flip)
 
+	// Seeds: torn journal tails — the crash-mid-append signature the
+	// recovery mode must salvage. Truncations at several byte boundaries
+	// of the journaled region plus a bit flip inside the journal body.
+	journaled := journaledSeed(f, &j1)
+	baseLen := len(v2.Bytes())
+	for _, cut := range []int{0, 1, (len(journaled) - baseLen) / 2, len(journaled) - baseLen - 1} {
+		f.Add(journaled[:baseLen+cut])
+	}
+	jflip := append([]byte(nil), journaled...)
+	jflip[(baseLen+len(jflip))/2] ^= 0x08
+	f.Add(jflip)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr := NewSharded(features.NewDict(), 0)
-		// Error or success — never a panic, never unbounded allocation.
-		_, _ = tr.ReadFrom(bytes.NewReader(data))
+		// Error, success, or tail recovery — never a panic, never
+		// unbounded allocation, never a half-applied delta.
+		n, rec, err := tr.ReadFromOptions(bytes.NewReader(data), LoadOptions{})
+		if err != nil {
+			return
+		}
+		if rec == nil {
+			// A clean load must agree with strict mode.
+			str := NewSharded(features.NewDict(), 0)
+			if _, rec2, err2 := str.ReadFromOptions(bytes.NewReader(data), LoadOptions{Strict: true}); err2 != nil || rec2 != nil {
+				t.Fatalf("clean load disagrees with strict mode: err=%v rec=%+v", err2, rec2)
+			}
+			return
+		}
+		// Tail recovery: a strict load must reject the same bytes, and the
+		// committed prefix plus a terminator must be a well-formed snapshot
+		// decoding to the identical trie (the committed-prefix oracle — the
+		// recovered state contains exactly the fully-committed sections).
+		if _, _, err := NewSharded(features.NewDict(), 0).ReadFromOptions(bytes.NewReader(data), LoadOptions{Strict: true}); err == nil {
+			t.Fatal("strict mode accepted a snapshot the default mode had to recover")
+		}
+		if rec.CommittedBytes < 0 || rec.CommittedBytes > int64(len(data)) || n < rec.CommittedBytes {
+			t.Fatalf("recovery offsets out of range: %+v (n=%d len=%d)", rec, n, len(data))
+		}
+		prefix := append(append([]byte(nil), data[:rec.CommittedBytes]...), sectionEnd)
+		oracle := NewSharded(features.NewDict(), 0)
+		if _, rec2, err := oracle.ReadFromOptions(bytes.NewReader(prefix), LoadOptions{Strict: true}); err != nil || rec2 != nil {
+			t.Fatalf("committed prefix fails strict load: err=%v rec=%+v", err, rec2)
+		}
+		var got, want bytes.Buffer
+		if _, err := tr.WriteTo(&got); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oracle.WriteTo(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatal("recovered trie diverges from committed-prefix oracle")
+		}
 	})
 }
 
@@ -102,6 +151,14 @@ func (m *memFile) Write(p []byte) (int, error) {
 	copy(m.b[m.off:], p)
 	m.off = need
 	return len(p), nil
+}
+
+func (m *memFile) Truncate(size int64) error {
+	for int64(len(m.b)) < size {
+		m.b = append(m.b, 0)
+	}
+	m.b = m.b[:size]
+	return nil
 }
 
 func (m *memFile) Seek(offset int64, whence int) (int64, error) {

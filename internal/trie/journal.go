@@ -16,9 +16,17 @@ package trie
 // append: it replaces the file's trailing terminator with
 // {journal section, terminator}, leaving everything before it untouched —
 // an O(delta) write instead of the O(dataset) full rewrite of WriteTo.
-// Journals are CRC-guarded like segments; a torn append loses the
-// terminator and the loader reports corruption instead of serving a
-// half-applied delta.
+//
+// Durability & crash safety: journals are CRC-guarded like segments, and
+// the terminator byte is what commits an append — a crash mid-append
+// leaves a valid snapshot prefix followed by a terminator-less torn
+// section. The loader never serves a half-applied delta: it either drops
+// the torn tail and reports a TailRecovery (default), or fails outright
+// (LoadOptions.Strict) — see the Durability section in persist.go.
+// RepairSnapshotTail truncates a recovered file back to its committed
+// prefix so the next append finds a well-formed snapshot; callers that
+// need the append itself durable fsync after it returns
+// (index.AppendIndexDelta does).
 //
 // Each journal carries a JournalStamp — the dataset fingerprint *after*
 // its ops. Snapshot consumers that guard against dataset divergence (the
@@ -55,6 +63,21 @@ func (j *Journal) Ops() int { return len(j.ops) }
 
 // Reset drops all staged ops.
 func (j *Journal) Reset() { j.ops = nil }
+
+// OpMix counts the staged ops by kind. Removals are structurally heavier
+// to replay than appends (scrub + re-home of the swapped graph), which is
+// what the workload-adaptive compaction threshold in index.AppendIndexDelta
+// weighs.
+func (j *Journal) OpMix() (appends, removes int) {
+	for _, op := range j.ops {
+		if op.kind == opRemove {
+			removes++
+		} else {
+			appends++
+		}
+	}
+	return appends, removes
+}
 
 // JournalStamp returns the stamp of the last journal section replayed into
 // this trie by ReadFrom, or nil when the loaded snapshot carried none (or
@@ -356,4 +379,66 @@ func AppendJournalSection(f io.ReadWriteSeeker, j *Journal, stamp JournalStamp) 
 		return 0, fmt.Errorf("trie: appending journal: %w", err)
 	}
 	return int64(len(sec) - 1), nil
+}
+
+// RepairSnapshotTail repairs a snapshot file whose load reported a
+// TailRecovery: the file is truncated back to the committed prefix, a
+// fresh section terminator is written, and the file is fsynced, so the
+// next AppendJournalSection (and any strict load) finds a well-formed
+// snapshot holding exactly the recovered state. Truncating first keeps
+// the repair itself crash-safe: a kill between the two steps leaves a
+// terminator-less committed prefix, which is again recoverable. No-op
+// when rec is nil.
+func RepairSnapshotTail(f io.WriteSeeker, rec *TailRecovery) error {
+	if rec == nil {
+		return nil
+	}
+	t, ok := f.(interface{ Truncate(int64) error })
+	if !ok {
+		return fmt.Errorf("trie: snapshot tail repair needs truncation support")
+	}
+	if err := t.Truncate(rec.CommittedBytes); err != nil {
+		return fmt.Errorf("trie: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(rec.CommittedBytes, io.SeekStart); err != nil {
+		return fmt.Errorf("trie: seeking committed prefix: %w", err)
+	}
+	if _, err := f.Write([]byte{sectionEnd}); err != nil {
+		return fmt.Errorf("trie: rewriting terminator: %w", err)
+	}
+	if s, ok := f.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("trie: syncing repaired snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// journalOpCount best-effort counts the ops a discarded journal body
+// claimed to carry: it parses the stamp, key table and op-count header
+// leniently and returns 0 when the header itself is unreadable.
+func journalOpCount(body []byte) int {
+	if len(body) < 8 {
+		return 0
+	}
+	d := segDecoder{b: body, off: 8}
+	if _, err := d.uvarint(); err != nil { // ngraphs
+		return 0
+	}
+	nKeys, err := d.uvarint()
+	if err != nil || nKeys > uint64(len(body)) {
+		return 0
+	}
+	for i := uint64(0); i < nKeys; i++ {
+		klen, err := d.uvarint()
+		if err != nil || klen > maxKeyLen || d.off+int(klen) > len(body) {
+			return 0
+		}
+		d.off += int(klen)
+	}
+	nOps, err := d.uvarint()
+	if err != nil || nOps > uint64(len(body)) {
+		return 0
+	}
+	return int(nOps)
 }

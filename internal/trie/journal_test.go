@@ -120,7 +120,9 @@ func TestJournalReplayDifferential(t *testing.T) {
 }
 
 // TestJournalCorruption: a torn or bit-flipped journal section must fail
-// the load with an error, never a panic.
+// a strict load with an error — and under the default recovery mode load
+// the committed prefix with a TailRecovery report, never a panic and
+// never a half-applied delta.
 func TestJournalCorruption(t *testing.T) {
 	tr := NewSharded(features.NewDict(), 2)
 	mut := tr.NewMutation()
@@ -152,17 +154,78 @@ func TestJournalCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	check := func(name string, data []byte) {
+	preAppend, postAppend := dumpState(tr), dumpState(mut2.Apply())
+
+	// check: data is a corruption of the journaled snapshot. Strict load
+	// must fail; the default load must salvage wantState (pre- or
+	// post-append, depending on whether the journal section itself
+	// survived) and report the torn tail.
+	check := func(name string, data []byte, wantState string, wantDropped int) {
 		t.Run(name, func(t *testing.T) {
+			strict := NewSharded(features.NewDict(), 2)
+			if _, rec, err := strict.ReadFromOptions(bytes.NewReader(data), LoadOptions{Strict: true}); err == nil || rec != nil {
+				t.Errorf("strict load of corrupt snapshot: err=%v rec=%+v", err, rec)
+			}
 			back := NewSharded(features.NewDict(), 2)
-			if _, err := back.ReadFrom(bytes.NewReader(data)); err == nil {
-				t.Errorf("%s: corrupt snapshot loaded without error", name)
+			n, rec, err := back.ReadFromOptions(bytes.NewReader(data), LoadOptions{})
+			if err != nil {
+				t.Fatalf("tail recovery failed: %v", err)
+			}
+			if rec == nil || back.TailRecovery() != rec {
+				t.Fatalf("torn tail loaded without a recovery report (rec=%+v)", rec)
+			}
+			if n != int64(len(data)) {
+				t.Errorf("consumed %d bytes of %d", n, len(data))
+			}
+			if got := dumpState(back); got != wantState {
+				t.Errorf("recovered state diverges:\n got %s\nwant %s", got, wantState)
+			}
+			if rec.DroppedOps != wantDropped {
+				t.Errorf("DroppedOps = %d, want %d", rec.DroppedOps, wantDropped)
+			}
+			if rec.CommittedBytes+rec.DiscardedBytes != int64(len(data)) {
+				t.Errorf("committed %d + discarded %d ≠ %d bytes",
+					rec.CommittedBytes, rec.DiscardedBytes, len(data))
+			}
+
+			// Committed-prefix oracle: the prefix plus a terminator is a
+			// well-formed snapshot holding exactly the recovered state.
+			prefix := append(append([]byte(nil), data[:rec.CommittedBytes]...), sectionEnd)
+			clean := NewSharded(features.NewDict(), 2)
+			if _, rec2, err := clean.ReadFromOptions(bytes.NewReader(prefix), LoadOptions{Strict: true}); err != nil || rec2 != nil {
+				t.Fatalf("committed prefix does not load strictly: err=%v rec=%+v", err, rec2)
+			}
+			if got, want := dumpState(clean), dumpState(back); got != want {
+				t.Errorf("committed prefix state diverges from recovered state")
+			}
+
+			// RepairSnapshotTail makes the file itself well-formed again.
+			mf := &memFile{b: append([]byte(nil), data...)}
+			if err := RepairSnapshotTail(mf, rec); err != nil {
+				t.Fatal(err)
+			}
+			repaired := NewSharded(features.NewDict(), 2)
+			if _, rec3, err := repaired.ReadFromOptions(bytes.NewReader(mf.b), LoadOptions{Strict: true}); err != nil || rec3 != nil {
+				t.Fatalf("repaired snapshot does not load strictly: err=%v rec=%+v", err, rec3)
+			}
+			if got, want := dumpState(repaired), dumpState(back); got != want {
+				t.Errorf("repaired state diverges from recovered state")
 			}
 		})
 	}
-	check("truncated-terminator", good[:len(good)-1])
-	check("truncated-journal", good[:len(good)-4])
+	// A complete, CRC-valid journal section counts as committed even when
+	// the crash ate the trailing terminator — the delta is fully present.
+	check("truncated-terminator", good[:len(good)-1], postAppend, 0)
+	check("truncated-journal", good[:len(good)-4], preAppend, 1)
 	flip := append([]byte(nil), good...)
 	flip[len(flip)-3] ^= 0x40 // inside the journal body → CRC mismatch
-	check("bitflip", flip)
+	check("bitflip", flip, preAppend, 1)
+	// Corruption in the *base* (a segment byte) still fails hard even in
+	// recovery mode: only the journal tail is salvageable.
+	seg := append([]byte(nil), good...)
+	seg[len(base.Bytes())/2] ^= 0x10
+	broken := NewSharded(features.NewDict(), 2)
+	if _, rec, err := broken.ReadFromOptions(bytes.NewReader(seg), LoadOptions{}); err == nil {
+		t.Errorf("base corruption recovered (rec=%+v); want hard failure", rec)
+	}
 }

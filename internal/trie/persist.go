@@ -72,6 +72,34 @@ package trie
 //
 // The byte-level trie (Walk order, NodeCount) is not serialised: it is a
 // pure function of the key set and is rebuilt during load.
+//
+// # Durability & crash safety
+//
+// The format splits into a *base* (header, dictionary, segments) and the
+// trailing *section stream* (journals + terminator), and the two have
+// different failure contracts:
+//
+//   - Base corruption always fails the load hard (ErrCorrupt): the base is
+//     written only by full saves, which callers make atomic
+//     (persistio.AtomicWriteFile / AtomicRewriter), so a damaged base
+//     means external corruption, not a torn write — nothing can be
+//     salvaged safely.
+//   - Section-stream corruption is, by default, *recovered*: journal
+//     appends are the one in-place mutation of a snapshot file, so a
+//     crash mid-append legitimately leaves a valid prefix followed by a
+//     torn final section (or just a missing terminator). ReadFrom loads
+//     every fully-committed journal section, drops the torn tail, and
+//     reports a TailRecovery describing what was discarded; nothing of
+//     the torn section is applied (sections decode fully before any
+//     replay). LoadOptions.Strict restores the historical
+//     fail-on-anything behavior.
+//
+// A recovered load leaves the *file* untouched; callers that own the file
+// repair it with RepairSnapshotTail (truncate to the committed prefix,
+// re-write the terminator, fsync) so the next AppendJournalSection finds
+// a well-formed snapshot. Writers fsync after the bytes that commit an
+// operation: full saves sync before their rename (persistio), journal
+// appends sync after the new terminator lands (index.AppendIndexDelta).
 
 import (
 	"bufio"
@@ -279,15 +307,52 @@ func (c *countingScanner) ReadByte() (byte, error) {
 	return b, err
 }
 
-// ReadFrom replaces the trie's contents with a snapshot previously written
-// by WriteTo, implementing io.ReaderFrom; segment decodes run on one worker
-// per CPU. See ReadFromWorkers for the full contract.
-func (t *Trie) ReadFrom(r io.Reader) (int64, error) {
-	return t.ReadFromWorkers(r, 0)
+// LoadOptions configures a snapshot load.
+type LoadOptions struct {
+	// Workers is the segment-decode parallelism (≤ 0 selects GOMAXPROCS;
+	// the decode is deterministic at any worker count).
+	Workers int
+	// Strict fails the load on *any* structural damage, including a torn
+	// trailing journal section that the default mode would recover from.
+	Strict bool
 }
 
-// ReadFromWorkers is ReadFrom with an explicit decode parallelism (≤ 0
-// selects GOMAXPROCS; the decode is deterministic at any worker count).
+// TailRecovery reports a salvaged snapshot tail: the load succeeded by
+// dropping a torn trailing portion of the journal section stream (the
+// aftermath of a crash mid-append). Offsets are relative to the start of
+// the trie snapshot within the stream handed to ReadFrom; envelope-level
+// loaders translate them to absolute file offsets.
+type TailRecovery struct {
+	// CommittedBytes is the length of the valid snapshot prefix — the
+	// base plus every fully-committed journal section, *excluding* the
+	// section terminator. A file truncated to this length plus a
+	// terminator byte is a well-formed snapshot holding exactly the
+	// loaded state (RepairSnapshotTail performs that repair).
+	CommittedBytes int64
+	// DiscardedBytes counts the torn tail bytes dropped beyond the
+	// committed prefix.
+	DiscardedBytes int64
+	// DroppedOps is the best-effort count of mutation ops the torn
+	// section claimed to carry (0 when its header was unreadable).
+	DroppedOps int
+}
+
+// ReadFrom replaces the trie's contents with a snapshot previously written
+// by WriteTo, implementing io.ReaderFrom; segment decodes run on one worker
+// per CPU and a torn journal tail is recovered (see ReadFromOptions for
+// the full contract; TailRecovery reports whether one was).
+func (t *Trie) ReadFrom(r io.Reader) (int64, error) {
+	n, _, err := t.ReadFromOptions(r, LoadOptions{})
+	return n, err
+}
+
+// ReadFromWorkers is ReadFrom with an explicit decode parallelism.
+func (t *Trie) ReadFromWorkers(r io.Reader, workers int) (int64, error) {
+	n, _, err := t.ReadFromOptions(r, LoadOptions{Workers: workers})
+	return n, err
+}
+
+// ReadFromOptions is the full-contract snapshot load.
 //
 // The trie adopts the *saved* shard layout — use Reshard afterwards to
 // override it; sharding never changes observable behaviour. The snapshot's
@@ -296,40 +361,53 @@ func (t *Trie) ReadFrom(r io.Reader) (int64, error) {
 // a non-empty one the postings are remapped to the freshly assigned IDs.
 // Any previous postings of t are discarded.
 //
+// Corruption in the base (header, dictionary, segments) fails the load
+// with ErrCorrupt. A torn *trailing* journal section — the signature of a
+// crash mid-append — is recovered unless opt.Strict: the load succeeds
+// with every fully-committed section replayed, the torn tail is consumed
+// and discarded, and the returned *TailRecovery (also available from
+// Trie.TailRecovery until the next load) describes the damage. The byte
+// count covers everything consumed, including a discarded tail.
+//
 // If r is not an io.ByteReader it is wrapped in a buffered reader, which
 // may read past the snapshot's end; pass a bufio.Reader (or bytes.Reader)
 // when trailing data matters.
-func (t *Trie) ReadFromWorkers(r io.Reader, workers int) (int64, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+func (t *Trie) ReadFromOptions(r io.Reader, opt LoadOptions) (int64, *TailRecovery, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
 	}
 	cr := &countingScanner{r: asByteScanner(r)}
-	err := t.readFrom(cr, workers)
-	return cr.n, err
+	rec, err := t.readFrom(cr, opt)
+	return cr.n, rec, err
 }
 
-func (t *Trie) readFrom(cr *countingScanner, workers int) error {
+// TailRecovery returns the recovery report of the last ReadFrom into this
+// trie, or nil when that load was clean (or the trie was never loaded).
+func (t *Trie) TailRecovery() *TailRecovery { return t.recovered }
+
+func (t *Trie) readFrom(cr *countingScanner, opt LoadOptions) (*TailRecovery, error) {
+	workers := opt.Workers
 	var magic [len(persistMagic)]byte
 	if _, err := io.ReadFull(cr, magic[:]); err != nil {
-		return fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
 	}
 	if string(magic[:]) != persistMagic {
-		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
 	}
 	version, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return fmt.Errorf("%w: reading version: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading version: %v", ErrCorrupt, err)
 	}
 	if version < 1 || version > persistVersion {
-		return fmt.Errorf("trie: snapshot version %d unsupported (this build reads ≤ %d)", version, persistVersion)
+		return nil, fmt.Errorf("trie: snapshot version %d unsupported (this build reads ≤ %d)", version, persistVersion)
 	}
 	savedShards, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return fmt.Errorf("%w: reading shard count: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading shard count: %v", ErrCorrupt, err)
 	}
 	k := int(savedShards)
 	if k < 1 || k > maxShards || k&(k-1) != 0 {
-		return fmt.Errorf("%w: shard count %d not a power of two in [1, %d]", ErrCorrupt, k, maxShards)
+		return nil, fmt.Errorf("%w: shard count %d not a power of two in [1, %d]", ErrCorrupt, k, maxShards)
 	}
 
 	// Dictionary: intern the saved keys in ID order, building the old→new
@@ -338,7 +416,7 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	// parallel decode below.
 	nKeys, err := binary.ReadUvarint(cr)
 	if err != nil || nKeys > maxDictLen {
-		return fmt.Errorf("%w: dictionary size", ErrCorrupt)
+		return nil, fmt.Errorf("%w: dictionary size", ErrCorrupt)
 	}
 	// remap grows as keys actually arrive, so a lying count cannot force a
 	// large upfront allocation.
@@ -348,14 +426,14 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	for i := uint64(0); i < nKeys; i++ {
 		klen, err := binary.ReadUvarint(cr)
 		if err != nil || klen > maxKeyLen {
-			return fmt.Errorf("%w: dictionary key length", ErrCorrupt)
+			return nil, fmt.Errorf("%w: dictionary key length", ErrCorrupt)
 		}
 		if cap(kbuf) < int(klen) {
 			kbuf = make([]byte, klen)
 		}
 		kbuf = kbuf[:klen]
 		if _, err := io.ReadFull(cr, kbuf); err != nil {
-			return fmt.Errorf("%w: reading dictionary key: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: reading dictionary key: %v", ErrCorrupt, err)
 		}
 		id := t.dict.Intern(string(kbuf))
 		remap = append(remap, id)
@@ -370,7 +448,7 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	for s := 0; s < k; s++ {
 		body, err := readSection(cr, fmt.Sprintf("segment %d", s))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		segs[s] = body
 	}
@@ -378,33 +456,65 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	// Version ≥ 2 snapshots carry a trailing section stream. Read and
 	// decode every journal section before installing anything, so a corrupt
 	// journal fails the load with the trie untouched (apart from dictionary
-	// interning, as documented).
+	// interning, as documented). A structural failure anywhere in the
+	// stream marks everything from the last fully-committed section onward
+	// as a torn tail: fatal under opt.Strict, recovered otherwise (the
+	// crash-mid-append signature — see the Durability section above).
 	type journalRec struct {
 		stamp JournalStamp
 		ops   []mutOp
 	}
 	var journals []journalRec
+	var rec *TailRecovery
 	if version >= 2 {
-		for {
+		committed := cr.n // end of the valid prefix (terminator excluded)
+		fail := func(dropped []byte, cause error) error {
+			if opt.Strict {
+				return cause
+			}
+			rec = &TailRecovery{CommittedBytes: committed, DroppedOps: journalOpCount(dropped)}
+			return nil
+		}
+		for rec == nil {
 			tag, err := cr.ReadByte()
 			if err != nil {
-				return fmt.Errorf("%w: reading section tag: %v", ErrCorrupt, err)
+				if err := fail(nil, fmt.Errorf("%w: reading section tag: %v", ErrCorrupt, err)); err != nil {
+					return nil, err
+				}
+				break
 			}
 			if tag == sectionEnd {
 				break
 			}
 			if tag != sectionJournal {
-				return fmt.Errorf("%w: unknown section tag %q", ErrCorrupt, tag)
+				if err := fail(nil, fmt.Errorf("%w: unknown section tag %q", ErrCorrupt, tag)); err != nil {
+					return nil, err
+				}
+				break
 			}
-			body, err := readSection(cr, "journal")
+			body, partial, err := readSectionPartial(cr, "journal")
 			if err != nil {
-				return err
+				if err := fail(partial, err); err != nil {
+					return nil, err
+				}
+				break
 			}
 			stamp, ops, err := decodeJournalBody(body)
 			if err != nil {
-				return err
+				if err := fail(body, err); err != nil {
+					return nil, err
+				}
+				break
 			}
 			journals = append(journals, journalRec{stamp: stamp, ops: ops})
+			committed = cr.n
+		}
+		if rec != nil {
+			// Consume the rest of the torn tail so the byte count (and a
+			// combined-snapshot loader's stream position) reflects that
+			// nothing after the committed prefix is trustworthy.
+			_, _ = io.Copy(io.Discard, cr)
+			rec.DiscardedBytes = cr.n - committed
 		}
 	}
 
@@ -431,7 +541,7 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 		})
 		for s, err := range errs {
 			if err != nil {
-				return fmt.Errorf("segment %d: %w", s, err)
+				return nil, fmt.Errorf("segment %d: %w", s, err)
 			}
 		}
 	} else {
@@ -439,7 +549,7 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 		for s := 0; s < k; s++ {
 			ids, err := decodeSegment(segs[s], staged, remap, 0, 0, allowEmpty)
 			if err != nil {
-				return fmt.Errorf("segment %d: %w", s, err)
+				return nil, fmt.Errorf("segment %d: %w", s, err)
 			}
 			perSeg[s] = ids
 		}
@@ -456,6 +566,7 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	t.nodes = 0
 	t.dead = nil
 	t.stamp = nil
+	t.recovered = rec
 	for _, ids := range perSeg {
 		for _, id := range ids {
 			t.insertPath(t.dict.Key(id), id)
@@ -466,7 +577,7 @@ func (t *Trie) readFrom(cr *countingScanner, workers int) error {
 	for _, j := range journals {
 		t.replayJournal(j.stamp, j.ops)
 	}
-	return nil
+	return rec, nil
 }
 
 // readSection reads one length-prefixed CRC-guarded block (segments and
@@ -491,8 +602,32 @@ func readSection(cr *countingScanner, what string) ([]byte, error) {
 	return body, nil
 }
 
+// readSectionPartial is readSection for the recovery-aware section
+// stream: on failure it additionally returns whatever body bytes were
+// readable, so the recovery report can count the ops a torn section
+// claimed to carry.
+func readSectionPartial(cr *countingScanner, what string) (body, partial []byte, err error) {
+	secLen, err := binary.ReadUvarint(cr)
+	if err != nil || secLen > maxSegmentLen {
+		return nil, nil, fmt.Errorf("%w: %s length", ErrCorrupt, what)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr, crcBuf[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: %s checksum: %v", ErrCorrupt, what, err)
+	}
+	body, rerr := readFullCapped(cr, secLen)
+	if rerr != nil {
+		return nil, body, fmt.Errorf("%w: %s body: %v", ErrCorrupt, what, rerr)
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return nil, body, fmt.Errorf("%w: %s CRC mismatch", ErrCorrupt, what)
+	}
+	return body, nil, nil
+}
+
 // readFullCapped reads exactly n bytes, growing the buffer in bounded
-// chunks so a lying length field costs at most the bytes actually present.
+// chunks so a lying length field costs at most the bytes actually
+// present. On error the bytes read so far are returned alongside it.
 func readFullCapped(r io.Reader, n uint64) ([]byte, error) {
 	const chunk = 1 << 20
 	buf := make([]byte, 0, min(n, chunk))
@@ -500,8 +635,9 @@ func readFullCapped(r io.Reader, n uint64) ([]byte, error) {
 		next := min(n-uint64(len(buf)), chunk)
 		start := len(buf)
 		buf = append(buf, make([]byte, next)...)
-		if _, err := io.ReadFull(r, buf[start:]); err != nil {
-			return nil, err
+		m, err := io.ReadFull(r, buf[start:])
+		if err != nil {
+			return buf[:start+m], err
 		}
 	}
 	return buf, nil

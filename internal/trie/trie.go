@@ -102,6 +102,10 @@ type Trie struct {
 	// replayed into this trie by ReadFrom (nil when the snapshot had no
 	// journal sections); see journal.go.
 	stamp *JournalStamp
+
+	// recovered is the tail-recovery report of the last ReadFrom (nil
+	// when that load was clean); see persist.go's durability section.
+	recovered *TailRecovery
 }
 
 // maxShards bounds the shard count: beyond this the per-shard maps are too

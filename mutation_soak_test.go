@@ -192,7 +192,7 @@ func TestMutationSoakDifferential(t *testing.T) {
 						if err != nil {
 							t.Fatal(err)
 						}
-						err = loaded.LoadIndex(lf)
+						_, err = loaded.LoadIndex(lf)
 						lf.Close()
 						if err != nil {
 							t.Fatalf("step %d: loading journaled index: %v", step, err)

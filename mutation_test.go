@@ -310,7 +310,7 @@ func TestRejectedRemovalLeavesNoDeltaTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = fresh.LoadIndex(lf)
+	_, err = fresh.LoadIndex(lf)
 	lf.Close()
 	if err != nil {
 		t.Fatal(err)

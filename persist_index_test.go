@@ -110,7 +110,7 @@ func TestEngineSnapshotRejectsWrongDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng2.LoadIndex(bytes.NewReader(idxSnap.Bytes())); !errors.Is(err, index.ErrDatasetMismatch) {
+	if _, err := eng2.LoadIndex(bytes.NewReader(idxSnap.Bytes())); !errors.Is(err, index.ErrDatasetMismatch) {
 		t.Errorf("LoadIndex on wrong dataset: got %v, want ErrDatasetMismatch", err)
 	}
 	if _, err := LoadEngine(bytes.NewReader(engSnap.Bytes()), other, EngineOptions{Method: GGSX}); !errors.Is(err, index.ErrDatasetMismatch) {
@@ -140,7 +140,7 @@ func TestEngineLoadIndexRebuildsCacheIndexes(t *testing.T) {
 	if err := eng.SaveIndex(&snap); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.LoadIndex(bytes.NewReader(snap.Bytes())); err != nil {
+	if _, err := eng.LoadIndex(bytes.NewReader(snap.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	res, err := eng.Query(context.Background(), q.Clone())
