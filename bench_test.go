@@ -1,4 +1,4 @@
-package igq
+package igq_test
 
 // One benchmark per table and figure of the paper's evaluation, wrapping
 // the experiment regenerators at a reduced scale (benchScale) so the whole
@@ -19,6 +19,7 @@ import (
 	"io"
 	"testing"
 
+	igq "repro"
 	"repro/internal/experiments"
 )
 
@@ -93,17 +94,18 @@ func BenchmarkAblationEviction(b *testing.B)  { runExperiment(b, "ablation-evict
 func BenchmarkAblationEngines(b *testing.B)   { runExperiment(b, "ablation-engines") }
 func BenchmarkAblationPartition(b *testing.B) { runExperiment(b, "ablation-partition") }
 func BenchmarkSupergraphSpeedup(b *testing.B) { runExperiment(b, "supergraph-speedup") }
+func BenchmarkServing(b *testing.B)           { runExperiment(b, "serving") }
 
 // End-to-end micro benchmark of the public API on a hierarchical stream:
 // the per-query cost a downstream user actually pays.
 func BenchmarkEngineQueryStream(b *testing.B) {
-	db := GenerateDataset(AIDSSpec().Scaled(0.005, 1))
-	eng, err := NewEngine(db, EngineOptions{Method: Grapes, CacheSize: 50, Window: 10})
+	db := igq.GenerateDataset(igq.AIDSSpec().Scaled(0.005, 1))
+	eng, err := igq.NewEngine(db, igq.EngineOptions{Method: igq.Grapes, CacheSize: 50, Window: 10})
 	if err != nil {
 		b.Fatal(err)
 	}
-	queries := GenerateWorkload(db, WorkloadSpec{
-		NumQueries: 64, GraphDist: Zipf, NodeDist: Zipf, Alpha: 1.4, Seed: 21,
+	queries := igq.GenerateWorkload(db, igq.WorkloadSpec{
+		NumQueries: 64, GraphDist: igq.Zipf, NodeDist: igq.Zipf, Alpha: 1.4, Seed: 21,
 	})
 	ctx := context.Background()
 	b.ResetTimer()
@@ -119,13 +121,13 @@ func BenchmarkEngineQueryStream(b *testing.B) {
 // with -cpu 1,2,4,8 to observe scaling (the snapshot-isolated query path
 // serializes only at window flushes).
 func BenchmarkEngineQueryParallel(b *testing.B) {
-	db := GenerateDataset(AIDSSpec().Scaled(0.005, 1))
-	eng, err := NewEngine(db, EngineOptions{Method: Grapes, CacheSize: 50, Window: 10})
+	db := igq.GenerateDataset(igq.AIDSSpec().Scaled(0.005, 1))
+	eng, err := igq.NewEngine(db, igq.EngineOptions{Method: igq.Grapes, CacheSize: 50, Window: 10})
 	if err != nil {
 		b.Fatal(err)
 	}
-	queries := GenerateWorkload(db, WorkloadSpec{
-		NumQueries: 64, GraphDist: Zipf, NodeDist: Zipf, Alpha: 1.4, Seed: 21,
+	queries := igq.GenerateWorkload(db, igq.WorkloadSpec{
+		NumQueries: 64, GraphDist: igq.Zipf, NodeDist: igq.Zipf, Alpha: 1.4, Seed: 21,
 	})
 	ctx := context.Background()
 	// Warm the cache once so every parallel worker exercises the steady

@@ -1,0 +1,177 @@
+// Command igqserve hosts an iGQ engine behind the HTTP/JSON serving
+// front-end: bounded-admission queries, NDJSON streaming, live dataset
+// mutation, Prometheus-style metrics, and graceful drain with a shutdown
+// snapshot.
+//
+// Usage:
+//
+//	igqserve -db dataset.db [-addr :7468] [-method grapes] [-super]
+//	         [-cache 500 -window 100] [-workers N -queue N]
+//	         [-snapshot engine.snap] [-delta index.idx -maintain-every 30s]
+//	         [-timeout 10s -max-timeout 1m]
+//
+// The serving surface (see internal/server):
+//
+//	POST /query         one query; 429 when the admission queue is full
+//	POST /query/stream  NDJSON in, NDJSON out, bounded by execution slots
+//	POST /graphs/add    append graphs (JSON), O(delta) index maintenance
+//	POST /graphs/remove remove graphs by dataset position
+//	GET  /stats         serving + engine counters (JSON)
+//	GET  /metrics       the same counters, Prometheus text format
+//	POST /save          write the engine snapshot now
+//	GET  /healthz       liveness
+//
+// If -snapshot names an existing file the engine is restored from it
+// (index and query cache, no rebuild); otherwise the index is built and
+// the path is used for the shutdown snapshot. SIGINT/SIGTERM trigger a
+// graceful shutdown: in-flight queries drain, then the snapshot is
+// written atomically.
+//
+// -super additionally hosts a supergraph-containment engine on the same
+// dataset, served under mode=super and rebuilt after each mutation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	igq "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "dataset file (required)")
+		addr      = flag.String("addr", ":7468", "listen address")
+		method    = flag.String("method", "grapes", "method: grapes | ggsx | ctindex")
+		super     = flag.Bool("super", false, "also host a supergraph engine (mode=super)")
+		cache     = flag.Int("cache", 500, "iGQ cache size C")
+		window    = flag.Int("window", 100, "iGQ window size W")
+		workers   = flag.Int("workers", 0, "execution slots (0 = one per CPU)")
+		queue     = flag.Int("queue", 0, "admission slots beyond workers (0 = 4x workers)")
+		snapshot  = flag.String("snapshot", "", "engine snapshot path: restored at start if present, written on shutdown")
+		delta     = flag.String("delta", "", "index delta-journal lineage file for mutation persistence")
+		maintain  = flag.Duration("maintain-every", 30*time.Second, "journal maintenance interval (needs -delta)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "default per-query deadline (0 = none)")
+		maxTO     = flag.Duration("max-timeout", time.Minute, "cap on client-requested deadlines")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		quietLoad = flag.Bool("quiet", false, "suppress startup detail")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fatal("igqserve: -db is required")
+	}
+
+	opt := igq.EngineOptions{CacheSize: *cache, Window: *window}
+	switch strings.ToLower(*method) {
+	case "grapes":
+		opt.Method = igq.Grapes
+	case "ggsx":
+		opt.Method = igq.GGSX
+	case "ctindex":
+		opt.Method = igq.CTIndex
+	default:
+		fatal("igqserve: unknown method %q", *method)
+	}
+
+	db, err := igq.LoadGraphs(*dbPath)
+	if err != nil {
+		fatal("igqserve: loading dataset: %v", err)
+	}
+
+	t0 := time.Now()
+	var eng *igq.Engine
+	if *snapshot != "" {
+		if _, statErr := os.Stat(*snapshot); statErr == nil {
+			var rep igq.LoadReport
+			eng, rep, err = igq.LoadEngineFile(*snapshot, db, opt)
+			if err != nil {
+				fatal("igqserve: restoring snapshot: %v", err)
+			}
+			if rec := rep.RecoveredTail; rec != nil {
+				log.Printf("snapshot had a torn journal tail: dropped %d bytes / %d ops; repaired=%v",
+					rec.DiscardedBytes, rec.DroppedOps, rep.Repaired)
+			}
+			if !*quietLoad {
+				log.Printf("restored %s engine over %d graphs from %s in %v",
+					eng.MethodName(), len(db), *snapshot, time.Since(t0))
+			}
+		}
+	}
+	if eng == nil {
+		eng, err = igq.NewEngine(db, opt)
+		if err != nil {
+			fatal("igqserve: %v", err)
+		}
+		if !*quietLoad {
+			log.Printf("indexed %d graphs with %s in %v", len(db), eng.MethodName(), time.Since(t0))
+		}
+	}
+
+	cfg := server.Config{
+		Engine:         eng,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		SnapshotPath:   *snapshot,
+		DeltaPath:      *delta,
+		MaintainEvery:  *maintain,
+		Logf:           log.Printf,
+	}
+	if *super {
+		superOpt := igq.EngineOptions{Supergraph: true, CacheSize: *cache, Window: *window}
+		t := time.Now()
+		cfg.Super, err = igq.NewEngine(db, superOpt)
+		if err != nil {
+			fatal("igqserve: building supergraph engine: %v", err)
+		}
+		cfg.SuperOptions = superOpt
+		if !*quietLoad {
+			log.Printf("supergraph engine ready in %v", time.Since(t))
+		}
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		fatal("igqserve: %v", err)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("igqserve: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Printf("%s: draining (budget %v)", got, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fatal("igqserve: shutdown: %v", err)
+		}
+		if *snapshot != "" {
+			log.Printf("drained; snapshot written to %s", *snapshot)
+		} else {
+			log.Printf("drained")
+		}
+	case err := <-serveErr:
+		fatal("igqserve: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

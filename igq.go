@@ -137,6 +137,36 @@
 // every persistence operation is killed at every byte boundary and the
 // reload differentially compared against pre- and post-op oracles.
 //
+// # Serving
+//
+// The streaming primitive is Engine.QueryStream: feed query graphs on a
+// channel, receive BatchResults on another, with a bounded worker pool and
+// bounded buffering in between — close the input and drain the output, and
+// backpressure propagates to the producer through the channel. QueryBatch
+// and QueryBatchCtx are thin wrappers that feed a slice through the same
+// pipeline, so batch and stream answers are identical by construction.
+//
+// internal/server (binaries cmd/igqserve and cmd/igqload) puts that
+// pipeline on the network as an HTTP/JSON API: unary queries with bounded
+// admission (a full queue answers 429 immediately — the server never
+// queues unboundedly), NDJSON streaming where each in-flight query holds a
+// physical execution slot (a producer that outruns the server blocks in
+// TCP, not in memory), per-request deadlines mapped onto context
+// cancellation (an expired query aborts mid-verification and leaves no
+// trace in the cache), live dataset mutation with O(delta) journal
+// persistence and timer-driven compaction, Prometheus-style /metrics over
+// EngineStats, and graceful drain: SIGTERM finishes in-flight queries,
+// then writes the engine snapshot atomically, so the next start resumes
+// with everything the process learned. The serving path inherits the
+// engine's panic isolation — a query that panics its method answers 500
+// while the server keeps serving. The "serving" experiment and CI job gate
+// the whole lifecycle, including answer identity against cache-free
+// oracles and snapshot restoration after drain.
+//
+// EngineOptions.WrapMethod is the instrumentation seam the serving tests
+// lean on: it intercepts the built index method so tests can inject
+// latency or faults without touching internal packages.
+//
 // QuerySubgraph and QuerySupergraph are deprecated synonyms for Query; new
 // code should pass a context and use Query.
 package igq
@@ -258,6 +288,15 @@ type EngineOptions struct {
 	// sequential, Grapes its Threads, cache rebuilds one per CPU). Any
 	// worker count builds a bit-identical index.
 	BuildWorkers int
+	// WrapMethod, when non-nil, wraps the freshly built dataset index
+	// before the engine starts using it — an instrumentation seam
+	// (latency probes, fault injection in serving tests). The argument and
+	// the return value are the engine's internal method interface; the
+	// wrapper must embed or delegate to the original so the optional
+	// capabilities it relies on (mutation, persistence) stay visible, and
+	// a return value that is not a method index fails NewEngine. Only
+	// NewEngine consults it; engines restored by LoadEngine are unwrapped.
+	WrapMethod func(m any) any
 }
 
 // Engine answers graph queries over a dataset, accelerated by iGQ. Safe
@@ -408,6 +447,13 @@ func NewEngine(db []*Graph, opt EngineOptions) (*Engine, error) {
 		return nil, err
 	}
 	m.Build(db)
+	if opt.WrapMethod != nil {
+		wrapped, ok := opt.WrapMethod(m).(index.Method)
+		if !ok {
+			return nil, errors.New("igq: WrapMethod returned a non-method value")
+		}
+		m = wrapped
+	}
 	e := &Engine{superQ: opt.Supergraph, opt: opt}
 	e.view.Store(&engineView{db: db, m: m})
 	if !opt.DisableCache {
@@ -852,6 +898,26 @@ func (e *Engine) AppendIndexDelta(f io.ReadWriteSeeker) error {
 	return dp.AppendDelta(f)
 }
 
+// MaintainIndexDelta is AppendIndexDelta plus idle compaction: it persists
+// any pending mutations and, even when nothing is pending, folds the
+// journals into a fresh compact base once their replay-weighted debt
+// crosses the compaction threshold. AppendIndexDelta checks compaction
+// *before* appending, so the last append of a mutation burst can leave the
+// file just over the threshold; a process that then goes quiet would carry
+// that journal debt until its next mutation. Serving deployments call this
+// from a maintenance timer (cmd/igqserve's -maintain-every) and on
+// graceful shutdown. Returns whether f was modified.
+func (e *Engine) MaintainIndexDelta(f io.ReadWriteSeeker) (bool, error) {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	v := e.view.Load()
+	dm, ok := v.m.(index.DeltaMaintainable)
+	if !ok {
+		return false, fmt.Errorf("igq: method %s does not support index delta maintenance", v.m.Name())
+	}
+	return dm.MaintainDelta(f)
+}
+
 // Engine snapshot envelope: magic, version, flags, then the index snapshot
 // (self-delimiting — every section reads exactly its own bytes) followed
 // (when flagged) by the cache snapshot.
@@ -1038,54 +1104,149 @@ type BatchResult struct {
 	Err    error
 }
 
+// streamConfig is the resolved option set of one QueryStream call.
+type streamConfig struct {
+	workers  int
+	buffer   int
+	queryOpt []QueryOption
+}
+
+// StreamOption customises one QueryStream call.
+type StreamOption func(*streamConfig)
+
+// StreamWorkers bounds the number of queries QueryStream processes
+// concurrently (0 → one per runtime.GOMAXPROCS(0)).
+func StreamWorkers(n int) StreamOption { return func(c *streamConfig) { c.workers = n } }
+
+// StreamBuffer sets the capacity of the returned result channel (default
+// unbuffered). A buffer lets fast queries complete without waiting for a
+// slow consumer.
+func StreamBuffer(n int) StreamOption { return func(c *streamConfig) { c.buffer = n } }
+
+// StreamQueryOptions applies per-call Query options (WithoutCache,
+// WithoutAdmission) to every query of the stream.
+func StreamQueryOptions(opts ...QueryOption) StreamOption {
+	return func(c *streamConfig) { c.queryOpt = opts }
+}
+
+// QueryStream answers a continuous stream of queries: queries are accepted
+// from in as they arrive and outcomes are emitted on the returned channel
+// as they finish — the channel-fed core of the serving front-end, and the
+// primitive QueryBatch and QueryBatchCtx are built on. BatchResult.Index is
+// the arrival order (0 for the first query received); results are emitted
+// in completion order, which under concurrency is not arrival order.
+//
+// Up to StreamWorkers queries are in flight at once, each through the same
+// snapshot-isolated Query path any other caller uses — a stream runs
+// concurrently with other streams, single queries and dataset mutations.
+// The stream ends when in is closed and every accepted query has been
+// emitted, or when ctx is cancelled: in-flight queries then return ctx's
+// error promptly (the per-query cancellation path), queries not yet read
+// from in are never accepted, and the result channel always closes.
+//
+// The caller must drain the returned channel until it closes; results are
+// never dropped, so an abandoned receiver would block the workers (close
+// in and drain to release them).
+func (e *Engine) QueryStream(ctx context.Context, in <-chan *Graph, opts ...StreamOption) <-chan BatchResult {
+	var cfg streamConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(chan BatchResult, cfg.buffer)
+	type job struct {
+		i int
+		g *Graph
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := e.Query(ctx, j.g, cfg.queryOpt...)
+				out <- BatchResult{Index: j.i, Result: r, Err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(out)
+		// The feeder assigns arrival indexes and stops at cancellation —
+		// queries still unread from in are simply never accepted. Workers
+		// then drain their remaining jobs (each a prompt ctx-error return)
+		// and the output closes deterministically.
+		i := 0
+	feed:
+		for {
+			select {
+			case <-ctx.Done():
+				break feed
+			case g, ok := <-in:
+				if !ok {
+					break feed
+				}
+				select {
+				case jobs <- job{i, g}:
+					i++
+				case <-ctx.Done():
+					break feed
+				}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}()
+	return out
+}
+
 // QueryBatch answers many queries, returning results in input order.
 // Equivalent to QueryBatchCtx with a background context.
 func (e *Engine) QueryBatch(queries []*Graph, workers int) []BatchResult {
 	return e.QueryBatchCtx(context.Background(), queries, workers)
 }
 
-// QueryBatchCtx fans the batch out across workers goroutines (0 → one per
-// runtime.GOMAXPROCS(0)), cache enabled or not: the engine's snapshot-
-// isolated query path lets every worker overlap its filtering, cache
-// probes and verification with the others', with window flushes as the
-// only serialization points. Results are in input order.
+// QueryBatchCtx answers the batch through the QueryStream pipeline across
+// workers goroutines (0 → one per runtime.GOMAXPROCS(0)), cache enabled or
+// not: the engine's snapshot-isolated query path lets every worker overlap
+// its filtering, cache probes and verification with the others', with
+// window flushes as the only serialization points. Results are in input
+// order (the stream's completion-order results are re-indexed).
 //
 // Cancellation: queries not yet finished when ctx is cancelled report
 // ctx's error in their BatchResult; already-completed results are kept.
 func (e *Engine) QueryBatchCtx(ctx context.Context, queries []*Graph, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if len(queries) == 0 {
+		return out
 	}
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	runOne := func(i int) {
-		r, err := e.Query(ctx, queries[i])
-		out[i] = BatchResult{Index: i, Result: r, Err: err}
-	}
-	if workers <= 1 || len(queries) < 2 {
-		for i := range queries {
-			runOne(i)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				runOne(i)
+	in := make(chan *Graph)
+	go func() {
+		defer close(in)
+		for _, q := range queries {
+			select {
+			case in <- q:
+			case <-ctx.Done():
+				return
 			}
-		}()
+		}
+	}()
+	seen := make([]bool, len(queries))
+	for br := range e.QueryStream(ctx, in, StreamWorkers(workers)) {
+		out[br.Index] = br
+		seen[br.Index] = true
 	}
-	for i := range queries {
-		next <- i
+	// Queries the cancelled stream never accepted still owe a result.
+	for i := range out {
+		if !seen[i] {
+			out[i] = BatchResult{Index: i, Err: context.Cause(ctx)}
+		}
 	}
-	close(next)
-	wg.Wait()
 	return out
 }
 

@@ -133,13 +133,13 @@ func TestEntryCreditAccounting(t *testing.T) {
 	e := newEntry(1, tinyGraph(), nil, 0)
 	e.creditHit(4, []int{10, 20, 30}, 5)
 	e.creditHit(4, nil, 5) // a hit that removed nothing still counts as a hit
-	if e.hits != 2 {
-		t.Errorf("hits = %d, want 2", e.hits)
+	if got := e.hits.Load(); got != 2 {
+		t.Errorf("hits = %d, want 2", got)
 	}
-	if e.removed != 3 {
-		t.Errorf("removed = %d, want 3", e.removed)
+	if got := e.removed.Load(); got != 3 {
+		t.Errorf("removed = %d, want 3", got)
 	}
-	if math.IsInf(e.logCost, -1) {
+	if math.IsInf(e.loadLogCost(), -1) {
 		t.Error("logCost still -Inf after credited removals")
 	}
 }

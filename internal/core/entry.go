@@ -3,34 +3,45 @@ package core
 import (
 	"math"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
 
 // entry is one cached query graph with its answer set and the replacement-
 // policy metadata of the paper's §5.1.
+//
+// The metadata fields (hits, removed, logCost) are per-entry atomic credit
+// cells: queries fold their buffered §5.1 credits into them lock-free at
+// commit time, so the commit section scales with the number of cores
+// instead of serialising every query on one metadata mutex. Readers
+// (eviction planning, Save) sample the cells atomically; they need no lock
+// because the §5.1 counters are a replacement heuristic, not answers — any
+// torn read across *different* entries still yields a valid utility
+// ranking of some interleaving.
 type entry struct {
 	id     int32        // stable slot id used by the cache-side indexes
 	g      *graph.Graph // the query graph (Igraphs store)
 	answer []int32      // Answer(G): sorted dataset graph ids
 	fp     uint64       // structural fingerprint for fast identical checks
 
-	insertedAt int64   // query sequence number at insertion (defines M(g))
-	hits       int64   // H(g): times found as sub/supergraph of a query
-	removed    int64   // R(g): candidates pruned because of this entry
-	logCost    float64 // ln C(g): log-sum-exp of alleviated test costs
+	insertedAt int64         // query sequence number at insertion (defines M(g))
+	hits       atomic.Int64  // H(g): times found as sub/supergraph of a query
+	removed    atomic.Int64  // R(g): candidates pruned because of this entry
+	logCost    atomic.Uint64 // ln C(g) as float64 bits: log-sum-exp of alleviated test costs
 }
 
 // newEntry builds a cache entry; logCost starts at -Inf (C(g) = 0).
 func newEntry(id int32, g *graph.Graph, answer []int32, seq int64) *entry {
-	return &entry{
+	e := &entry{
 		id:         id,
 		g:          g,
 		answer:     append([]int32(nil), answer...),
 		fp:         graph.Fingerprint(g),
 		insertedAt: seq,
-		logCost:    math.Inf(-1),
 	}
+	e.logCost.Store(math.Float64bits(math.Inf(-1)))
+	return e
 }
 
 // withAnswer returns a copy of e carrying a different answer set — the
@@ -38,9 +49,28 @@ func newEntry(id int32, g *graph.Graph, answer []int32, seq int64) *entry {
 // removed, logCost) carries over by value; the graph and fingerprint are
 // shared (the cached query itself is untouched by dataset mutation).
 func (e *entry) withAnswer(answer []int32) *entry {
-	ne := *e
-	ne.answer = answer
-	return &ne
+	ne := &entry{
+		id:         e.id,
+		g:          e.g,
+		answer:     answer,
+		fp:         e.fp,
+		insertedAt: e.insertedAt,
+	}
+	ne.hits.Store(e.hits.Load())
+	ne.removed.Store(e.removed.Load())
+	ne.logCost.Store(e.logCost.Load())
+	return ne
+}
+
+// loadLogCost returns ln C(g).
+func (e *entry) loadLogCost() float64 { return math.Float64frombits(e.logCost.Load()) }
+
+// setMetadata overwrites the credit cells — restore (Load) and test setup;
+// the caller must own the entry exclusively.
+func (e *entry) setMetadata(hits, removed int64, logCost float64) {
+	e.hits.Store(hits)
+	e.removed.Store(removed)
+	e.logCost.Store(math.Float64bits(logCost))
 }
 
 // logUtility returns ln U(g) = ln C(g) − ln M(g) at sequence number seq.
@@ -51,7 +81,7 @@ func (e *entry) logUtility(seq int64) float64 {
 	if m < 1 {
 		m = 1
 	}
-	return e.logCost - math.Log(float64(m))
+	return e.loadLogCost() - math.Log(float64(m))
 }
 
 // creditHit records a hit that pruned the given candidate dataset graphs
@@ -65,14 +95,21 @@ func (e *entry) creditHit(queryNodes int, targetSizes []int, labels int) {
 	e.applyCredit(int64(len(targetSizes)), delta)
 }
 
-// applyCredit folds one buffered hit into the entry's §5.1 metadata:
-// removed candidates and the pre-combined log-sum-exp cost delta. Callers
-// must hold the owning IGQ's metadata mutex (or own the entry exclusively,
-// as tests and Load do).
+// applyCredit folds one buffered hit into the entry's §5.1 credit cells:
+// removed candidates and the pre-combined log-sum-exp cost delta. Lock-free
+// and safe from any number of goroutines — the integer counters are atomic
+// adds and the cost cell a CAS fold (LogSumExp is commutative, so any
+// interleaving accumulates the same credit up to float rounding).
 func (e *entry) applyCredit(removed int64, logCostDelta float64) {
-	e.hits++
-	e.removed += removed
-	e.logCost = LogSumExp(e.logCost, logCostDelta)
+	e.hits.Add(1)
+	e.removed.Add(removed)
+	for {
+		old := e.logCost.Load()
+		merged := math.Float64bits(LogSumExp(math.Float64frombits(old), logCostDelta))
+		if old == merged || e.logCost.CompareAndSwap(old, merged) {
+			return
+		}
+	}
 }
 
 // sortIDs sorts a slice of graph ids ascending, in place, returning it.

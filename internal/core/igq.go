@@ -603,10 +603,11 @@ func (q *IGQ) pendCredit(sc *queryScratch, db []*graph.Graph, e *entry, queryNod
 	sc.credits = append(sc.credits, pendingCredit{e: e, removed: int64(len(prunedIDs)), logCost: delta})
 }
 
-// commit applies one query's buffered writes — §5.1 credits and (when admit
-// is set) the window admission — under the metadata mutex. This is the only
-// lock a non-flushing query ever takes, held for O(hits) float updates plus
-// the window duplicate check.
+// commit applies one query's buffered writes. The §5.1 credits fold into
+// the per-entry atomic credit cells lock-free — a pure cache hit never
+// touches the metadata mutex at all, so the commit path scales with the
+// number of cores. Only admission (a structural write: window append,
+// possible flush) still takes q.mu.
 //
 // dbGen is the dataset generation the query ran against. If a dataset
 // mutation committed while the query was in flight, its answer references
@@ -615,15 +616,15 @@ func (q *IGQ) pendCredit(sc *queryScratch, db []*graph.Graph, e *entry, queryNod
 // credits still apply where their entries survive (metadata heuristics,
 // not answers); credits against superseded entry clones are simply lost.
 func (q *IGQ) commit(sc *queryScratch, dbGen int64, g *graph.Graph, qfp uint64, answer []int32, admit bool) {
-	if len(sc.credits) == 0 && !admit {
+	for _, c := range sc.credits {
+		c.e.applyCredit(c.removed, c.logCost)
+	}
+	if !admit {
 		return
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for _, c := range sc.credits {
-		c.e.applyCredit(c.removed, c.logCost)
-	}
-	if admit && q.snap.Load().dbGen == dbGen {
+	if q.snap.Load().dbGen == dbGen {
 		q.admitLocked(g, qfp, answer)
 	}
 }
@@ -795,7 +796,7 @@ func (q *IGQ) victimOrder(entries []*entry) []*entry {
 			if m < 1 {
 				m = 1
 			}
-			return float64(e.hits) / float64(m)
+			return float64(e.hits.Load()) / float64(m)
 		}
 		out := append([]*entry(nil), entries...)
 		sortEntriesBy(out, func(a, b *entry) bool {

@@ -93,9 +93,9 @@ func (q *IGQ) Save(w io.Writer) error {
 			Labels:     e.g.Labels(),
 			Answer:     append([]int32(nil), e.answer...),
 			InsertedAt: e.insertedAt,
-			Hits:       e.hits,
-			Removed:    e.removed,
-			LogCost:    e.logCost,
+			Hits:       e.hits.Load(),
+			Removed:    e.removed.Load(),
+			LogCost:    e.loadLogCost(),
 		}
 		e.g.Edges(func(u, v int) {
 			we.Edges = append(we.Edges, [2]int32{int32(u), int32(v)})
@@ -153,9 +153,7 @@ func Load(r io.Reader, m index.Method, db []*graph.Graph, opt Options) (*IGQ, er
 			}
 		}
 		ent := newEntry(we.ID, g, we.Answer, we.InsertedAt)
-		ent.hits = we.Hits
-		ent.removed = we.Removed
-		ent.logCost = we.LogCost
+		ent.setMetadata(we.Hits, we.Removed, we.LogCost)
 		entries = append(entries, ent)
 	}
 	if over := len(entries) - q.opt.CacheSize; over > 0 {

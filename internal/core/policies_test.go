@@ -13,10 +13,10 @@ import (
 
 func entryWith(id int32, insertedAt, hits int64, credited bool) *entry {
 	e := newEntry(id, tinyGraph(), nil, insertedAt)
-	e.hits = hits
+	e.hits.Store(hits)
 	if credited {
 		e.creditHit(3, []int{50}, 5)
-		e.hits = hits // creditHit bumped it; restore the intended count
+		e.hits.Store(hits) // creditHit bumped it; restore the intended count
 	}
 	return e
 }

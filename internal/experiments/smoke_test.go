@@ -51,6 +51,9 @@ func TestSmokeAblationPartition(t *testing.T) {
 func TestSmokeSupergraphSpeedup(t *testing.T) {
 	runSmoke(t, "supergraph-speedup", "uni-uni", "isotest.speedup")
 }
+func TestSmokeServing(t *testing.T) {
+	runSmoke(t, "serving", "unary mixed", "stream sub", "restored snapshot", "identical")
+}
 func TestSmokeBuildscale(t *testing.T) {
 	// runSmoke's substring asserts would be vacuous here: the experiment's
 	// footer always contains "identical". Assert the divergence marker is

@@ -203,3 +203,83 @@ func TestAppendDeltaCompaction(t *testing.T) {
 		t.Fatal("compacted snapshot diverges from rebuild")
 	}
 }
+
+// TestMaintainDeltaIdleCompaction pins the timer-hook contract: AppendDelta
+// checks compaction *before* appending, so one big batch against a tiny
+// base leaves the file over the threshold with nothing pending — debt that
+// previously sat until the next mutation. MaintainDelta must fold it down
+// with an empty pending set, and be a no-op once the debt is gone.
+func TestMaintainDeltaIdleCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db := []*graph.Graph{randomGraph(rng, 4, 0.4, 3), randomGraph(rng, 4, 0.4, 3)}
+	var cur index.Mutable = New(Options{MaxPathLen: 3, Shards: 2})
+	cur.Build(db)
+
+	path := filepath.Join(t.TempDir(), "m.idx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.(index.Persistable).SaveIndex(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// One large mutation burst, persisted as a single journal append: the
+	// pre-append compaction check sees zero journal bytes, so the append
+	// goes through and leaves the file well past the threshold.
+	gs := make([]*graph.Graph, 12)
+	for i := range gs {
+		gs[i] = randomGraph(rng, 6, 0.35, 3)
+	}
+	cur, cdb, err := cur.AppendGraphs(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.(index.DeltaPersistable).AppendDelta(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Idle maintenance with nothing pending must compact...
+	f, err = os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := cur.(index.DeltaMaintainable).MaintainDelta(f)
+	if err != nil {
+		t.Fatalf("MaintainDelta: %v", err)
+	}
+	if !changed {
+		t.Fatal("MaintainDelta left over-threshold journal debt in place")
+	}
+	// ...and a second call must find nothing to do.
+	changed, err = cur.(index.DeltaMaintainable).MaintainDelta(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("MaintainDelta modified an already-compacted snapshot")
+	}
+
+	loaded := New(Options{MaxPathLen: 3, Shards: 2})
+	lf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loaded.LoadIndex(lf, cdb)
+	lf.Close()
+	if err != nil {
+		t.Fatalf("loading maintained snapshot: %v", err)
+	}
+	ref := New(Options{MaxPathLen: 3, Shards: 2})
+	ref.Build(cdb)
+	if got, want := dumpTrie(loaded.tr), dumpTrie(ref.tr); got != want {
+		t.Fatal("maintained snapshot diverges from rebuild")
+	}
+}

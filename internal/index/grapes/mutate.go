@@ -86,3 +86,13 @@ func (x *Index) AppendDelta(f io.ReadWriteSeeker) error {
 	stamp := trie.JournalStamp{DBChecksum: index.DBChecksum(x.db), NumGraphs: len(x.db)}
 	return index.AppendIndexDelta(f, x.log, methodTag, stamp, x.writeIndex)
 }
+
+// MaintainDelta implements index.DeltaMaintainable: AppendDelta plus the
+// idle-compaction check, for timer-driven journal maintenance.
+func (x *Index) MaintainDelta(f io.ReadWriteSeeker) (bool, error) {
+	if x.db == nil {
+		return false, errors.New("grapes: MaintainDelta before Build")
+	}
+	stamp := trie.JournalStamp{DBChecksum: index.DBChecksum(x.db), NumGraphs: len(x.db)}
+	return index.MaintainIndexDelta(f, x.log, methodTag, stamp, x.writeIndex)
+}

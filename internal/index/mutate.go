@@ -69,6 +69,16 @@ type DeltaPersistable interface {
 	AppendDelta(f io.ReadWriteSeeker) error
 }
 
+// DeltaMaintainable extends DeltaPersistable with a timer/idleness hook:
+// MaintainDelta behaves like AppendDelta but also runs the compaction
+// check when no mutations are pending, so journal debt left behind by the
+// last append of a burst is folded down during quiet periods instead of
+// waiting for the next mutation. Reports whether the file was modified.
+type DeltaMaintainable interface {
+	DeltaPersistable
+	MaintainDelta(f io.ReadWriteSeeker) (bool, error)
+}
+
 // RemoveStep is one swap-removal step: the graph at Removed is deleted and
 // the graph then at SwappedFrom (the last position) takes its place.
 // SwappedFrom == Removed means the removed graph was itself last.
@@ -226,27 +236,44 @@ type truncater interface{ Truncate(int64) error }
 // compaction threshold, rewrites f as a fresh base via saveFull (which
 // must not touch the log). No-op when nothing is pending.
 func AppendIndexDelta(f io.ReadWriteSeeker, l *DeltaLog, methodTag string, stamp trie.JournalStamp, saveFull func(io.Writer) (int64, error)) error {
+	_, err := maintainIndexDelta(f, l, methodTag, stamp, saveFull, false)
+	return err
+}
+
+// MaintainIndexDelta is the timer/idleness maintenance hook: like
+// AppendIndexDelta it persists any pending mutations, but it *also* runs
+// the compaction check when nothing is pending. AppendIndexDelta alone has
+// a debt gap — its compaction check runs before the append, so the very
+// last append of a burst can push the journal past the threshold and the
+// debt then sits until the next mutation. A quiet process never mutates
+// again, so a server timer (or a graceful-shutdown save) calls this to fold
+// the journals down during idleness. Returns whether f was modified.
+func MaintainIndexDelta(f io.ReadWriteSeeker, l *DeltaLog, methodTag string, stamp trie.JournalStamp, saveFull func(io.Writer) (int64, error)) (bool, error) {
+	return maintainIndexDelta(f, l, methodTag, stamp, saveFull, true)
+}
+
+func maintainIndexDelta(f io.ReadWriteSeeker, l *DeltaLog, methodTag string, stamp trie.JournalStamp, saveFull func(io.Writer) (int64, error), maintain bool) (bool, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.pending.Empty() {
-		return nil
+	if l.pending.Empty() && !(maintain && l.compactionDue()) {
+		return false, nil
 	}
 	// Validate the header before touching the file on *either* branch: the
 	// compaction rewrite below destroys f's previous contents, so handing
 	// in the wrong file must fail here, not truncate it.
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("index: seeking snapshot start: %w", err)
+		return false, fmt.Errorf("index: seeking snapshot start: %w", err)
 	}
 	br := bufio.NewReader(f)
 	env, err := ReadIndexEnvelope(br)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if env.Method != methodTag {
-		return fmt.Errorf("index: snapshot holds a %s index, not %s", env.Method, methodTag)
+		return false, fmt.Errorf("index: snapshot holds a %s index, not %s", env.Method, methodTag)
 	}
 	if err := trie.CheckJournalable(br); err != nil {
-		return err
+		return false, err
 	}
 	if l.compactionDue() {
 		if ar, ok := f.(persistio.AtomicRewriter); ok {
@@ -260,48 +287,53 @@ func AppendIndexDelta(f io.ReadWriteSeeker, l *DeltaLog, methodTag string, stamp
 				return err
 			})
 			if err != nil {
-				return fmt.Errorf("index: compacting snapshot: %w", err)
+				return false, fmt.Errorf("index: compacting snapshot: %w", err)
 			}
 			l.noteCompacted(n)
-			return nil
+			return true, nil
 		}
 		if t, ok := f.(truncater); ok {
 			// In-place fallback for plain seekable files: not crash-safe
 			// (a crash mid-rewrite corrupts the base), but the only option
 			// without atomic-rewrite capability.
 			if _, err := f.Seek(0, io.SeekStart); err != nil {
-				return fmt.Errorf("index: seeking snapshot start: %w", err)
+				return false, fmt.Errorf("index: seeking snapshot start: %w", err)
 			}
 			n, err := saveFull(f)
 			if err != nil {
-				return fmt.Errorf("index: compacting snapshot: %w", err)
+				return false, fmt.Errorf("index: compacting snapshot: %w", err)
 			}
 			if err := t.Truncate(n); err != nil {
-				return fmt.Errorf("index: truncating compacted snapshot: %w", err)
+				return false, fmt.Errorf("index: truncating compacted snapshot: %w", err)
 			}
 			if err := persistio.Sync(f); err != nil {
-				return fmt.Errorf("index: syncing compacted snapshot: %w", err)
+				return false, fmt.Errorf("index: syncing compacted snapshot: %w", err)
 			}
 			l.noteCompacted(n)
-			return nil
+			return true, nil
 		}
 		// No rewrite capability: fall through to a plain append.
 	}
+	if l.pending.Empty() {
+		// Maintenance call with compaction due but no rewrite capability
+		// and nothing to append: leave the debt for a capable caller.
+		return false, nil
+	}
 	n, err := trie.AppendJournalSection(f, &l.pending, stamp)
 	if err != nil {
-		return err
+		return false, err
 	}
 	// The terminator byte is the commit point; fsync makes it durable
 	// before we discard the pending delta.
 	if err := persistio.Sync(f); err != nil {
-		return fmt.Errorf("index: syncing appended delta: %w", err)
+		return false, fmt.Errorf("index: syncing appended delta: %w", err)
 	}
 	appends, removes := l.pending.OpMix()
 	l.journalAppends += appends
 	l.journalRemoves += removes
 	l.journalBytes += n
 	l.pending.Reset()
-	return nil
+	return true, nil
 }
 
 // noteCompacted resets accounting after a successful compaction of n base

@@ -1,0 +1,609 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	igq "repro"
+	"repro/internal/persistio"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the primary (subgraph-semantics) engine; required. It is
+	// the engine mutations apply to and the one the shutdown snapshot
+	// covers.
+	Engine *igq.Engine
+	// Super optionally serves supergraph queries (mode "super") over the
+	// same dataset. The Containment method behind it supports neither
+	// incremental mutation nor persistence, so after a dataset mutation
+	// the server rebuilds it (O(dataset)) from SuperOptions over the new
+	// dataset, and the shutdown snapshot covers only Engine.
+	Super        *igq.Engine
+	SuperOptions igq.EngineOptions
+
+	// Workers bounds how many queries execute concurrently across all
+	// requests and streams (0 → one per runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueDepth is how many additional /query requests may wait for an
+	// execution slot before the server answers 429 (0 → 4×Workers).
+	// Admission is all the server ever buffers: there are no unbounded
+	// goroutines behind a burst.
+	QueueDepth int
+
+	// DefaultTimeout applies to requests that set no timeout_ms;
+	// MaxTimeout clamps what a request may ask for. Zero means unlimited.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// SnapshotPath, when set, is where POST /save and graceful shutdown
+	// write the combined engine snapshot (atomically, via SaveEngineFile).
+	SnapshotPath string
+	// DeltaPath, when set, is the index-snapshot lineage file (written by
+	// SaveIndexFile) that receives O(delta) journal appends after every
+	// mutation and periodic maintenance compaction.
+	DeltaPath string
+	// MaintainEvery is the journal-maintenance timer period (0 disables
+	// the timer; maintenance still runs once during Shutdown).
+	MaintainEvery time.Duration
+
+	// Logf receives serving-lifecycle log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Server serves an engine over HTTP. The admission model is two nested
+// semaphores: an admission queue of Workers+QueueDepth slots taken
+// non-blockingly (a full queue answers 429 immediately — the server never
+// buffers unboundedly) and Workers execution slots taken blockingly under
+// the request context. Streaming requests bypass the 429 path: they
+// acquire execution slots per query and let TCP flow control push back on
+// the sender instead.
+type Server struct {
+	cfg   Config
+	super atomic.Pointer[igq.Engine]
+
+	queue chan struct{} // admission slots: Workers+QueueDepth
+	run   chan struct{} // execution slots: Workers
+
+	mux     *http.ServeMux
+	hs      *http.Server
+	mutMu   sync.Mutex // serialises mutation endpoints + super rebuild
+	stopped chan struct{}
+
+	started     time.Time
+	served      atomic.Int64
+	rejected    atomic.Int64
+	errCount    atomic.Int64
+	maintPasses atomic.Int64
+	saves       atomic.Int64
+}
+
+// New validates cfg and builds a ready-to-Serve server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		run:     make(chan struct{}, cfg.Workers),
+		mux:     http.NewServeMux(),
+		stopped: make(chan struct{}),
+		started: time.Now(),
+	}
+	if cfg.Super != nil {
+		s.super.Store(cfg.Super)
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("POST /graphs/add", s.handleAdd)
+	s.mux.HandleFunc("POST /graphs/remove", s.handleRemove)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /save", s.handleSave)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.hs = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Handler exposes the route table (tests drive it through httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It also starts the
+// journal-maintenance timer when one is configured. Returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	if s.cfg.MaintainEvery > 0 && s.cfg.DeltaPath != "" {
+		go s.maintenanceLoop()
+	}
+	s.cfg.Logf("serving on %s (workers=%d queue=%d)", l.Addr(), s.cfg.Workers, s.cfg.QueueDepth)
+	return s.hs.Serve(l)
+}
+
+// Shutdown drains gracefully: new connections are refused, in-flight
+// requests (including streams) run to completion under ctx's grace period,
+// and only then does the server persist what it earned — a final journal
+// maintenance pass on the delta lineage and an atomic combined snapshot to
+// SnapshotPath. Queries therefore never race the shutdown snapshot.
+func (s *Server) Shutdown(ctx context.Context) error {
+	close(s.stopped)
+	if err := s.hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("server: draining: %w", err)
+	}
+	if s.cfg.DeltaPath != "" {
+		if _, err := s.maintain(); err != nil {
+			return fmt.Errorf("server: shutdown journal maintenance: %w", err)
+		}
+	}
+	if s.cfg.SnapshotPath != "" {
+		if err := igq.SaveEngineFile(s.cfg.SnapshotPath, s.cfg.Engine); err != nil {
+			return fmt.Errorf("server: shutdown snapshot: %w", err)
+		}
+		s.saves.Add(1)
+		s.cfg.Logf("shutdown snapshot saved to %s", s.cfg.SnapshotPath)
+	}
+	return nil
+}
+
+// maintenanceLoop drives periodic journal maintenance until Shutdown.
+func (s *Server) maintenanceLoop() {
+	t := time.NewTicker(s.cfg.MaintainEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-t.C:
+			if changed, err := s.maintain(); err != nil {
+				s.cfg.Logf("journal maintenance: %v", err)
+			} else if changed {
+				s.cfg.Logf("journal maintenance compacted %s", s.cfg.DeltaPath)
+			}
+		}
+	}
+}
+
+// maintain runs one journal maintenance pass over the delta lineage file:
+// pending mutations are appended, and over-threshold journal debt is
+// compacted even when nothing is pending (the idle-compaction hook).
+func (s *Server) maintain() (bool, error) {
+	f, err := persistio.OpenFile(s.cfg.DeltaPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil // no lineage yet; nothing to maintain
+		}
+		return false, err
+	}
+	defer f.Close()
+	changed, err := s.cfg.Engine.MaintainIndexDelta(f)
+	if err == nil && changed {
+		s.maintPasses.Add(1)
+	}
+	return changed, err
+}
+
+// engineFor routes a wire mode to the engine serving it.
+func (s *Server) engineFor(mode string) (*igq.Engine, error) {
+	switch mode {
+	case "", ModeSub:
+		return s.cfg.Engine, nil
+	case ModeSuper:
+		if e := s.super.Load(); e != nil {
+			return e, nil
+		}
+		return nil, errors.New("no supergraph engine configured")
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// requestCtx maps the wire deadline onto context cancellation.
+func (s *Server) requestCtx(parent context.Context, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMillis > 0 {
+		d = time.Duration(timeoutMillis) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (d == 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// admit takes one admission slot without blocking; false means the server
+// is saturated and the caller must answer 429.
+func (s *Server) admit() bool {
+	select {
+	case s.queue <- struct{}{}:
+		return true
+	default:
+		s.rejected.Add(1)
+		return false
+	}
+}
+
+// acquireRun blocks for an execution slot under ctx.
+func (s *Server) acquireRun(ctx context.Context) error {
+	select {
+	case s.run <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.admit() {
+		writeError(w, http.StatusTooManyRequests, "admission queue full")
+		return
+	}
+	defer func() { <-s.queue }()
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	eng, err := s.engineFor(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g, err := DecodeGraph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding graph: "+err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r.Context(), req.TimeoutMillis)
+	defer cancel()
+	if err := s.acquireRun(ctx); err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	res, err := eng.Query(ctx, g, queryOptions(req)...)
+	<-s.run
+	s.served.Add(1)
+	if err != nil {
+		s.errCount.Add(1)
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryReply{IDs: nonNil(res.IDs), Stats: res.Stats})
+}
+
+// queryOptions maps wire flags to per-call query options.
+func queryOptions(req QueryRequest) []igq.QueryOption {
+	var opts []igq.QueryOption
+	if req.NoCache {
+		opts = append(opts, igq.WithoutCache())
+	}
+	if req.NoAdmit {
+		opts = append(opts, igq.WithoutAdmission())
+	}
+	return opts
+}
+
+// handleQueryStream is the NDJSON streaming endpoint: one QueryRequest per
+// request-body line, one QueryReply per response line, emitted in
+// completion order (Index is the arrival order). The whole stream runs in
+// one mode (the ?mode= query parameter; per-line Mode values must agree).
+// Flow control is physical: each query holds one of the server's execution
+// slots from acceptance to reply, so a stream can never occupy more than
+// Workers slots, and a sender that outruns the server blocks in TCP rather
+// than growing a queue. A query that fails (deadline, poisoned graph)
+// yields an error line; the stream and the server keep going. A malformed
+// line terminates the stream after an error line, since line framing
+// itself is no longer trustworthy.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	mode := r.URL.Query().Get("mode")
+	eng, err := s.engineFor(mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var timeoutMillis int64
+	if tm := r.URL.Query().Get("timeout_ms"); tm != "" {
+		if _, err := fmt.Sscanf(tm, "%d", &timeoutMillis); err != nil {
+			writeError(w, http.StatusBadRequest, "bad timeout_ms")
+			return
+		}
+	}
+	ctx, cancel := s.requestCtx(r.Context(), timeoutMillis)
+	defer cancel()
+
+	// The stream reads request lines while writing reply lines; HTTP/1 is
+	// half-duplex by default and invalidates the body on the first response
+	// write without this.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	in := make(chan *igq.Graph)
+	var fed atomic.Int64
+	feedDone := make(chan struct{})
+	feedProblem := make(chan QueryReply, 1) // the line that broke the stream, if any
+	go func() {
+		defer close(feedDone)
+		defer close(in)
+		dec := json.NewDecoder(r.Body)
+		for line := 0; ; line++ {
+			var req QueryRequest
+			if err := dec.Decode(&req); err != nil {
+				if !errors.Is(err, io.EOF) {
+					feedProblem <- QueryReply{Index: line, Error: "decoding stream line: " + err.Error()}
+				}
+				return
+			}
+			if req.Mode != "" && req.Mode != mode && !(req.Mode == ModeSub && mode == "") {
+				feedProblem <- QueryReply{Index: line, Error: fmt.Sprintf("stream is mode %q, line asks %q", orSub(mode), req.Mode)}
+				return
+			}
+			g, err := DecodeGraph(req.Graph)
+			if err != nil {
+				feedProblem <- QueryReply{Index: line, Error: "decoding graph: " + err.Error()}
+				return
+			}
+			if err := s.acquireRun(ctx); err != nil {
+				return // deadline/disconnect; workers drain what was accepted
+			}
+			select {
+			case in <- g:
+				fed.Add(1)
+			case <-ctx.Done():
+				<-s.run // the slot we just took never fed a query
+				return
+			}
+		}
+	}()
+
+	emitted := int64(0)
+	writable := true
+	// QueryStream's contract: the output must be drained until it closes.
+	// A client write failure therefore cancels the stream and keeps
+	// consuming (discarding) results instead of abandoning the channel.
+	for br := range eng.QueryStream(ctx, in, igq.StreamWorkers(s.cfg.Workers)) {
+		<-s.run // this query's slot, held since acceptance
+		emitted++
+		s.served.Add(1)
+		reply := QueryReply{Index: br.Index, IDs: nonNil(br.Result.IDs), Stats: br.Result.Stats}
+		if br.Err != nil {
+			s.errCount.Add(1)
+			reply = QueryReply{Index: br.Index, Error: br.Err.Error()}
+		}
+		if !writable {
+			continue
+		}
+		if err := enc.Encode(reply); err != nil {
+			writable = false
+			cancel()
+			continue
+		}
+		_ = rc.Flush()
+	}
+	// Slots for queries accepted but never emitted (a cancelled stream's
+	// unread tail). fed is final once the feeder exits — or once ctx is
+	// done, after which acquireRun refuses the feeder (it may still sit in
+	// a body read; returning tears the request down and unblocks it).
+	select {
+	case <-feedDone:
+	case <-ctx.Done():
+	}
+	for released := emitted; released < fed.Load(); released++ {
+		<-s.run
+	}
+	if writable {
+		select {
+		case prob := <-feedProblem:
+			_ = enc.Encode(prob)
+		default:
+		}
+	}
+}
+
+func orSub(mode string) string {
+	if mode == "" {
+		return ModeSub
+	}
+	return mode
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	gs := make([]*igq.Graph, len(req.Graphs))
+	for i, wg := range req.Graphs {
+		g, err := DecodeGraph(wg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding graph %d: %v", i, err))
+			return
+		}
+		gs[i] = g
+	}
+	s.mutate(w, r, func(ctx context.Context) error {
+		return s.cfg.Engine.AddGraphs(ctx, gs)
+	})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	s.mutate(w, r, func(ctx context.Context) error {
+		return s.cfg.Engine.RemoveGraphs(ctx, req.Positions)
+	})
+}
+
+// mutate applies one dataset mutation and the bookkeeping every mutation
+// owes: an O(delta) journal append to the lineage file and a rebuild of
+// the supergraph engine (whose Containment index has no incremental path).
+func (s *Server) mutate(w http.ResponseWriter, r *http.Request, apply func(context.Context) error) {
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	if err := apply(r.Context()); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.cfg.DeltaPath != "" {
+		if err := s.appendDelta(); err != nil {
+			// The mutation is live; only its persistence lagged. Surface
+			// loudly but keep serving — the maintenance timer retries.
+			s.cfg.Logf("journal append after mutation: %v", err)
+		}
+	}
+	if s.super.Load() != nil {
+		db := s.cfg.Engine.Dataset()
+		opt := s.cfg.SuperOptions
+		opt.Supergraph = true
+		ne, err := igq.NewEngine(db, opt)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "rebuilding supergraph engine: "+err.Error())
+			return
+		}
+		s.super.Store(ne)
+	}
+	writeJSON(w, http.StatusOK, MutateReply{DatasetSize: len(s.cfg.Engine.Dataset())})
+}
+
+// appendDelta appends the pending mutation journal to the lineage file.
+func (s *Server) appendDelta() error {
+	f, err := persistio.OpenFile(s.cfg.DeltaPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.cfg.Engine.AppendIndexDelta(f)
+}
+
+func (s *Server) serverStats() ServerStats {
+	return ServerStats{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Served:         s.served.Load(),
+		Rejected:       s.rejected.Load(),
+		Errors:         s.errCount.Load(),
+		InFlight:       len(s.run),
+		Workers:        s.cfg.Workers,
+		QueueDepth:     s.cfg.QueueDepth,
+		Maintenance:    s.maintPasses.Load(),
+		SnapshotsSaved: s.saves.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	reply := StatsReply{Server: s.serverStats(), Sub: s.cfg.Engine.Stats()}
+	if e := s.super.Load(); e != nil {
+		st := e.Stats()
+		reply.Super = &st
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleMetrics renders the same counters in the flat `name value` text
+// form scrapers expect.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	ss := s.serverStats()
+	fmt.Fprintf(w, "igq_uptime_seconds %g\n", ss.UptimeSeconds)
+	fmt.Fprintf(w, "igq_requests_served_total %d\n", ss.Served)
+	fmt.Fprintf(w, "igq_requests_rejected_total %d\n", ss.Rejected)
+	fmt.Fprintf(w, "igq_query_errors_total %d\n", ss.Errors)
+	fmt.Fprintf(w, "igq_queries_in_flight %d\n", ss.InFlight)
+	fmt.Fprintf(w, "igq_maintenance_writes_total %d\n", ss.Maintenance)
+	fmt.Fprintf(w, "igq_snapshots_saved_total %d\n", ss.SnapshotsSaved)
+	emitEngineMetrics(w, "sub", s.cfg.Engine.Stats())
+	if e := s.super.Load(); e != nil {
+		emitEngineMetrics(w, "super", e.Stats())
+	}
+}
+
+func emitEngineMetrics(w io.Writer, mode string, st igq.EngineStats) {
+	fmt.Fprintf(w, "igq_engine_queries_total{mode=%q} %d\n", mode, st.Queries)
+	fmt.Fprintf(w, "igq_engine_cache_answers_total{mode=%q} %d\n", mode, st.AnsweredByCache)
+	fmt.Fprintf(w, "igq_engine_dataset_iso_tests_total{mode=%q} %d\n", mode, st.DatasetIsoTests)
+	fmt.Fprintf(w, "igq_engine_cache_iso_tests_total{mode=%q} %d\n", mode, st.CacheIsoTests)
+	fmt.Fprintf(w, "igq_engine_sub_hits_total{mode=%q} %d\n", mode, st.SubHits)
+	fmt.Fprintf(w, "igq_engine_super_hits_total{mode=%q} %d\n", mode, st.SuperHits)
+	fmt.Fprintf(w, "igq_engine_panics_total{mode=%q} %d\n", mode, st.Panics)
+	fmt.Fprintf(w, "igq_engine_cached_queries{mode=%q} %d\n", mode, st.CachedQueries)
+	fmt.Fprintf(w, "igq_engine_window_pending{mode=%q} %d\n", mode, st.WindowPending)
+	fmt.Fprintf(w, "igq_engine_flushes_total{mode=%q} %d\n", mode, st.Flushes)
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SnapshotPath == "" {
+		writeError(w, http.StatusBadRequest, "no snapshot path configured")
+		return
+	}
+	if err := igq.SaveEngineFile(s.cfg.SnapshotPath, s.cfg.Engine); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.saves.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"path": s.cfg.SnapshotPath})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// writeQueryError maps a query-path failure to its HTTP status: an expired
+// deadline is 504 (the server is healthy; the query ran out of time), a
+// contained panic is 500 (the query was poisoned; the server kept
+// serving), anything else 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusGatewayTimeout
+	} else if errors.Is(err, context.Canceled) {
+		status = 499 // client closed request (nginx convention)
+	}
+	writeError(w, status, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorReply{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// nonNil keeps empty answers as [] rather than null on the wire.
+func nonNil(ids []int32) []int32 {
+	if ids == nil {
+		return []int32{}
+	}
+	return ids
+}
