@@ -31,6 +31,8 @@ func main() {
 		bwork   = flag.Int("buildworkers", 0, "max index-build goroutines for the buildscale experiment (0 = one per CPU)")
 		saveIdx = flag.String("save-index", "", "directory to keep the coldstart experiment's index snapshots in (default: temp, discarded)")
 		loadIdx = flag.String("load-index", "", "directory holding pre-built index snapshots for the coldstart experiment (written by an earlier -save-index run)")
+		density = flag.Float64("density", 0, "single membership density for the containers experiment (0 = sparse/moderate/dense grid with perf gates)")
+		bjson   = flag.String("bench-json", "", "file to write the containers experiment's measurements to as JSON")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		verbose = flag.Bool("v", false, "verbose progress output")
 	)
@@ -51,6 +53,7 @@ func main() {
 		Scale: *scale, Seed: *seed, Verbose: *verbose,
 		Workers: *workers, Shards: *shards, BuildWorkers: *bwork,
 		SaveIndexPath: *saveIdx, LoadIndexPath: *loadIdx,
+		Density: *density, BenchJSONPath: *bjson,
 	}
 
 	if *expID == "all" {

@@ -96,6 +96,41 @@ func FuzzLoadEngine(f *testing.F) {
 		f.Add(buf.Bytes()[:len(buf.Bytes())-2])
 	}
 
+	// Seeds with v3 container segments of all three kinds: a dataset dense
+	// enough that shared features persist as run intervals (present in every
+	// graph), bitmap words (present in every other graph) and sparse arrays
+	// (the outlier graphs) inside the engine's index envelope — plus a
+	// truncation and a bit flip of each container-bearing snapshot.
+	denseDB := make([]*Graph, 0, 120)
+	for i := 0; i < 120; i++ {
+		g := NewGraph(3)
+		g.AddVertex(0)
+		g.AddVertex(1)
+		if i%2 == 0 {
+			g.AddVertex(2) // even graphs only: bitmap-shaped postings
+		} else {
+			g.AddVertex(1)
+		}
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		denseDB = append(denseDB, g)
+	}
+	denseDB[7].AddVertex(3) // a label only a couple of graphs carry: array
+	denseDB[90].AddVertex(3)
+	denseEng, err := NewEngine(denseDB, EngineOptions{Method: GGSX, MaxPathLen: 3, DisableCache: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var dense bytes.Buffer
+	if err := denseEng.SaveIndex(&dense); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dense.Bytes())
+	f.Add(dense.Bytes()[:len(dense.Bytes())*3/4]) // torn mid-container
+	dflip := append([]byte(nil), dense.Bytes()...)
+	dflip[len(dflip)*2/3] ^= 0x04 // flip inside the segment area
+	f.Add(dflip)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		db := fuzzDB()
 		opt := EngineOptions{Method: GGSX, MaxPathLen: 3, CacheSize: 4, Window: 1}
@@ -167,5 +202,49 @@ func TestFuzzSeedsRoundTrip(t *testing.T) {
 		if _, err := LoadEngine(bytes.NewReader(buf.Bytes()), db, opt); err != nil {
 			t.Fatalf("seed %d does not round-trip: %v", i, err)
 		}
+	}
+	// The dense container-bearing index seed must round-trip too: build the
+	// same dataset shape as the fuzz seeds and reload its index snapshot.
+	denseDB := make([]*Graph, 0, 120)
+	for i := 0; i < 120; i++ {
+		g := NewGraph(3)
+		g.AddVertex(0)
+		g.AddVertex(1)
+		if i%2 == 0 {
+			g.AddVertex(2)
+		} else {
+			g.AddVertex(1)
+		}
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		denseDB = append(denseDB, g)
+	}
+	opt := EngineOptions{Method: GGSX, MaxPathLen: 3, DisableCache: true}
+	eng, err := NewEngine(denseDB, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ibuf bytes.Buffer
+	if err := eng.SaveIndex(&ibuf); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := NewEngine(denseDB, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.LoadIndex(bytes.NewReader(ibuf.Bytes())); err != nil {
+		t.Fatalf("dense container index seed does not round-trip: %v", err)
+	}
+	q := ExtractQuery(denseDB[0], 0, 3)
+	a, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng2.Query(context.Background(), q.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.IDs, b.IDs) {
+		t.Errorf("dense index answers diverge after reload: %v vs %v", a.IDs, b.IDs)
 	}
 }

@@ -68,9 +68,31 @@
 //     dataset, and its indexes are rebuilt on load.
 //
 // Engine.Save writes both in one envelope; igq.LoadEngine restores it
-// without ever enumerating the dataset. The cmd/igqquery and cmd/igqbench
-// tools expose this as -save-index/-load-index, and the "coldstart"
-// experiment measures load-vs-rebuild wall-clock.
+// without ever enumerating the dataset. Save flushes any pending window
+// admissions into the cache first, so queries served since the last flush
+// are knowledge the snapshot keeps, not work the restart repeats. The
+// cmd/igqquery and cmd/igqbench tools expose this as
+// -save-index/-load-index, and the "coldstart" experiment measures
+// load-vs-rebuild wall-clock.
+//
+// # Posting containers
+//
+// Inside both snapshot families every feature's posting list is stored in
+// a cardinality-adaptive container: sparse features as sorted arrays,
+// dense features as 64-bit bitmap words, clustered id ranges as run
+// intervals. The encoding is a pure function of the member set — chosen at
+// build time, re-chosen when a mutation moves a feature across a density
+// threshold — and the intersection pipeline exploits it: bitmap∧bitmap
+// steps collapse to word-wise ANDs, sparse partials probe dense containers
+// by membership without materialising them, and array pairs keep the
+// merge-vs-gallop choice, driven by a probe-cost constant calibrated per
+// dataset at build time. Index snapshots (format v3) persist the
+// containers directly, so dense features cost ~1 bit per graph on disk;
+// v1/v2 snapshots still load by promoting their flat arrays on decode and
+// gain the compact encodings on the first re-save. The "containers"
+// experiment (cmd/igqbench) reproduces and gates the win — ≥2× smaller
+// dense snapshots, ≥3× faster dense intersections vs the flat-array
+// baseline.
 //
 // # Dynamic datasets
 //

@@ -149,11 +149,22 @@ func (ci *ContainmentIndex) candidatesFromIDs(qf features.IDSet, s *ciScratch) [
 	matched := s.matched
 	clear(matched)
 	for _, fc := range qf.Counts {
-		for _, p := range ci.tr.GetByID(fc.ID) {
-			if p.Count <= fc.Count {
-				matched[p.Graph]++
-			}
+		pl := ci.tr.GetByID(fc.ID)
+		if pl.UniformCounts() && fc.Count >= 1 {
+			// Every posting has count 1 ≤ fc.Count: no per-posting test.
+			pl.Range(func(_ int, g int32) bool {
+				matched[g]++
+				return true
+			})
+			continue
 		}
+		want := fc.Count
+		pl.Range(func(i int, g int32) bool {
+			if pl.CountAt(i) <= want {
+				matched[g]++
+			}
+			return true
+		})
 	}
 	cs := s.res[:0]
 	for id, cnt := range matched {

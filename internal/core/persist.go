@@ -62,16 +62,26 @@ const snapshotVersion = 3
 // the same divergence the same way.
 func dbChecksum(db []*graph.Graph) uint64 { return index.DBChecksum(db) }
 
-// Save writes the current cache contents (committed entries only — the
-// pending window is execution state, not knowledge) to w. Safe to call
-// while queries are in flight: the metadata mutex is held for the whole
-// encode, so the snapshot is consistent — it excludes any admission or
-// credit that had not yet committed, waits for an in-flight §5.2 shadow
-// build so it reflects the latest flush, and blocks flushes until done.
+// Save writes the current cache contents to w. Any queries still pending
+// in the credit window are flushed (admitted through the §5.1 replacement
+// policy) first: knowledge paid for before shutdown must survive the
+// restart, not evaporate because fewer than Window queries arrived since
+// the last flush. Safe to call while queries are in flight: the metadata
+// mutex is held for the whole encode, so the snapshot is consistent — it
+// excludes any admission or credit that had not yet committed, waits for
+// an in-flight §5.2 shadow build so it reflects the latest flush, and
+// blocks further flushes until done.
 func (q *IGQ) Save(w io.Writer) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.waitShadowLocked()
+	if len(q.window) > 0 {
+		// Flush the partial window so pending entries are committed into
+		// the snapshot, then wait out the (possibly async) index build so
+		// snap.Load() observes the result.
+		q.flushLocked()
+		q.waitShadowLocked()
+	}
 	cur := q.snap.Load()
 	snap := wireSnapshot{
 		Version:    snapshotVersion,

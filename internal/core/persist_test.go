@@ -151,13 +151,18 @@ func TestLoadShrinksToCacheSize(t *testing.T) {
 	}
 }
 
-func TestSaveExcludesWindow(t *testing.T) {
+func TestSaveFlushesWindow(t *testing.T) {
+	// Regression: Save used to snapshot committed entries only, silently
+	// dropping queries still pending in the credit window — knowledge paid
+	// for before shutdown evaporated on restart. Save now flushes the
+	// partial window first.
 	rng := rand.New(rand.NewSource(95))
 	db := buildDB(rng, 10)
 	m := ggsx.New(ggsx.DefaultOptions())
 	m.Build(db)
 	ig := New(m, db, Options{CacheSize: 10, Window: 5})
-	ig.Query(connectedQuery(rng, db[0], 3)) // stays in window (W=5)
+	q := connectedQuery(rng, db[0], 3)
+	ig.Query(q.Clone()) // stays in window (W=5)
 	if ig.WindowLen() != 1 || ig.CacheLen() != 0 {
 		t.Fatalf("premise: window=%d cache=%d", ig.WindowLen(), ig.CacheLen())
 	}
@@ -165,12 +170,22 @@ func TestSaveExcludesWindow(t *testing.T) {
 	if err := ig.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
+	if ig.WindowLen() != 0 || ig.CacheLen() != 1 {
+		t.Errorf("after Save: window=%d cache=%d, want flushed 0/1",
+			ig.WindowLen(), ig.CacheLen())
+	}
 	restored, err := Load(&buf, m, db, Options{CacheSize: 10, Window: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if restored.CacheLen() != 0 || restored.WindowLen() != 0 {
-		t.Error("window entries leaked into the snapshot")
+	if restored.CacheLen() != 1 || restored.WindowLen() != 0 {
+		t.Fatalf("restored: cache=%d window=%d, want the flushed entry committed",
+			restored.CacheLen(), restored.WindowLen())
+	}
+	// The pre-shutdown query must be a §4.3 identical hit after restart.
+	out := restored.Query(q.Clone())
+	if out.Short != IdenticalHit {
+		t.Errorf("restored cache missed the pre-shutdown query (short=%v)", out.Short)
 	}
 }
 

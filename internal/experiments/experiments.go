@@ -44,6 +44,14 @@ type Config struct {
 	// pre-built snapshots from this path prefix (written by an earlier run
 	// with SaveIndexPath) instead of building first.
 	LoadIndexPath string
+	// Density, when > 0, makes the containers experiment measure a single
+	// membership density instead of its sparse/moderate/dense grid (the
+	// exploratory -density knob; the perf gates only apply to the grid).
+	Density float64
+	// BenchJSONPath, when set, makes the containers experiment write its
+	// measured rows and gate verdicts to this file as JSON (the CI
+	// BENCH_containers.json artifact).
+	BenchJSONPath string
 }
 
 // DefaultConfig returns the bench-scale configuration.

@@ -54,6 +54,11 @@ func TestSmokeSupergraphSpeedup(t *testing.T) {
 func TestSmokeServing(t *testing.T) {
 	runSmoke(t, "serving", "unary mixed", "stream sub", "restored snapshot", "identical")
 }
+func TestSmokeContainers(t *testing.T) {
+	// A failing perf gate surfaces as a run error, so this smoke also
+	// exercises the ≥2× shrink / ≥3× speedup gates at the scaled-down size.
+	runSmoke(t, "containers", "dense", "sparse", "shrink", "speedup")
+}
 func TestSmokeBuildscale(t *testing.T) {
 	// runSmoke's substring asserts would be vacuous here: the experiment's
 	// footer always contains "identical". Assert the divergence marker is

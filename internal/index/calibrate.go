@@ -1,0 +1,105 @@
+package index
+
+// Per-dataset calibration of the intersection cost model. The
+// merge-vs-gallop switchover depends on the real cost ratio between one
+// branch-predictable merge step and one galloping probe (cache geometry,
+// branch predictor, list sizes), which varies across machines and
+// datasets. Index owners call CalibrateGallopProbeCost once at Build time
+// and thread the result through Trie.SetGallopProbeCost; every
+// FilterCountGE over that trie then uses the measured constant instead of
+// the package default. Calibration affects only strategy choice — results
+// are identical at any probe cost.
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/trie"
+)
+
+// calibrateMinLen is the longest-posting-list cardinality below which
+// calibration is skipped (returning 0 = package default): tiny stores
+// never leave the merge regime and the measurement would cost more than
+// it saves — this also keeps unit-test index builds free of timing work.
+const calibrateMinLen = 1 << 12
+
+// CalibrateGallopProbeCost measures merge vs galloping intersection on
+// synthetic lists shaped like tr's largest posting list and returns the
+// probe-cost constant for Trie.SetGallopProbeCost, clamped to [1, 4].
+// Returns 0 (selecting DefaultGallopProbeCost) for stores too small to
+// measure meaningfully. Cost is a few hundred microseconds, once per
+// build.
+func CalibrateGallopProbeCost(tr *trie.Trie) int {
+	n := tr.MaxPostingLen()
+	if n < calibrateMinLen {
+		return 0
+	}
+	n = min(n, 1<<16)
+	const skew = 8
+	b := make([]int32, n)
+	for i := range b {
+		b[i] = int32(i)
+	}
+	a := make([]int32, n/skew)
+	for i := range a {
+		a[i] = int32(i * skew)
+	}
+	dst := make([]int32, 0, len(a))
+	reps := max(1, (1<<18)/n)
+	merge := func() {
+		for r := 0; r < reps; r++ {
+			dst = intersectMerge(dst[:0], a, b)
+		}
+	}
+	gallop := func() {
+		for r := 0; r < reps; r++ {
+			dst = intersectGalloping(dst[:0], a, b)
+		}
+	}
+	// Interleaved minimums: three rounds each, alternating, so a stray
+	// scheduler hiccup cannot bias one side.
+	tm, tg := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		merge()
+		tm = min(tm, time.Since(start))
+		start = time.Now()
+		gallop()
+		tg = min(tg, time.Since(start))
+	}
+	if tm <= 0 || tg <= 0 {
+		return 0
+	}
+	// Invert the cost model: tMerge ∝ la+lb, tGallop ∝ cost·la·log2(lb/la),
+	// so cost = (tg/tm)·(la+lb)/(la·log2(lb/la)). bits.Len matches the
+	// rounding shouldGallopCost uses.
+	la, lb := len(a), len(b)
+	est := float64(tg) / float64(tm) * float64(la+lb) / float64(la*bits.Len(uint(lb/la)))
+	cost := int(est + 0.5)
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > 4 {
+		cost = 4
+	}
+	return cost
+}
+
+// intersectMerge is the forced linear-merge reference used by calibration
+// (IntersectIntoCost would route this skew to galloping).
+func intersectMerge(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}

@@ -1,0 +1,113 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trie"
+)
+
+// Container micro-benchmarks: the same intersection workloads at three
+// membership densities, each run over adaptive containers and the flat
+// forced-array baseline. Together with the snapshot-size assertion in
+// internal/trie these track the adaptive win (dense intersections are the
+// word-AND fast path; sparse must stay at parity with the merge/gallop
+// pair). The CI bench smoke job runs them at -benchtime 1x as a liveness
+// check; the gated numbers come from `igqbench -experiment containers`.
+
+// densityDataset builds nFeats feature lists where each of nGraphs graphs
+// is a member with probability p — uniform scatter, the container choice's
+// worst case (no run structure to exploit).
+func densityDataset(seed int64, nFeats, nGraphs int, p float64) map[string][]trie.Posting {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make(map[string][]trie.Posting, nFeats)
+	for f := 0; f < nFeats; f++ {
+		var ps []trie.Posting
+		for g := 0; g < nGraphs; g++ {
+			if rng.Float64() < p {
+				ps = append(ps, trie.Posting{Graph: int32(g), Count: 1})
+			}
+		}
+		ds[fmt.Sprintf("d:%d", f)] = ps
+	}
+	return ds
+}
+
+var benchRegimes = []struct {
+	name string
+	p    float64
+}{
+	{"sparse", 0.01},
+	{"moderate", 0.20},
+	{"dense", 0.90},
+}
+
+var benchPolicies = []struct {
+	name   string
+	policy trie.ContainerPolicy
+}{
+	{"adaptive", trie.AdaptiveContainers},
+	{"array", trie.ArrayOnlyContainers},
+}
+
+var benchSink int
+
+// BenchmarkIntersectViewsDensity measures the raw container intersection
+// (the countfilter's inner loop) over four equal-density operands: at
+// dense the adaptive side is a pure bitmap word-AND chain, at sparse both
+// sides degenerate to the same array merge.
+func BenchmarkIntersectViewsDensity(b *testing.B) {
+	const nFeats, nGraphs = 4, 1 << 14
+	for _, reg := range benchRegimes {
+		ds := densityDataset(1, nFeats, nGraphs, reg.p)
+		for _, pol := range benchPolicies {
+			tr := buildCFTrie(pol.policy, 1, ds)
+			views := make([]View, 0, nFeats)
+			for k := range ds {
+				id, ok := tr.Dict().Lookup(k)
+				if !ok {
+					b.Fatalf("key %q missing", k)
+				}
+				views = append(views, View{C: tr.GetByID(id).IDs()})
+			}
+			b.Run(reg.name+"/"+pol.name, func(b *testing.B) {
+				s := GetViewScratch()
+				defer PutViewScratch(s)
+				vbuf := make([]View, len(views))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					copy(vbuf, views) // IntersectViews reorders its copy
+					benchSink = len(IntersectViews(vbuf, 0, s))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFilterCountGEDensity measures the full count-filter pass —
+// shard grouping, view assembly, intersection — per density and policy.
+func BenchmarkFilterCountGEDensity(b *testing.B) {
+	const nFeats, nGraphs = 4, 1 << 14
+	for _, reg := range benchRegimes {
+		ds := densityDataset(2, nFeats, nGraphs, reg.p)
+		keys := make([]string, 0, nFeats)
+		counts := make([]int32, 0, nFeats)
+		for k := range ds {
+			keys = append(keys, k)
+			counts = append(counts, 1)
+		}
+		for _, pol := range benchPolicies {
+			tr := buildCFTrie(pol.policy, 1, ds)
+			qf := idSetFor(tr, keys, counts)
+			b.Run(reg.name+"/"+pol.name, func(b *testing.B) {
+				s := GetCountFilterScratch()
+				defer PutCountFilterScratch(s)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					benchSink = len(FilterCountGE(tr, qf, s))
+				}
+			})
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"runtime"
 	"slices"
 	"sync"
 
@@ -8,23 +9,34 @@ import (
 	"repro/internal/trie"
 )
 
+// cfView is one filtered feature list awaiting intersection: either the
+// feature's whole posting container (c — the zero-materialisation path
+// taken whenever the count threshold admits every posting) or an extent of
+// the scratch arena holding the count-filtered subset.
+type cfView struct {
+	c      trie.Container
+	lo, hi int32 // arena extent when c == nil
+	n      int   // cardinality
+}
+
 // CountFilterScratch holds the reusable buffers of one count-filter pass:
 // the feature-enumeration scratch, the shard-grouped feature copy, the
-// filtered per-feature id lists (backed by one flat arena), and the
-// intersection buffers.
+// filtered per-feature views (arena-backed where materialised), and the
+// intersection scratch.
 type CountFilterScratch struct {
 	Feat *features.Scratch
 
 	feats    []features.IDCount // query features regrouped by shard
 	shardOff []int32            // per-shard group boundaries (len K+1)
 	shardCur []int32            // scatter cursors during grouping
-
-	lists  [][]int32 // list headers handed to IntersectMany
-	offs   [][2]int  // per-feature filtered-list extents in arena
-	groups [][3]int  // per-shard group: [offs start, offs end, min list len]
-	arena  []int32   // filtered per-feature id lists
-	cur    []int32   // running cross-shard partial result
-	buf    [2][]int32
+	views    []cfView           // filtered per-feature views
+	groups   [][3]int           // per-shard group: [views start, views end, min view len]
+	arena    []int32            // count-filtered id lists
+	vbuf     []View             // per-group operand assembly
+	vs       ViewScratch        // serial intersection scratch
+	cur      []int32            // running cross-shard partial result
+	parts    [][]int32          // per-group partials (parallel fan-out)
+	buf      [2][]int32         // fold buffers for the parallel path
 }
 
 var countFilterPool = sync.Pool{
@@ -40,6 +52,12 @@ func GetCountFilterScratch() *CountFilterScratch {
 // result aliasing it must have been copied out first.
 func PutCountFilterScratch(s *CountFilterScratch) { countFilterPool.Put(s) }
 
+// parallelGroupMin is the per-group rarest-list cardinality above which a
+// multi-group query fans its shard-group intersections over goroutines:
+// below it the serial partial-threading (the globally rarest list capping
+// all later groups) beats any parallel speedup.
+const parallelGroupMin = 1 << 13
+
 // FilterCountGE computes the candidate ids for a count-based feature filter
 // over tr: graphs holding every feature of qf with at least the wanted
 // multiplicity.
@@ -47,13 +65,19 @@ func PutCountFilterScratch(s *CountFilterScratch) { countFilterPool.Put(s) }
 // The pass follows the store's shard layout: query features are grouped by
 // postings shard and each shard's lists are filtered and intersected as one
 // group (all probes against one small per-shard map, so the map stays
-// cache-resident across the group). Shard groups are processed in ascending
-// order of their rarest filtered list, with the running cross-shard partial
-// threaded into each group's intersection — so the globally rarest list
-// still prunes all later work, exactly as the unsharded rarest-first fold
-// did. Every intersection step picks merge vs gallop adaptively from the
-// two list lengths. The result may alias s and is only valid until the
-// scratch is reused.
+// cache-resident across the group). A feature whose threshold admits every
+// posting — the overwhelmingly common count-1 case — contributes its
+// container directly, with no materialisation: bitmap∧bitmap pairs inside a
+// group collapse to word-ANDs and sparse partials probe dense containers in
+// O(1) per element (IntersectViews). Shard groups are processed in
+// ascending order of their rarest filtered list, with the running
+// cross-shard partial threaded into each group's intersection — so the
+// globally rarest list still prunes all later work, exactly as the
+// unsharded rarest-first fold did. Every slice-vs-slice step picks merge vs
+// gallop from the trie's calibrated probe cost. Very large queries — every
+// group's rarest list at least parallelGroupMin — fan the per-group
+// intersections over bounded goroutines and fold the partials rarest-first.
+// The result may alias s and is only valid until the scratch is reused.
 //
 // Callers must handle the empty-feature case (len(qf.Counts) == 0 &&
 // qf.Unknown == 0) themselves: the matching universe (all dataset
@@ -70,61 +94,132 @@ func FilterCountGE(tr *trie.Trie, qf features.IDSet, s *CountFilterScratch) []in
 	}
 	feats, off := s.groupByShard(tr, qf.Counts)
 
-	// Phase 1: filter each feature's postings into the arena, one shard's
-	// group at a time.
+	// Phase 1: build each feature's filtered view, one shard's group at a
+	// time; only count-thresholded features touch the arena.
 	arena := s.arena[:0]
-	offs := s.offs[:0]
+	views := s.views[:0]
 	groups := s.groups[:0]
 	for sh := 0; sh < tr.ShardCount(); sh++ {
 		lo, hi := off[sh], off[sh+1]
 		if lo == hi {
 			continue
 		}
-		gStart := len(offs)
+		gStart := len(views)
 		minLen := int(^uint(0) >> 1)
 		for _, fc := range feats[lo:hi] {
-			start := len(arena)
-			for _, p := range tr.GetByID(fc.ID) {
-				if p.Count >= fc.Count {
-					arena = append(arena, p.Graph)
-				}
-			}
-			n := len(arena) - start
-			if n == 0 {
-				s.arena, s.offs, s.groups = arena, offs, groups
+			pl := tr.GetByID(fc.ID)
+			if pl.Len() == 0 {
+				s.arena, s.views, s.groups = arena, views, groups
 				return nil
 			}
-			if n < minLen {
-				minLen = n
+			var v cfView
+			switch {
+			case fc.Count <= 0 || (fc.Count == 1 && pl.UniformCounts()):
+				// Threshold admits every posting: the container itself is
+				// the filtered list.
+				v = cfView{c: pl.IDs(), n: pl.Len()}
+			case pl.UniformCounts():
+				// Threshold ≥ 2 against all-count-1 postings: nothing passes.
+				s.arena, s.views, s.groups = arena, views, groups
+				return nil
+			default:
+				start := len(arena)
+				want := fc.Count
+				pl.Range(func(i int, g int32) bool {
+					if pl.CountAt(i) >= want {
+						arena = append(arena, g)
+					}
+					return true
+				})
+				if len(arena) == start {
+					s.arena, s.views, s.groups = arena, views, groups
+					return nil
+				}
+				v = cfView{lo: int32(start), hi: int32(len(arena)), n: len(arena) - start}
 			}
-			offs = append(offs, [2]int{start, len(arena)})
+			if v.n < minLen {
+				minLen = v.n
+			}
+			views = append(views, v)
 		}
-		groups = append(groups, [3]int{gStart, len(offs), minLen})
+		groups = append(groups, [3]int{gStart, len(views), minLen})
 	}
-	s.arena, s.offs = arena, offs
+	s.arena, s.views = arena, views
 
 	// Phase 2: intersect shard by shard, rarest shard first, folding the
 	// running partial into each group so it caps the group's work.
 	slices.SortFunc(groups, func(a, b [3]int) int { return a[2] - b[2] })
 	s.groups = groups
+	probeCost := tr.GallopProbeCost()
+	if len(groups) >= 2 && groups[0][2] >= parallelGroupMin && runtime.GOMAXPROCS(0) > 1 {
+		return s.filterParallel(probeCost)
+	}
 	var cur []int32
 	for gi, g := range groups {
-		lists := s.lists[:0]
+		vbuf := s.vbuf[:0]
 		if gi > 0 {
-			lists = append(lists, cur)
+			vbuf = append(vbuf, View{IDs: cur})
 		}
-		for _, o := range offs[g[0]:g[1]] {
-			lists = append(lists, arena[o[0]:o[1]])
-		}
-		s.lists = lists
-		part := IntersectMany(lists, &s.buf)
+		vbuf = s.appendGroupViews(vbuf, g)
+		s.vbuf = vbuf
+		part := IntersectViews(vbuf, probeCost, &s.vs)
 		if len(part) == 0 {
 			return nil
 		}
-		// Copy the partial out of the ping-pong buffers: the next group's
-		// IntersectMany reuses them.
+		// Copy the partial out of the intersection scratch: the next
+		// group's IntersectViews reuses it.
 		s.cur = append(s.cur[:0], part...)
 		cur = s.cur
+	}
+	return cur
+}
+
+// appendGroupViews assembles one shard group's intersection operands.
+func (s *CountFilterScratch) appendGroupViews(dst []View, g [3]int) []View {
+	for _, v := range s.views[g[0]:g[1]] {
+		if v.c != nil {
+			dst = append(dst, View{C: v.c})
+		} else {
+			dst = append(dst, View{IDs: s.arena[v.lo:v.hi]})
+		}
+	}
+	return dst
+}
+
+// filterParallel computes each shard group's intersection on its own
+// goroutine (bounded by GOMAXPROCS, 4, and the group count), then folds
+// the per-group partials rarest-first. Used only when every group's
+// rarest list clears parallelGroupMin — large enough that the lost
+// cross-group partial-threading is cheaper than the serial wall-clock.
+func (s *CountFilterScratch) filterParallel(probeCost int) []int32 {
+	groups := s.groups
+	if cap(s.parts) < len(groups) {
+		s.parts = make([][]int32, len(groups))
+	}
+	parts := s.parts[:len(groups)]
+	workers := min(runtime.GOMAXPROCS(0), len(groups), 4)
+	trie.ParallelFor(len(groups), workers, func(_ int, claim func() int) {
+		for gi := claim(); gi >= 0; gi = claim() {
+			vs := GetViewScratch()
+			views := s.appendGroupViews(make([]View, 0, groups[gi][1]-groups[gi][0]), groups[gi])
+			part := IntersectViews(views, probeCost, vs)
+			parts[gi] = append(parts[gi][:0], part...) // copy out before pooling
+			PutViewScratch(vs)
+		}
+	})
+	slices.SortFunc(parts, func(a, b []int32) int { return len(a) - len(b) })
+	cur := parts[0]
+	which := 0
+	for _, p := range parts[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		s.buf[which] = IntersectIntoCost(s.buf[which], cur, p, probeCost)
+		cur = s.buf[which]
+		which = 1 - which
+	}
+	if len(cur) == 0 {
+		return nil
 	}
 	return cur
 }

@@ -97,6 +97,7 @@ func (x *Index) Build(db []*graph.Graph) {
 	x.tr = trie.NewSharded(x.dict, x.opt.Shards)
 	x.log.NoteFullSave(0) // a rebuild invalidates any snapshot lineage
 	BuildPaths(x.tr, db, features.PathOptions{MaxLen: x.opt.MaxPathLen}, x.opt.BuildWorkers)
+	x.tr.SetGallopProbeCost(index.CalibrateGallopProbeCost(x.tr))
 }
 
 // BuildPaths runs the shared parallel path-index build pipeline: workers

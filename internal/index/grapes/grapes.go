@@ -22,7 +22,6 @@
 package grapes
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/features"
@@ -152,9 +151,11 @@ func (x *Index) Build(db []*graph.Graph) {
 				})
 			}
 		}
+		x.tr.SetGallopProbeCost(index.CalibrateGallopProbeCost(x.tr))
 		return
 	}
 	ggsx.BuildPaths(x.tr, db, opt, x.opt.BuildWorkers)
+	x.tr.SetGallopProbeCost(index.CalibrateGallopProbeCost(x.tr))
 }
 
 // enumerate splits the start-vertex range across Threads workers and merges
@@ -220,10 +221,9 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 	qf := x.queryFeatures(q)
 	var located []int32
 	for _, fc := range qf {
-		ps := x.tr.GetByID(fc.ID)
-		i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= id })
-		if i < len(ps) && ps[i].Graph == id {
-			located = unionInto(located, ps[i].Locs)
+		pl := x.tr.GetByID(fc.ID)
+		if i, ok := pl.Rank(id); ok {
+			located = unionInto(located, pl.LocsAt(i))
 		}
 	}
 	vs := make([]int, len(located))

@@ -15,22 +15,28 @@ import (
 // (exponential-probe) search over the longer side does O(|a|·log|b|/|a|)
 // work instead of O(|a|+|b|).
 
-// gallopProbeCost is the measured cost of one galloping probe step relative
-// to one step of the linear merge's branch-predictable scan (binary-search
-// probes miss branch prediction and jump across cache lines). Calibrated
-// against the skewed-intersect benchmarks below: at skew 4 the merge still
-// wins at every list size measured, at skew 8 galloping already wins, so
-// the model's switchover must land between them.
-const gallopProbeCost = 2
+// DefaultGallopProbeCost is the assumed cost of one galloping probe step
+// relative to one step of the linear merge's branch-predictable scan
+// (binary-search probes miss branch prediction and jump across cache
+// lines). Calibrated against the skewed-intersect benchmarks below: at
+// skew 4 the merge still wins at every list size measured, at skew 8
+// galloping already wins, so the model's switchover must land between
+// them. CalibrateGallopProbeCost (calibrate.go) re-measures the constant
+// per dataset at Build time; index owners thread the result through
+// Trie.SetGallopProbeCost.
+const DefaultGallopProbeCost = 2
 
-// shouldGallop picks the strategy from the two list lengths instead of a
-// fixed skew ratio: galloping costs about gallopProbeCost·log2(|b|/|a|)
-// probe steps per element of the short list, the merge scans all |a|+|b|
+// shouldGallop is shouldGallopCost at the package-default probe cost.
+func shouldGallop(la, lb int) bool { return shouldGallopCost(la, lb, DefaultGallopProbeCost) }
+
+// shouldGallopCost picks the strategy from the two list lengths instead of
+// a fixed skew ratio: galloping costs about probeCost·log2(|b|/|a|) probe
+// steps per element of the short list, the merge scans all |a|+|b|
 // elements once, so galloping wins exactly when the first estimate
-// undercuts the second (a switchover near 6× skew with the calibrated
-// probe cost, growing with the log term near the boundary, instead of the
+// undercuts the second (a switchover near 6× skew at the default probe
+// cost, growing with the log term near the boundary, instead of the
 // previous hard-coded 8×).
-func shouldGallop(la, lb int) bool {
+func shouldGallopCost(la, lb, probeCost int) bool {
 	if la == 0 {
 		return false
 	}
@@ -38,7 +44,7 @@ func shouldGallop(la, lb int) bool {
 	if r < 4 { // quick reject: well below any measured crossover
 		return false
 	}
-	return gallopProbeCost*la*bits.Len(uint(r)) < la+lb
+	return probeCost*la*bits.Len(uint(r)) < la+lb
 }
 
 // IntersectSortedGalloping returns the intersection of two ascending id
@@ -53,14 +59,23 @@ func IntersectSortedGalloping(a, b []int32) []int32 {
 // it, choosing between the linear merge and the galloping search by length
 // skew. dst may alias neither a nor b.
 func IntersectInto(dst, a, b []int32) []int32 {
+	return IntersectIntoCost(dst, a, b, DefaultGallopProbeCost)
+}
+
+// IntersectIntoCost is IntersectInto with an explicit (calibrated)
+// galloping probe cost; probeCost ≤ 0 selects the package default.
+func IntersectIntoCost(dst, a, b []int32, probeCost int) []int32 {
 	dst = dst[:0]
+	if probeCost <= 0 {
+		probeCost = DefaultGallopProbeCost
+	}
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	if len(a) == 0 {
 		return dst
 	}
-	if shouldGallop(len(a), len(b)) {
+	if shouldGallopCost(len(a), len(b), probeCost) {
 		return intersectGalloping(dst, a, b)
 	}
 	i, j := 0, 0

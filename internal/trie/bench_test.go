@@ -44,7 +44,7 @@ func BenchmarkGetByID(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if tr.GetByID(ids[i%len(ids)]) == nil {
+		if tr.GetByID(ids[i%len(ids)]).Len() == 0 {
 			b.Fatal("missing id")
 		}
 	}

@@ -21,20 +21,66 @@ func fuzzSeedTrie() *Trie {
 	return tr
 }
 
-// FuzzTrieReadFrom feeds arbitrary bytes — seeded with valid version-1 and
-// version-2 snapshots, journaled snapshots, truncations and bit flips —
-// into the snapshot decoder. The decoder must return an error or a valid
-// trie; it must never panic, and the sanity bounds must keep a lying
-// length field from forcing an absurd allocation.
+// fuzzDenseSeedTrie exercises every v3 container tag in one snapshot: a
+// contiguous block (runs), an even-id scatter (bitmap), a sparse array and
+// a dense feature with counts + locations riding along.
+func fuzzDenseSeedTrie() *Trie {
+	tr := NewSharded(features.NewDict(), 2)
+	for g := int32(0); g < 300; g++ {
+		tr.Insert("block", Posting{Graph: g, Count: 1})
+	}
+	for g := int32(0); g < 600; g += 2 {
+		tr.Insert("evens", Posting{Graph: g, Count: 1})
+	}
+	tr.Insert("sparse", Posting{Graph: 9, Count: 3, Locs: []int32{2, 5}})
+	tr.Insert("sparse", Posting{Graph: 412, Count: 1})
+	for g := int32(100); g < 260; g++ {
+		tr.Insert("sides", Posting{Graph: g, Count: 1 + g%3, Locs: []int32{g % 7}})
+	}
+	return tr
+}
+
+// FuzzTrieReadFrom feeds arbitrary bytes — seeded with valid snapshots of
+// every version (current v3 with all three container tags, hand-encoded
+// v1/v2 legacy grammars), journaled snapshots, truncations, bit flips and
+// hand-crafted corrupt container payloads — into the snapshot decoder. The
+// decoder must return an error or a valid trie; it must never panic, the
+// sanity bounds must keep a lying length field from forcing an absurd
+// allocation, and a failed load must leave the destination untouched.
 func FuzzTrieReadFrom(f *testing.F) {
-	// Seed: plain v2 snapshot (with a compacted dictionary).
+	// Seed: plain v3 snapshot (with a compacted dictionary).
 	var v2 bytes.Buffer
 	if _, err := fuzzSeedTrie().WriteTo(&v2); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(v2.Bytes())
 
-	// Seed: v2 snapshot with a journal section holding both op kinds.
+	// Seed: v3 snapshot carrying all three container tags (bitmap words,
+	// run intervals, arrays, counts and locations).
+	var dense bytes.Buffer
+	if _, err := fuzzDenseSeedTrie().WriteTo(&dense); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dense.Bytes())
+	f.Add(dense.Bytes()[:len(dense.Bytes())*2/3]) // truncated mid-container
+	dflip := append([]byte(nil), dense.Bytes()...)
+	dflip[len(dflip)/2] ^= 0x04
+	f.Add(dflip)
+
+	// Seeds: hand-encoded legacy v1/v2 snapshots (flat posting runs) over
+	// mixed-density data — the promotion path.
+	f.Add(encodeLegacySnapshot(1, 2, legacyDataset()))
+	f.Add(encodeLegacySnapshot(2, 4, legacyDataset()))
+
+	// Seeds: structurally invalid v3 container payloads behind valid frame
+	// CRCs, so the mutation engine starts from bytes that reach the
+	// container decoder (not just the envelope checks).
+	f.Add(v3Snapshot(append([]byte{3}, uv(2, 1, 1)...)))             // reserved tag
+	f.Add(v3Snapshot(append([]byte{segTagBitmap}, uv(3, 0, 0)...)))  // zero words
+	f.Add(v3Snapshot(append([]byte{segTagRuns}, uv(4, 1, 0, 2)...))) // length mismatch
+
+	// Seed: current-version snapshot with a journal section holding both op
+	// kinds.
 	tr := fuzzSeedTrie()
 	mut := tr.NewMutation()
 	mut.AppendGraph(3, []GraphFeature{{Key: "abd", Count: 2, Locs: []int32{0, 2}}, {Key: "q", Count: 1}})

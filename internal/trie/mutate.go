@@ -8,9 +8,14 @@ package trie
 //
 //   - shards that received no staged postings share their postings map with
 //     the base (one pointer copy);
-//   - an affected shard's map is copied once (pointer-sized entries), and
-//     only the posting slices of the features actually touched are
-//     re-allocated — untouched features keep sharing the base's slices;
+//   - an affected shard's map is copied once (small value entries), and
+//     only the features actually touched are re-allocated: the first edit
+//     materialises a feature's container into a flat working slice, later
+//     edits mutate that slice in place, and Apply seals every surviving
+//     edited feature back into canonical container form — so a batch costs
+//     one materialise + one seal per touched feature, and container
+//     encodings are re-chosen exactly where a feature crossed a density
+//     threshold. Untouched features keep sharing the base's containers;
 //   - the byte trie is updated by path copying: inserting or pruning a key
 //     clones the O(len(key)) nodes along its path and shares every other
 //     subtree with the base.
@@ -116,6 +121,7 @@ func (m *Mutation) Apply() *Trie {
 	for _, op := range m.ops {
 		a.apply(op)
 	}
+	a.seal()
 	return a.t
 }
 
@@ -126,31 +132,43 @@ type applier struct {
 	owned []bool             // shards whose postings map is private to t
 	nodes map[*node]struct{} // byte-trie nodes owned (cloned or created) by this applier
 
-	// ownedFeat marks features whose posting slice has already been copied
-	// out of the base by this applier: the first write to a feature copies
-	// its slice once (with growth room), every later write mutates the
-	// private copy in place — so a batch costs one copy per *touched
-	// feature*, not one per posting.
-	ownedFeat map[features.FeatureID]struct{}
+	// editing holds the flat working copies of features touched by this
+	// applier: the first edit materialises the base's container into a
+	// sorted []Posting once (with growth room), every later edit mutates
+	// that private slice in place, and seal() converts each survivor back
+	// to canonical container form — re-choosing the encoding for every
+	// feature that crossed a density threshold during the batch.
+	editing map[features.FeatureID][]Posting
 }
 
 func newApplier(base *Trie) *applier {
 	t := &Trie{
-		dict:   base.dict,
-		mask:   base.mask,
-		nodes:  base.nodes,
-		dead:   maps.Clone(base.dead),
-		shards: append([]shard(nil), base.shards...),
+		dict:      base.dict,
+		mask:      base.mask,
+		nodes:     base.nodes,
+		dead:      maps.Clone(base.dead),
+		shards:    append([]shard(nil), base.shards...),
+		policy:    base.policy,
+		probeCost: base.probeCost,
 	}
 	// The root is cloned up front so path copies below never write a node
 	// reachable from the base.
 	t.root = *cloneNode(&base.root)
 	return &applier{
-		t:         t,
-		owned:     make([]bool, len(t.shards)),
-		nodes:     map[*node]struct{}{},
-		ownedFeat: map[features.FeatureID]struct{}{},
+		t:       t,
+		owned:   make([]bool, len(t.shards)),
+		nodes:   map[*node]struct{}{},
+		editing: map[features.FeatureID][]Posting{},
 	}
+}
+
+// seal converts every surviving edited feature back into canonical
+// container form and installs it in its (applier-owned) shard map.
+func (a *applier) seal() {
+	for id, ps := range a.editing {
+		a.shardFor(id).posts[id] = sealPostings(a.t.policy, ps)
+	}
+	a.editing = nil
 }
 
 // cloneNode shallow-copies a byte-trie node with private label/children
@@ -171,7 +189,7 @@ func (a *applier) shardFor(id features.FeatureID) *shard {
 	if !a.owned[s] {
 		a.t.shards[s].posts = maps.Clone(a.t.shards[s].posts)
 		if a.t.shards[s].posts == nil {
-			a.t.shards[s].posts = make(map[features.FeatureID][]Posting)
+			a.t.shards[s].posts = make(map[features.FeatureID]PostingList)
 		}
 		a.owned[s] = true
 	}
@@ -199,30 +217,21 @@ func (a *applier) apply(op mutOp) {
 	}
 }
 
-// ownFeature hands back a posting slice private to this applier, copying
-// the base's slice (with growth room) on the feature's first touch.
-// Posting Locs stay shared with the base — they are never mutated in
-// place, only replaced.
-func (a *applier) ownFeature(id features.FeatureID, ps []Posting) []Posting {
-	if _, own := a.ownedFeat[id]; own {
-		return ps
-	}
-	a.ownedFeat[id] = struct{}{}
-	return append(make([]Posting, 0, len(ps)+4), ps...)
-}
-
 // insert adds one posting for key, interning it, re-creating the byte-trie
 // path when the feature is new to (or was drained from) this trie, and
 // resurrecting it from the dead set if needed.
 func (a *applier) insert(key string, p Posting) {
 	id := a.t.dict.Intern(key)
 	sh := a.shardFor(id)
-	ps, seen := sh.posts[id]
-	if !seen {
-		a.insertPathCOW(key, id)
-		delete(a.t.dead, id)
+	ps, editing := a.editing[id]
+	if !editing {
+		pl, seen := sh.posts[id]
+		if !seen {
+			a.insertPathCOW(key, id)
+			delete(a.t.dead, id)
+		}
+		ps = pl.appendPostings(make([]Posting, 0, pl.Len()+4))
 	}
-	ps = a.ownFeature(id, ps)
 	i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= p.Graph })
 	if i < len(ps) && ps[i].Graph == p.Graph {
 		ps[i].Count += p.Count
@@ -232,7 +241,7 @@ func (a *applier) insert(key string, p Posting) {
 		copy(ps[i+1:], ps[i:])
 		ps[i] = Posting{Graph: p.Graph, Count: p.Count, Locs: append([]int32(nil), p.Locs...)}
 	}
-	sh.posts[id] = ps
+	a.editing[id] = ps
 }
 
 // removePosting drops the posting of graph g under key, if present. A
@@ -244,9 +253,16 @@ func (a *applier) removePosting(key string, g int32) {
 		return
 	}
 	sh := a.shardFor(id)
-	ps, seen := sh.posts[id]
-	if !seen {
-		return
+	ps, editing := a.editing[id]
+	if !editing {
+		pl, seen := sh.posts[id]
+		if !seen {
+			return
+		}
+		if _, member := pl.Rank(g); !member {
+			return // avoid materialising a feature this op does not touch
+		}
+		ps = pl.appendPostings(make([]Posting, 0, pl.Len()))
 	}
 	i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= g })
 	if i >= len(ps) || ps[i].Graph != g {
@@ -254,7 +270,7 @@ func (a *applier) removePosting(key string, g int32) {
 	}
 	if len(ps) == 1 {
 		delete(sh.posts, id)
-		delete(a.ownedFeat, id)
+		delete(a.editing, id)
 		a.removePathCOW(key)
 		if a.t.dead == nil {
 			a.t.dead = make(map[features.FeatureID]struct{})
@@ -262,9 +278,8 @@ func (a *applier) removePosting(key string, g int32) {
 		a.t.dead[id] = struct{}{}
 		return
 	}
-	ps = a.ownFeature(id, ps)
 	ps = append(ps[:i], ps[i+1:]...)
-	sh.posts[id] = ps
+	a.editing[id] = ps
 }
 
 // child returns n's child for byte b and its index, or (nil, insertion

@@ -1,6 +1,6 @@
 package trie
 
-// On-disk segment format (version 2)
+// On-disk segment format (version 3)
 //
 // A persisted trie is one header, one segment per postings shard, and —
 // since version 2 — a trailing *section stream* that carries O(delta)
@@ -8,11 +8,16 @@ package trie
 // (encoding/binary) unless noted; everything ordered is delta-encoded
 // against the previous value, so the sorted postings lists and ID-ordered
 // dictionaries that the in-memory store already maintains shrink to
-// near-entropy on disk.
+// near-entropy on disk. Since version 3 each feature's graph-ID set is
+// stored in its in-memory container encoding directly (container.go):
+// dense features persist as raw bitmap words and clustered features as
+// run intervals, so the densest posting lists — the ones that dominated
+// version-2 files — shrink by the same factor on disk as in RAM and
+// decode without re-encoding.
 //
 //	header:
 //	  magic   "IGQTRIE" (7 bytes)
-//	  version uvarint   (currently 2)
+//	  version uvarint   (currently 3)
 //	  shards  uvarint   (power of two in [1, 64] — the saved layout)
 //	  nkeys   uvarint   (dictionary size; live vocabulary only — see below)
 //	  nkeys × { klen uvarint, key bytes }   — keys in FeatureID order
@@ -23,18 +28,57 @@ package trie
 //	    nfeat uvarint
 //	    nfeat × {           — features in ascending FeatureID order
 //	      idΔ    uvarint    (delta to the previous feature's ID)
-//	      nposts uvarint    (≥ 1 in version ≥ 2 snapshots)
-//	      nposts × {        — postings in ascending graph-id order
-//	        graphΔ uvarint  (delta to the previous posting's graph id)
-//	        count  uvarint
-//	        nlocs  uvarint
-//	        nlocs × locΔ uvarint   — sorted, deduplicated vertex ids
-//	      }
+//	      posting list      (version ≥ 3 form below; see "Legacy postings"
+//	                         for the version ≤ 2 form)
 //	    }
 //	  }
 //	sections (version ≥ 2):
 //	  { 'J' seclen uvarint, crc uint32 LE, journal body }*   — see journal.go
 //	  'E'               — terminator
+//
+//	posting list (version ≥ 3):
+//	  flags byte        — bits 0–1: container tag (0 array, 1 bitmap,
+//	                      2 runs; 3 reserved), bit 2: counts present,
+//	                      bit 3: locations present, bits 4–7 reserved (0)
+//	  card  uvarint     (cardinality, ≥ 1)
+//	  payload by tag:
+//	    array:  card × graphΔ uvarint    — strictly ascending graph ids
+//	    bitmap: baseword uvarint         (first word index = min graph ÷ 64)
+//	            nwords   uvarint         (≥ 1)
+//	            nwords × uint64 LE       — raw bitmap words; first and last
+//	                                       non-zero, total popcount = card
+//	    runs:   nruns uvarint            (≥ 1)
+//	            nruns × { gap uvarint, len uvarint }
+//	                — run i covers [start, start+len] inclusive, where
+//	                  start = prevEnd + 2 + gap (prevEnd = -2 before the
+//	                  first run): gaps are stored minus the structural
+//	                  minimum of 2, so adjacent or overlapping runs are
+//	                  unrepresentable; Σ(len+1) must equal card
+//	  counts, iff flag bit 2:
+//	    card × count uvarint             — at least one ≠ 1 (an all-1 count
+//	                                       array is stored by omission)
+//	  locations, iff flag bit 3:
+//	    card × { nlocs uvarint, nlocs × locΔ uvarint }
+//	                                     — at least one entry non-empty
+//
+//	Legacy postings (version ≤ 2), for each feature:
+//	  nposts uvarint   (≥ 1 in version-2 snapshots; 0 legal in version 1)
+//	  nposts × {       — postings in ascending graph-id order
+//	    graphΔ uvarint (delta to the previous posting's graph id)
+//	    count  uvarint
+//	    nlocs  uvarint
+//	    nlocs × locΔ uvarint   — sorted, deduplicated vertex ids
+//	  }
+//
+// Container canonicalisation: a well-formed writer always emits the
+// canonical encoding (kindFor — a pure function of the member set under
+// the writer's container policy), so byte-identical logical state yields
+// byte-identical files. The *reader* does not require canonical input:
+// any structurally valid container is accepted and promoted to the
+// reader's canonical kind on decode — which is also how version-1/2
+// snapshots load: their flat posting runs decode and are promoted
+// ("arrays first, re-encoded where density warrants") with no separate
+// migration step.
 //
 // Design notes:
 //
@@ -109,6 +153,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"math/bits"
 	"runtime"
 	"slices"
 
@@ -117,7 +162,15 @@ import (
 
 const (
 	persistMagic   = "IGQTRIE"
-	persistVersion = 2
+	persistVersion = 3
+
+	// Container tags and flag bits of a version ≥ 3 posting list.
+	segTagArray   = 0
+	segTagBitmap  = 1
+	segTagRuns    = 2
+	segTagMask    = 0x03
+	segFlagCounts = 1 << 2
+	segFlagLocs   = 1 << 3
 
 	// Section tags of the version ≥ 2 trailing stream.
 	sectionJournal = 'J'
@@ -192,8 +245,8 @@ func (t *Trie) WriteTo(w io.Writer) (int64, error) {
 		for s := range t.shards {
 			sh := &t.shards[s]
 			feats = feats[:0]
-			for id, ps := range sh.posts {
-				feats = append(feats, segFeature{id: id, ps: ps})
+			for id, pl := range sh.posts {
+				feats = append(feats, segFeature{id: id, pl: pl})
 			}
 			sortSegFeatures(feats)
 			if err := writeSeg(feats); err != nil {
@@ -207,10 +260,10 @@ func (t *Trie) WriteTo(w io.Writer) (int64, error) {
 		buckets := make([][]segFeature, len(t.shards))
 		mask := t.mask
 		for s := range t.shards {
-			for id, ps := range t.shards[s].posts {
+			for id, pl := range t.shards[s].posts {
 				wid := remap[id]
 				b := uint32(wid) & mask
-				buckets[b] = append(buckets[b], segFeature{id: wid, ps: ps})
+				buckets[b] = append(buckets[b], segFeature{id: wid, pl: pl})
 			}
 		}
 		for _, feats := range buckets {
@@ -229,7 +282,7 @@ func (t *Trie) WriteTo(w io.Writer) (int64, error) {
 // segFeature pairs one feature's written ID with its postings.
 type segFeature struct {
 	id features.FeatureID
-	ps []Posting
+	pl PostingList
 }
 
 func sortSegFeatures(feats []segFeature) {
@@ -252,15 +305,63 @@ func appendSegment(buf []byte, feats []segFeature) []byte {
 	for _, f := range feats {
 		buf = binary.AppendUvarint(buf, uint64(f.id-prev))
 		prev = f.id
-		buf = binary.AppendUvarint(buf, uint64(len(f.ps)))
+		buf = appendPostingList(buf, f.pl)
+	}
+	return buf
+}
+
+// appendPostingList encodes one feature's posting list in the version-3
+// container form: the in-memory container serialises directly, which is
+// what makes equal logical state byte-identical on disk (the container
+// kind is a pure function of the member set).
+func appendPostingList(buf []byte, pl PostingList) []byte {
+	flags := byte(segTagArray)
+	switch pl.ids.Kind() {
+	case KindBitmap:
+		flags = segTagBitmap
+	case KindRuns:
+		flags = segTagRuns
+	}
+	if pl.counts != nil {
+		flags |= segFlagCounts
+	}
+	if pl.locs != nil {
+		flags |= segFlagLocs
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(pl.ids.Len()))
+	switch c := pl.ids.(type) {
+	case *ArrayContainer:
 		prevG := int32(0)
-		for _, p := range f.ps {
-			buf = binary.AppendUvarint(buf, uint64(p.Graph-prevG))
-			prevG = p.Graph
-			buf = binary.AppendUvarint(buf, uint64(p.Count))
-			buf = binary.AppendUvarint(buf, uint64(len(p.Locs)))
+		for _, g := range c.ids {
+			buf = binary.AppendUvarint(buf, uint64(g-prevG))
+			prevG = g
+		}
+	case *BitmapContainer:
+		buf = binary.AppendUvarint(buf, uint64(c.base)>>6)
+		buf = binary.AppendUvarint(buf, uint64(len(c.words)))
+		for _, w := range c.words {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	case *RunContainer:
+		buf = binary.AppendUvarint(buf, uint64(len(c.runs)))
+		prevEnd := int64(-2)
+		for _, run := range c.runs {
+			buf = binary.AppendUvarint(buf, uint64(int64(run.Start)-prevEnd-2))
+			buf = binary.AppendUvarint(buf, uint64(run.End-run.Start))
+			prevEnd = int64(run.End)
+		}
+	}
+	if pl.counts != nil {
+		for _, c := range pl.counts {
+			buf = binary.AppendUvarint(buf, uint64(c))
+		}
+	}
+	if pl.locs != nil {
+		for _, locs := range pl.locs {
+			buf = binary.AppendUvarint(buf, uint64(len(locs)))
 			prevL := int32(0)
-			for _, l := range p.Locs {
+			for _, l := range locs {
 				buf = binary.AppendUvarint(buf, uint64(l-prevL))
 				prevL = l
 			}
@@ -525,10 +626,9 @@ func (t *Trie) readFrom(cr *countingScanner, opt LoadOptions) (*TailRecovery, er
 	// correctness is identical either way. Version-1 snapshots may carry
 	// features with zero postings (drained by the old RemoveGraph); version
 	// ≥ 2 writers never emit them, so the decoder rejects them there.
-	allowEmpty := version < 2
 	shards := make([]shard, k)
 	for i := range shards {
-		shards[i].posts = make(map[features.FeatureID][]Posting)
+		shards[i].posts = make(map[features.FeatureID]PostingList)
 	}
 	mask := uint32(k - 1)
 	perSeg := make([][]features.FeatureID, k)
@@ -536,7 +636,7 @@ func (t *Trie) readFrom(cr *countingScanner, opt LoadOptions) (*TailRecovery, er
 		errs := make([]error, k) // one slot per segment: no cross-worker writes
 		ParallelFor(k, workers, func(_ int, claim func() int) {
 			for s := claim(); s >= 0; s = claim() {
-				perSeg[s], errs[s] = decodeSegment(segs[s], shards[s].posts, remap, mask, uint32(s), allowEmpty)
+				perSeg[s], errs[s] = decodeSegment(segs[s], shards[s].posts, remap, mask, uint32(s), version, t.policy)
 			}
 		})
 		for s, err := range errs {
@@ -545,16 +645,16 @@ func (t *Trie) readFrom(cr *countingScanner, opt LoadOptions) (*TailRecovery, er
 			}
 		}
 	} else {
-		staged := make(map[features.FeatureID][]Posting)
+		staged := make(map[features.FeatureID]PostingList)
 		for s := 0; s < k; s++ {
-			ids, err := decodeSegment(segs[s], staged, remap, 0, 0, allowEmpty)
+			ids, err := decodeSegment(segs[s], staged, remap, 0, 0, version, t.policy)
 			if err != nil {
 				return nil, fmt.Errorf("segment %d: %w", s, err)
 			}
 			perSeg[s] = ids
 		}
-		for id, ps := range staged {
-			shards[uint32(id)&mask].posts[id] = ps
+		for id, pl := range staged {
+			shards[uint32(id)&mask].posts[id] = pl
 		}
 	}
 
@@ -646,10 +746,11 @@ func readFullCapped(r io.Reader, n uint64) ([]byte, error) {
 // decodeSegment decodes one segment body into posts, remapping feature IDs.
 // With wantMask != 0 callers assert every decoded (remapped) ID belongs to
 // shard wantShard — the identity-remap fast path, where posts is that
-// shard's private map. allowEmpty admits features with zero postings
-// (legal only in version-1 snapshots). Returns the decoded (remapped)
-// feature IDs.
-func decodeSegment(body []byte, posts map[features.FeatureID][]Posting, remap []features.FeatureID, wantMask, wantShard uint32, allowEmpty bool) ([]features.FeatureID, error) {
+// shard's private map. version selects the posting-list wire form (≥ 3:
+// containers; ≤ 2: flat runs, with empty features legal only in version
+// 1); decoded lists are promoted to the canonical container kind under
+// policy. Returns the decoded (remapped) feature IDs.
+func decodeSegment(body []byte, posts map[features.FeatureID]PostingList, remap []features.FeatureID, wantMask, wantShard uint32, version uint64, policy ContainerPolicy) ([]features.FeatureID, error) {
 	d := segDecoder{b: body}
 	nFeat, err := d.uvarint()
 	if err != nil || nFeat > uint64(len(body)) {
@@ -674,65 +775,260 @@ func decodeSegment(body []byte, posts map[features.FeatureID][]Posting, remap []
 		if wantMask != 0 && uint32(id)&wantMask != wantShard {
 			return nil, fmt.Errorf("%w: feature ID %d in wrong segment", ErrCorrupt, oldID)
 		}
-		nPosts, err := d.uvarint()
-		if err != nil || nPosts > uint64(len(body)) {
-			return nil, fmt.Errorf("%w: postings count", ErrCorrupt)
+		var pl PostingList
+		if version >= 3 {
+			pl, err = d.decodePostingList(policy)
+		} else {
+			pl, err = d.decodeLegacyPostings(version, policy)
 		}
-		if nPosts == 0 && !allowEmpty {
-			return nil, fmt.Errorf("%w: feature with no postings", ErrCorrupt)
+		if err != nil {
+			return nil, err
 		}
-		ps := make([]Posting, 0, nPosts)
-		var prevG uint64
-		for p := uint64(0); p < nPosts; p++ {
-			gDelta, err := d.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			g := prevG + gDelta
-			if p > 0 && gDelta == 0 {
-				return nil, fmt.Errorf("%w: duplicate posting graph id", ErrCorrupt)
-			}
-			prevG = g
-			count, err := d.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			nLocs, err := d.uvarint()
-			if err != nil || nLocs > uint64(len(body)) {
-				return nil, fmt.Errorf("%w: location count", ErrCorrupt)
-			}
-			if g > math.MaxInt32 || count > math.MaxInt32 {
-				return nil, fmt.Errorf("%w: posting field overflow", ErrCorrupt)
-			}
-			var locs []int32
-			if nLocs > 0 {
-				locs = make([]int32, nLocs)
-				var prevL uint64
-				for l := range locs {
-					lDelta, err := d.uvarint()
-					if err != nil {
-						return nil, err
-					}
-					v := prevL + lDelta
-					if l > 0 && lDelta == 0 {
-						return nil, fmt.Errorf("%w: duplicate location", ErrCorrupt)
-					}
-					if v > math.MaxInt32 {
-						return nil, fmt.Errorf("%w: location overflow", ErrCorrupt)
-					}
-					prevL = v
-					locs[l] = int32(v)
-				}
-			}
-			ps = append(ps, Posting{Graph: int32(g), Count: int32(count), Locs: locs})
-		}
-		posts[id] = ps
+		posts[id] = pl
 		ids = append(ids, id)
 	}
 	if d.off != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-d.off)
 	}
 	return ids, nil
+}
+
+// decodeLegacyPostings decodes one feature's version ≤ 2 flat posting run
+// and seals it into container form under policy — the version-1/2
+// promotion path.
+func (d *segDecoder) decodeLegacyPostings(version uint64, policy ContainerPolicy) (PostingList, error) {
+	var zero PostingList
+	body := d.b
+	nPosts, err := d.uvarint()
+	if err != nil || nPosts > uint64(len(body)) {
+		return zero, fmt.Errorf("%w: postings count", ErrCorrupt)
+	}
+	if nPosts == 0 && version >= 2 {
+		return zero, fmt.Errorf("%w: feature with no postings", ErrCorrupt)
+	}
+	ps := make([]Posting, 0, nPosts)
+	var prevG uint64
+	for p := uint64(0); p < nPosts; p++ {
+		gDelta, err := d.uvarint()
+		if err != nil {
+			return zero, err
+		}
+		g := prevG + gDelta
+		if p > 0 && gDelta == 0 {
+			return zero, fmt.Errorf("%w: duplicate posting graph id", ErrCorrupt)
+		}
+		prevG = g
+		count, err := d.uvarint()
+		if err != nil {
+			return zero, err
+		}
+		if g > math.MaxInt32 || count > math.MaxInt32 {
+			return zero, fmt.Errorf("%w: posting field overflow", ErrCorrupt)
+		}
+		locs, err := d.decodeLocs()
+		if err != nil {
+			return zero, err
+		}
+		ps = append(ps, Posting{Graph: int32(g), Count: int32(count), Locs: locs})
+	}
+	return sealPostings(policy, ps), nil
+}
+
+// decodePostingList decodes one feature's version ≥ 3 container-form
+// posting list, validating every structural invariant (the fuzz targets
+// drive this path with corrupt payloads), and promotes a non-canonical but
+// valid container to the reader's canonical kind.
+func (d *segDecoder) decodePostingList(policy ContainerPolicy) (PostingList, error) {
+	var zero PostingList
+	flags, err := d.byte()
+	if err != nil {
+		return zero, err
+	}
+	if flags&^(segTagMask|segFlagCounts|segFlagLocs) != 0 {
+		return zero, fmt.Errorf("%w: unknown posting-list flags %#x", ErrCorrupt, flags)
+	}
+	card, err := d.uvarint()
+	if err != nil {
+		return zero, err
+	}
+	if card == 0 {
+		return zero, fmt.Errorf("%w: feature with no postings", ErrCorrupt)
+	}
+	var c Container
+	nruns := 0
+	switch flags & segTagMask {
+	case segTagArray:
+		if card > uint64(d.remaining()) {
+			return zero, fmt.Errorf("%w: array cardinality", ErrCorrupt)
+		}
+		ids := make([]int32, card)
+		var prevG uint64
+		for i := range ids {
+			gDelta, err := d.uvarint()
+			if err != nil {
+				return zero, err
+			}
+			g := prevG + gDelta
+			if i > 0 && gDelta == 0 {
+				return zero, fmt.Errorf("%w: duplicate posting graph id", ErrCorrupt)
+			}
+			if g > math.MaxInt32 {
+				return zero, fmt.Errorf("%w: graph id overflow", ErrCorrupt)
+			}
+			prevG = g
+			ids[i] = int32(g)
+		}
+		nruns = countRuns(ids)
+		c = &ArrayContainer{ids: ids}
+	case segTagBitmap:
+		baseWord, err := d.uvarint()
+		if err != nil {
+			return zero, err
+		}
+		nWords, err := d.uvarint()
+		if err != nil {
+			return zero, err
+		}
+		if nWords == 0 || nWords > uint64(d.remaining())/8 {
+			return zero, fmt.Errorf("%w: bitmap word count", ErrCorrupt)
+		}
+		if baseWord+nWords > 1<<25 { // max representable id must fit int32
+			return zero, fmt.Errorf("%w: bitmap span overflow", ErrCorrupt)
+		}
+		words := make([]uint64, nWords)
+		pop := 0
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(d.b[d.off:])
+			d.off += 8
+			pop += bits.OnesCount64(words[i])
+		}
+		if words[0] == 0 || words[len(words)-1] == 0 {
+			return zero, fmt.Errorf("%w: denormalised bitmap (zero edge word)", ErrCorrupt)
+		}
+		if uint64(pop) != card {
+			return zero, fmt.Errorf("%w: bitmap popcount %d ≠ cardinality %d", ErrCorrupt, pop, card)
+		}
+		b := &BitmapContainer{base: int32(baseWord << 6), words: words, card: int(card)}
+		nruns = b.runCount()
+		c = b
+	case segTagRuns:
+		nRuns, err := d.uvarint()
+		if err != nil {
+			return zero, err
+		}
+		if nRuns == 0 || nRuns > uint64(d.remaining())/2 || nRuns > card {
+			return zero, fmt.Errorf("%w: run count", ErrCorrupt)
+		}
+		runs := make([]Run, nRuns)
+		prevEnd := int64(-2)
+		total := uint64(0)
+		for i := range runs {
+			gap, err := d.uvarint()
+			if err != nil {
+				return zero, err
+			}
+			length, err := d.uvarint()
+			if err != nil {
+				return zero, err
+			}
+			start := prevEnd + 2 + int64(gap)
+			if length > math.MaxInt32 || start+int64(length) > math.MaxInt32 {
+				return zero, fmt.Errorf("%w: run overflow", ErrCorrupt)
+			}
+			runs[i] = Run{Start: int32(start), End: int32(start + int64(length))}
+			prevEnd = int64(runs[i].End)
+			total += length + 1
+		}
+		if total != card {
+			return zero, fmt.Errorf("%w: run lengths sum %d ≠ cardinality %d", ErrCorrupt, total, card)
+		}
+		nruns = int(nRuns)
+		c = &RunContainer{runs: runs, card: int(card)}
+	default:
+		return zero, fmt.Errorf("%w: reserved container tag", ErrCorrupt)
+	}
+	pl := PostingList{ids: c, nruns: int32(nruns)}
+	if flags&segFlagCounts != 0 {
+		if card > uint64(d.remaining()) {
+			return zero, fmt.Errorf("%w: counts length", ErrCorrupt)
+		}
+		counts := make([]int32, card)
+		uniform := true
+		for i := range counts {
+			v, err := d.uvarint()
+			if err != nil {
+				return zero, err
+			}
+			if v > math.MaxInt32 {
+				return zero, fmt.Errorf("%w: count overflow", ErrCorrupt)
+			}
+			if v != 1 {
+				uniform = false
+			}
+			counts[i] = int32(v)
+		}
+		if uniform {
+			return zero, fmt.Errorf("%w: denormalised counts (all 1)", ErrCorrupt)
+		}
+		pl.counts = counts
+	}
+	if flags&segFlagLocs != 0 {
+		if card > uint64(d.remaining()) {
+			return zero, fmt.Errorf("%w: locations length", ErrCorrupt)
+		}
+		locs := make([][]int32, card)
+		any := false
+		for i := range locs {
+			ls, err := d.decodeLocs()
+			if err != nil {
+				return zero, err
+			}
+			if len(ls) > 0 {
+				any = true
+			}
+			locs[i] = ls
+		}
+		if !any {
+			return zero, fmt.Errorf("%w: denormalised locations (all empty)", ErrCorrupt)
+		}
+		pl.locs = locs
+	}
+	// Promote a valid-but-non-canonical container to the reader's canonical
+	// kind (also the policy override point: an ArrayOnlyContainers reader
+	// flattens adaptive snapshots on load).
+	if want := kindFor(policy, c.Len(), c.Min(), c.Max(), nruns); want != c.Kind() {
+		pl.ids = buildContainer(want, c.AppendTo(make([]int32, 0, c.Len())))
+	}
+	return pl, nil
+}
+
+// decodeLocs decodes one posting's delta-encoded sorted location list.
+func (d *segDecoder) decodeLocs() ([]int32, error) {
+	nLocs, err := d.uvarint()
+	if err != nil || nLocs > uint64(d.remaining()) {
+		return nil, fmt.Errorf("%w: location count", ErrCorrupt)
+	}
+	if nLocs == 0 {
+		return nil, nil
+	}
+	locs := make([]int32, nLocs)
+	var prevL uint64
+	for l := range locs {
+		lDelta, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		v := prevL + lDelta
+		if l > 0 && lDelta == 0 {
+			return nil, fmt.Errorf("%w: duplicate location", ErrCorrupt)
+		}
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: location overflow", ErrCorrupt)
+		}
+		prevL = v
+		locs[l] = int32(v)
+	}
+	return locs, nil
 }
 
 // segDecoder is a varint cursor over one in-memory segment body.
@@ -750,6 +1046,19 @@ func (d *segDecoder) uvarint() (uint64, error) {
 	return v, nil
 }
 
+func (d *segDecoder) byte() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, fmt.Errorf("%w: truncated posting list", ErrCorrupt)
+	}
+	b := d.b[d.off]
+	d.off++
+	return b, nil
+}
+
+// remaining returns the undecoded byte count — the sanity bound for
+// length fields (every encoded element costs at least one byte).
+func (d *segDecoder) remaining() int { return len(d.b) - d.off }
+
 // Reshard redistributes the postings into k shards (normalised to a power
 // of two in [1, 64]; ≤ 0 selects DefaultShards()). Contents, Walk order,
 // NodeCount and all answers are unchanged — only the layout moves; posting
@@ -762,12 +1071,12 @@ func (t *Trie) Reshard(k int) {
 	}
 	shards := make([]shard, k)
 	for i := range shards {
-		shards[i].posts = make(map[features.FeatureID][]Posting)
+		shards[i].posts = make(map[features.FeatureID]PostingList)
 	}
 	mask := uint32(k - 1)
 	for s := range t.shards {
-		for id, ps := range t.shards[s].posts {
-			shards[uint32(id)&mask].posts[id] = ps
+		for id, pl := range t.shards[s].posts {
+			shards[uint32(id)&mask].posts[id] = pl
 		}
 	}
 	t.shards = shards

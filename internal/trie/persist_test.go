@@ -89,7 +89,7 @@ func TestTrieRoundTrip(t *testing.T) {
 						if id != wid {
 							t.Fatalf("key %q interned as %d, saved as %d", k, id, wid)
 						}
-						if !reflect.DeepEqual(got.GetByID(id), tr.GetByID(wid)) {
+						if !reflect.DeepEqual(got.GetByID(id).Postings(), tr.GetByID(wid).Postings()) {
 							t.Fatalf("postings for %q differ after load", k)
 						}
 					}
@@ -138,7 +138,7 @@ func TestTrieRoundTripRemap(t *testing.T) {
 		if !ok {
 			t.Fatalf("key %q missing from destination dictionary", key)
 		}
-		if !reflect.DeepEqual(got.GetByID(id), posts) {
+		if !reflect.DeepEqual(got.GetByID(id).Postings(), posts) {
 			t.Fatalf("postings for %q differ under remapped ID", key)
 		}
 	})

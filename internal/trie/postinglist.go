@@ -1,0 +1,314 @@
+package trie
+
+// PostingList is one feature's postings in container form: the graph-ID
+// set lives in a Container, and the two satellite payloads — occurrence
+// counts and Grapes vertex locations — live in rank-aligned arrays that
+// are elided entirely in the (overwhelmingly common) default case.
+//
+// Canonical-form invariants, maintained by every edit path:
+//
+//   - counts == nil ⇔ every count is 1 (the default multiplicity);
+//   - locs   == nil ⇔ no member carries locations;
+//   - the container kind is kindFor(policy, set) — a pure function of the
+//     member set.
+//
+// Together these make the in-memory representation (and therefore the v3
+// snapshot bytes and SizeBytes accounting) a function of the logical
+// postings alone, independent of the order of inserts, the number of
+// build workers, or how many save→load→mutate cycles produced it.
+
+import "slices"
+
+// PostingList is the container-backed replacement for []Posting. The zero
+// value is an empty list. It is a small value type: copy freely, but the
+// backing container/slices are shared by copies — mutation requires
+// exclusive ownership (build paths) or copy-on-write (Mutation.Apply).
+type PostingList struct {
+	ids    Container
+	counts []int32   // rank-aligned occurrence counts; nil ⇒ all 1
+	locs   [][]int32 // rank-aligned location sets; nil ⇒ none
+	nruns  int32     // maximal consecutive runs in ids (maintained incrementally)
+}
+
+// Len returns the number of postings.
+func (pl PostingList) Len() int {
+	if pl.ids == nil {
+		return 0
+	}
+	return pl.ids.Len()
+}
+
+// IDs returns the graph-ID container (nil when the list is empty).
+func (pl PostingList) IDs() Container { return pl.ids }
+
+// NumRuns returns the number of maximal consecutive graph-ID runs.
+func (pl PostingList) NumRuns() int { return int(pl.nruns) }
+
+// UniformCounts reports whether every posting has count 1, in O(1).
+func (pl PostingList) UniformCounts() bool { return pl.counts == nil }
+
+// HasLocs reports whether any posting carries vertex locations, in O(1).
+func (pl PostingList) HasLocs() bool { return pl.locs != nil }
+
+// CountAt returns the occurrence count of the posting at rank i.
+func (pl PostingList) CountAt(i int) int32 {
+	if pl.counts == nil {
+		return 1
+	}
+	return pl.counts[i]
+}
+
+// LocsAt returns the location set of the posting at rank i (shared; do
+// not modify).
+func (pl PostingList) LocsAt(i int) []int32 {
+	if pl.locs == nil {
+		return nil
+	}
+	return pl.locs[i]
+}
+
+// Rank returns the rank of graph g and whether it is present.
+func (pl PostingList) Rank(g int32) (int, bool) {
+	if pl.ids == nil {
+		return 0, false
+	}
+	return pl.ids.Rank(g)
+}
+
+// Range visits the graph IDs in ascending order with their ranks.
+func (pl PostingList) Range(fn func(i int, g int32) bool) {
+	if pl.ids != nil {
+		pl.ids.Range(fn)
+	}
+}
+
+// AppendIDs appends the graph IDs in ascending order.
+func (pl PostingList) AppendIDs(dst []int32) []int32 {
+	if pl.ids == nil {
+		return dst
+	}
+	return pl.ids.AppendTo(dst)
+}
+
+// Postings materialises the list as a fresh []Posting (the legacy flat
+// shape). Locs slices are shared with the list, not copied.
+func (pl PostingList) Postings() []Posting {
+	if pl.ids == nil {
+		return nil
+	}
+	return pl.appendPostings(make([]Posting, 0, pl.ids.Len()))
+}
+
+// appendPostings appends the materialised postings to dst.
+func (pl PostingList) appendPostings(dst []Posting) []Posting {
+	pl.Range(func(i int, g int32) bool {
+		dst = append(dst, Posting{Graph: g, Count: pl.CountAt(i), Locs: pl.LocsAt(i)})
+		return true
+	})
+	return dst
+}
+
+// SizeBytes approximates the in-memory footprint of the list's backing
+// storage (the PostingList header itself is accounted by the map entry).
+func (pl PostingList) SizeBytes() int {
+	if pl.ids == nil {
+		return 0
+	}
+	sz := pl.ids.SizeBytes()
+	if pl.counts != nil {
+		sz += 24 + 4*len(pl.counts)
+	}
+	if pl.locs != nil {
+		sz += 24
+		for _, ls := range pl.locs {
+			sz += 24 + 4*len(ls)
+		}
+	}
+	return sz
+}
+
+// sealPostings converts sorted, duplicate-free postings into canonical
+// container form under policy. The Graph IDs are copied; Locs slices are
+// shared. An empty input seals to the zero PostingList.
+func sealPostings(policy ContainerPolicy, ps []Posting) PostingList {
+	n := len(ps)
+	if n == 0 {
+		return PostingList{}
+	}
+	ids := make([]int32, n)
+	uniform, noLocs := true, true
+	nruns := 1
+	for i, p := range ps {
+		ids[i] = p.Graph
+		if p.Count != 1 {
+			uniform = false
+		}
+		if len(p.Locs) != 0 {
+			noLocs = false
+		}
+		if i > 0 && p.Graph != ps[i-1].Graph+1 {
+			nruns++
+		}
+	}
+	pl := PostingList{nruns: int32(nruns)}
+	pl.ids = buildContainer(kindFor(policy, n, ids[0], ids[n-1], nruns), ids)
+	if !uniform {
+		pl.counts = make([]int32, n)
+		for i, p := range ps {
+			pl.counts[i] = p.Count
+		}
+	}
+	if !noLocs {
+		pl.locs = make([][]int32, n)
+		for i, p := range ps {
+			pl.locs[i] = p.Locs
+		}
+	}
+	return pl
+}
+
+// reencode re-checks the container choice after an in-place edit and
+// converts when the set has crossed an encoding threshold.
+func (pl *PostingList) reencode(policy ContainerPolicy) {
+	want := kindFor(policy, pl.ids.Len(), pl.ids.Min(), pl.ids.Max(), int(pl.nruns))
+	if want == pl.ids.Kind() {
+		return
+	}
+	pl.ids = buildContainer(want, pl.ids.AppendTo(make([]int32, 0, pl.ids.Len())))
+}
+
+// add merges posting p into the list (same semantics as the legacy sorted
+// []Posting insert: counts of an existing graph accumulate, locations
+// union). Requires exclusive ownership of the list's backing storage.
+func (pl *PostingList) add(policy ContainerPolicy, p Posting) {
+	if pl.ids == nil {
+		*pl = sealPostings(policy, []Posting{{Graph: p.Graph, Count: p.Count, Locs: append([]int32(nil), p.Locs...)}})
+		return
+	}
+	r, ok := pl.ids.Rank(p.Graph)
+	if ok {
+		// Existing member: accumulate count, union locations.
+		if pl.counts == nil {
+			pl.counts = ones(pl.ids.Len())
+		}
+		pl.counts[r] += p.Count
+		if pl.counts[r] == 1 {
+			pl.normalizeCounts()
+		}
+		if len(p.Locs) > 0 {
+			if pl.locs == nil {
+				pl.locs = make([][]int32, pl.ids.Len())
+			}
+			pl.locs[r] = unionSorted(pl.locs[r], p.Locs)
+		}
+		return
+	}
+	// Structural insert at rank r: maintain the run count from the
+	// neighbours, then extend the container in place.
+	joins := 0
+	if p.Graph > -1<<31 && pl.ids.Contains(p.Graph-1) {
+		joins++
+	}
+	if p.Graph < 1<<31-1 && pl.ids.Contains(p.Graph+1) {
+		joins++
+	}
+	pl.nruns += int32(1 - joins)
+	switch c := pl.ids.(type) {
+	case *ArrayContainer:
+		c.insertAt(r, p.Graph)
+	case *BitmapContainer:
+		c.set(p.Graph)
+	case *RunContainer:
+		c.insert(p.Graph)
+	}
+	if pl.counts != nil {
+		pl.counts = slices.Insert(pl.counts, r, p.Count)
+	} else if p.Count != 1 {
+		pl.counts = slices.Insert(ones(pl.ids.Len()-1), r, p.Count)
+	}
+	if pl.locs != nil {
+		pl.locs = slices.Insert(pl.locs, r, append([]int32(nil), p.Locs...))
+	} else if len(p.Locs) > 0 {
+		pl.locs = slices.Insert(make([][]int32, pl.ids.Len()-1), r, append([]int32(nil), p.Locs...))
+	}
+	pl.reencode(policy)
+}
+
+// remove deletes graph g from the list. It reports whether g was present
+// and whether the list drained to empty. Requires exclusive ownership.
+func (pl *PostingList) remove(policy ContainerPolicy, g int32) (removed, drained bool) {
+	if pl.ids == nil {
+		return false, false
+	}
+	r, ok := pl.ids.Rank(g)
+	if !ok {
+		return false, false
+	}
+	if pl.ids.Len() == 1 {
+		*pl = PostingList{}
+		return true, true
+	}
+	left := g > -1<<31 && pl.ids.Contains(g-1)
+	right := g < 1<<31-1 && pl.ids.Contains(g+1)
+	switch {
+	case left && right:
+		pl.nruns++
+	case !left && !right:
+		pl.nruns--
+	}
+	switch c := pl.ids.(type) {
+	case *ArrayContainer:
+		c.removeAt(r)
+	case *BitmapContainer:
+		c.clear(g)
+	case *RunContainer:
+		c.remove(g)
+	}
+	if pl.counts != nil {
+		hot := pl.counts[r] != 1
+		pl.counts = slices.Delete(pl.counts, r, r+1)
+		if hot {
+			pl.normalizeCounts()
+		}
+	}
+	if pl.locs != nil {
+		hot := len(pl.locs[r]) != 0
+		pl.locs = slices.Delete(pl.locs, r, r+1)
+		if hot {
+			pl.normalizeLocs()
+		}
+	}
+	pl.reencode(policy)
+	return true, false
+}
+
+// normalizeCounts restores the counts-nil-iff-all-1 canonical invariant
+// after an edit that may have returned every count to 1.
+func (pl *PostingList) normalizeCounts() {
+	for _, c := range pl.counts {
+		if c != 1 {
+			return
+		}
+	}
+	pl.counts = nil
+}
+
+// normalizeLocs restores the locs-nil-iff-none canonical invariant after
+// an edit that may have dropped the last located posting.
+func (pl *PostingList) normalizeLocs() {
+	for _, ls := range pl.locs {
+		if len(ls) != 0 {
+			return
+		}
+	}
+	pl.locs = nil
+}
+
+// ones returns a fresh all-1 count slice.
+func ones(n int) []int32 {
+	c := make([]int32, n)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}

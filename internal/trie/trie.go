@@ -27,6 +27,14 @@
 // (digits, '.', ':' and a few letters), so binary search over a slice beats
 // per-node maps on both memory and cache behaviour.
 //
+// Postings are stored in cardinality-adaptive containers (container.go):
+// each feature's graph-ID set is an array, bitmap or run-length container
+// chosen by byte cost, with occurrence counts and Grapes vertex locations
+// in rank-aligned satellite arrays elided in the default case
+// (postinglist.go). The choice is a pure function of the member set, so
+// sequential builds, parallel merges, COW mutations and snapshot loads all
+// converge on identical representations.
+//
 // The store persists itself (WriteTo/ReadFrom): a versioned header carrying
 // the feature dictionary in ID order, then one independently-decodable,
 // CRC-guarded segment per shard with delta-encoded postings and location
@@ -77,7 +85,7 @@ func (n *node) ensureChild(b byte) *node {
 // shard is one independent slice of the postings space: every feature with
 // ID ≡ s (mod K) lives in shard s and nowhere else.
 type shard struct {
-	posts map[features.FeatureID][]Posting
+	posts map[features.FeatureID]PostingList
 }
 
 // Trie maps canonical feature keys to postings lists, with an ID-keyed,
@@ -106,6 +114,16 @@ type Trie struct {
 	// recovered is the tail-recovery report of the last ReadFrom (nil
 	// when that load was clean); see persist.go's durability section.
 	recovered *TailRecovery
+
+	// policy selects posting container encodings (AdaptiveContainers by
+	// default; ArrayOnlyContainers forces the flat reference encoding).
+	// Set before building; inherited by COW mutation and Reshard.
+	policy ContainerPolicy
+
+	// probeCost is the calibrated galloping probe cost used by the count
+	// filter's intersection cost model (0 ⇒ the package default). Written
+	// once at Build time by the index owner, before concurrent reads.
+	probeCost int
 }
 
 // maxShards bounds the shard count: beyond this the per-shard maps are too
@@ -150,10 +168,26 @@ func NewSharded(d *features.Dict, k int) *Trie {
 	k = normalizeShards(k)
 	t := &Trie{dict: d, shards: make([]shard, k), mask: uint32(k - 1)}
 	for i := range t.shards {
-		t.shards[i].posts = make(map[features.FeatureID][]Posting)
+		t.shards[i].posts = make(map[features.FeatureID]PostingList)
 	}
 	return t
 }
+
+// SetContainerPolicy selects how posting containers are encoded. Call
+// before inserting; an existing store is not re-encoded. The policy is
+// inherited by COW mutations (Mutation.Apply) and Reshard.
+func (t *Trie) SetContainerPolicy(p ContainerPolicy) { t.policy = p }
+
+// Policy returns the trie's container policy.
+func (t *Trie) Policy() ContainerPolicy { return t.policy }
+
+// SetGallopProbeCost records the calibrated galloping probe cost for this
+// dataset (see index.CalibrateGallopProbeCost); 0 restores the package
+// default. Called by index owners at Build time, before concurrent reads.
+func (t *Trie) SetGallopProbeCost(c int) { t.probeCost = c }
+
+// GallopProbeCost returns the calibrated probe cost (0 ⇒ default).
+func (t *Trie) GallopProbeCost() int { return t.probeCost }
 
 // Dict returns the trie's feature dictionary.
 func (t *Trie) Dict() *features.Dict { return t.dict }
@@ -175,6 +209,21 @@ func (t *Trie) Len() int {
 		n += len(t.shards[i].posts)
 	}
 	return n
+}
+
+// MaxPostingLen returns the cardinality of the longest posting list (0 for
+// an empty store) — the dataset shape statistic the intersection cost
+// model calibrates against.
+func (t *Trie) MaxPostingLen() int {
+	longest := 0
+	for i := range t.shards {
+		for _, pl := range t.shards[i].posts {
+			if n := pl.Len(); n > longest {
+				longest = n
+			}
+		}
+	}
+	return longest
 }
 
 // NodeCount returns the number of internal trie nodes (excluding the root),
@@ -207,7 +256,7 @@ func (t *Trie) Insert(key string, p Posting) {
 		t.insertPath(key, id)
 		delete(t.dead, id)
 	}
-	addPosting(sh, id, p)
+	t.addPosting(sh, id, p)
 }
 
 // InsertID adds (or merges) a posting for an already-interned feature — the
@@ -218,51 +267,49 @@ func (t *Trie) InsertID(id features.FeatureID, p Posting) {
 		t.insertPath(t.dict.Key(id), id)
 		delete(t.dead, id)
 	}
-	addPosting(sh, id, p)
+	t.addPosting(sh, id, p)
 }
 
-func addPosting(sh *shard, id features.FeatureID, p Posting) {
-	ps := sh.posts[id]
-	i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= p.Graph })
-	if i < len(ps) && ps[i].Graph == p.Graph {
-		ps[i].Count += p.Count
-		ps[i].Locs = unionSorted(ps[i].Locs, p.Locs)
-		sh.posts[id] = ps
-		return
-	}
-	ps = append(ps, Posting{})
-	copy(ps[i+1:], ps[i:])
-	ps[i] = Posting{Graph: p.Graph, Count: p.Count, Locs: append([]int32(nil), p.Locs...)}
-	sh.posts[id] = ps
+func (t *Trie) addPosting(sh *shard, id features.FeatureID, p Posting) {
+	pl := sh.posts[id]
+	pl.add(t.policy, p)
+	sh.posts[id] = pl
 }
 
-// Get returns the postings for key, or nil if the key was never inserted
-// into this trie. The returned slice is owned by the trie; callers must not
-// modify it.
+// Get materialises the postings for key as a flat []Posting, or nil if the
+// key was never inserted into this trie. The slice is freshly allocated;
+// hot paths use GetByID and read the container form directly.
 func (t *Trie) Get(key string) []Posting {
 	id, ok := t.dict.Lookup(key)
 	if !ok {
 		return nil
 	}
-	return t.shardFor(id).posts[id]
+	return t.shardFor(id).posts[id].Postings()
 }
 
-// GetByID returns the postings for an interned feature, or nil if this trie
-// holds none. The returned slice is owned by the trie. Lock-free: one mask
-// plus one map probe against an immutable shard.
-func (t *Trie) GetByID(id features.FeatureID) []Posting { return t.shardFor(id).posts[id] }
+// GetByID returns the postings for an interned feature (a zero PostingList
+// if this trie holds none). Lock-free: one mask plus one map probe against
+// an immutable shard.
+func (t *Trie) GetByID(id features.FeatureID) PostingList { return t.shardFor(id).posts[id] }
 
 // Contains reports whether key currently has at least one posting. A key
 // whose postings were all drained by RemoveGraph is no longer contained.
-func (t *Trie) Contains(key string) bool { return len(t.Get(key)) > 0 }
+func (t *Trie) Contains(key string) bool {
+	id, ok := t.dict.Lookup(key)
+	if !ok {
+		return false
+	}
+	return t.shardFor(id).posts[id].Len() > 0
+}
 
-// Walk visits every (key, postings) pair in lexicographic key order.
+// Walk visits every (key, postings) pair in lexicographic key order. The
+// postings slice is materialised fresh per key.
 func (t *Trie) Walk(fn func(key string, postings []Posting)) {
 	var buf []byte
 	var rec func(n *node)
 	rec = func(n *node) {
 		if n.terminal {
-			fn(string(buf), t.GetByID(n.id))
+			fn(string(buf), t.GetByID(n.id).Postings())
 		}
 		for i, b := range n.labels {
 			buf = append(buf, b)
@@ -283,12 +330,12 @@ func (t *Trie) Walk(fn func(key string, postings []Posting)) {
 func (t *Trie) RemoveGraph(id int32) {
 	for s := range t.shards {
 		posts := t.shards[s].posts
-		for fid, ps := range posts {
-			i := sort.Search(len(ps), func(i int) bool { return ps[i].Graph >= id })
-			if i >= len(ps) || ps[i].Graph != id {
+		for fid, pl := range posts {
+			removed, drained := pl.remove(t.policy, id)
+			if !removed {
 				continue
 			}
-			if len(ps) == 1 {
+			if drained {
 				delete(posts, fid)
 				t.removePath(t.dict.Key(fid))
 				if t.dead == nil {
@@ -297,7 +344,7 @@ func (t *Trie) RemoveGraph(id int32) {
 				t.dead[fid] = struct{}{}
 				continue
 			}
-			posts[fid] = append(ps[:i], ps[i+1:]...)
+			posts[fid] = pl
 		}
 	}
 }
@@ -349,11 +396,9 @@ func (t *Trie) SizeBytes() int {
 	rec(&t.root)
 	sz += 48 * len(t.shards) // shard headers
 	for s := range t.shards {
-		for _, ps := range t.shards[s].posts {
-			sz += 16 // postings-map entry
-			for _, p := range ps {
-				sz += 12 + 4*len(p.Locs)
-			}
+		for _, pl := range t.shards[s].posts {
+			sz += 48 // postings-map entry + PostingList header
+			sz += pl.SizeBytes()
 		}
 	}
 	return sz
@@ -559,9 +604,9 @@ func (t *Trie) mergeShard(s int, workers []*BuildWorker) []features.FeatureID {
 			run = append(run, Posting{Graph: sp.p.Graph, Count: sp.p.Count, Locs: append([]int32(nil), sp.p.Locs...)})
 		}
 		if old, seen := sh.posts[id]; seen {
-			sh.posts[id] = mergePostingRuns(old, run)
+			sh.posts[id] = sealPostings(t.policy, mergePostingRuns(old.Postings(), run))
 		} else {
-			sh.posts[id] = run
+			sh.posts[id] = sealPostings(t.policy, run)
 			newIDs = append(newIDs, id)
 		}
 		i = j

@@ -133,16 +133,16 @@ func TestSharedDictIDLookup(t *testing.T) {
 	if !ok {
 		t.Fatal("shared dict lost the key")
 	}
-	if ps := a.GetByID(id); len(ps) != 1 || ps[0].Graph != 0 {
+	if ps := a.GetByID(id).Postings(); len(ps) != 1 || ps[0].Graph != 0 {
 		t.Errorf("a.GetByID = %+v", ps)
 	}
-	if ps := b.GetByID(id); len(ps) != 1 || ps[0].Graph != 7 {
+	if ps := b.GetByID(id).Postings(); len(ps) != 1 || ps[0].Graph != 7 {
 		t.Errorf("b.GetByID = %+v", ps)
 	}
 	// a key interned by b but never inserted into a
 	id9, _ := d.Lookup("p:9")
-	if ps := a.GetByID(id9); ps != nil {
-		t.Errorf("a holds postings it never saw: %+v", ps)
+	if pl := a.GetByID(id9); pl.Len() != 0 {
+		t.Errorf("a holds postings it never saw: %+v", pl.Postings())
 	}
 	if a.Get("p:9") != nil {
 		t.Error("string Get leaked another trie's key")

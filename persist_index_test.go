@@ -89,6 +89,60 @@ func TestEngineSnapshotRoundTripIdentity(t *testing.T) {
 	}
 }
 
+// Regression: queries still pending in the credit window at shutdown used
+// to be dropped by Save — a server that answered fewer than Window distinct
+// queries since its last flush restarted with an empty cache. Save now
+// flushes the partial window, so pre-shutdown knowledge survives a
+// save/load cycle as cache hits.
+func TestEngineSaveCommitsPendingWindow(t *testing.T) {
+	db := smallDB(t)
+	opt := EngineOptions{Method: GGSX, CacheSize: 16, Window: 8}
+	eng, err := NewEngine(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer distinct queries than the window size: nothing has flushed.
+	qs := []*Graph{
+		ExtractQuery(db[0], 0, 5),
+		ExtractQuery(db[1], 1, 4),
+		ExtractQuery(db[2], 0, 6),
+	}
+	first := make([][]int32, len(qs))
+	for i, q := range qs {
+		res, err := eng.Query(context.Background(), q.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = res.IDs
+	}
+	if eng.CacheLen() != 0 {
+		t.Fatalf("premise: %d entries flushed before Save", eng.CacheLen())
+	}
+	var snap bytes.Buffer
+	if err := eng.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(bytes.NewReader(snap.Bytes()), db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CacheLen() != len(qs) {
+		t.Fatalf("restored cache holds %d entries, want %d", loaded.CacheLen(), len(qs))
+	}
+	for i, q := range qs {
+		res, err := loaded.Query(context.Background(), q.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.AnsweredByCache {
+			t.Errorf("query %d not answered from the restored cache", i)
+		}
+		if !reflect.DeepEqual(res.IDs, first[i]) {
+			t.Errorf("query %d answer %v != pre-shutdown %v", i, res.IDs, first[i])
+		}
+	}
+}
+
 // Loading a snapshot against a different dataset must fail with the
 // checksum error, for both the index-only and the combined path.
 func TestEngineSnapshotRejectsWrongDataset(t *testing.T) {
