@@ -7,7 +7,8 @@
 //
 //	igqserve -db dataset.db [-addr :7468] [-method grapes] [-super]
 //	         [-cache 500 -window 100] [-workers N -queue N]
-//	         [-snapshot engine.snap] [-delta index.idx -maintain-every 30s]
+//	         [-snapshot engine.snap] [-lazy [-lazy-budget BYTES]]
+//	         [-delta index.idx -maintain-every 30s]
 //	         [-timeout 10s -max-timeout 1m]
 //
 // The serving surface (see internal/server):
@@ -27,6 +28,13 @@
 // graceful shutdown: in-flight queries drain, then the snapshot is
 // written atomically.
 //
+// The port binds before the engine exists: until warm-up completes, GET
+// /healthz answers 200 "warming" and everything else answers 503 with
+// Retry-After — never connection-refused. -lazy maps the snapshot instead
+// of decoding it (segments load on first query, under the -lazy-budget
+// resident-byte cap), which shrinks that warming window to the metadata
+// read and lets the process serve an index bigger than RAM.
+//
 // -super additionally hosts a supergraph-containment engine on the same
 // dataset, served under mode=super and rebuilt after each mutation.
 package main
@@ -37,6 +45,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -58,6 +67,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "execution slots (0 = one per CPU)")
 		queue     = flag.Int("queue", 0, "admission slots beyond workers (0 = 4x workers)")
 		snapshot  = flag.String("snapshot", "", "engine snapshot path: restored at start if present, written on shutdown")
+		lazy      = flag.Bool("lazy", false, "map the snapshot lazily: serve once metadata is read, fault posting shards in on first touch")
+		lazyBudg  = flag.Int64("lazy-budget", 0, "resident posting-byte budget for -lazy (0 = unbounded)")
 		delta     = flag.String("delta", "", "index delta-journal lineage file for mutation persistence")
 		maintain  = flag.Duration("maintain-every", 30*time.Second, "journal maintenance interval (needs -delta)")
 		timeout   = flag.Duration("timeout", 10*time.Second, "default per-query deadline (0 = none)")
@@ -82,6 +93,22 @@ func main() {
 		fatal("igqserve: unknown method %q", *method)
 	}
 
+	// Bind before any engine work: from here on a probe sees "warming"
+	// (200 on /healthz, 503 elsewhere), never connection-refused. The
+	// warming window is the engine load below — with -lazy, just its
+	// metadata phase.
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("igqserve: %v", err)
+	}
+	warm := server.NewWarming()
+	hs := &http.Server{Handler: warm}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(l) }()
+	if !*quietLoad {
+		log.Printf("listening on %s (warming)", l.Addr())
+	}
+
 	db, err := igq.LoadGraphs(*dbPath)
 	if err != nil {
 		fatal("igqserve: loading dataset: %v", err)
@@ -91,8 +118,12 @@ func main() {
 	var eng *igq.Engine
 	if *snapshot != "" {
 		if _, statErr := os.Stat(*snapshot); statErr == nil {
+			var lopts []igq.EngineLoadOption
+			if *lazy {
+				lopts = append(lopts, igq.WithLazyLoad(*lazyBudg))
+			}
 			var rep igq.LoadReport
-			eng, rep, err = igq.LoadEngineFile(*snapshot, db, opt)
+			eng, rep, err = igq.LoadEngineFile(*snapshot, db, opt, lopts...)
 			if err != nil {
 				fatal("igqserve: restoring snapshot: %v", err)
 			}
@@ -101,10 +132,18 @@ func main() {
 					rec.DiscardedBytes, rec.DroppedOps, rep.Repaired)
 			}
 			if !*quietLoad {
-				log.Printf("restored %s engine over %d graphs from %s in %v",
-					eng.MethodName(), len(db), *snapshot, time.Since(t0))
+				if st := eng.Stats(); st.LazyLoaded {
+					log.Printf("lazily mapped %s engine over %d graphs from %s in %v (%d shards on demand, budget %d bytes)",
+						eng.MethodName(), len(db), *snapshot, time.Since(t0), st.TotalShards, st.LazyBudgetBytes)
+				} else {
+					log.Printf("restored %s engine over %d graphs from %s in %v",
+						eng.MethodName(), len(db), *snapshot, time.Since(t0))
+				}
 			}
 		}
+	}
+	if eng == nil && *lazy && !*quietLoad {
+		log.Printf("-lazy has no effect: no snapshot to map (building the index)")
 	}
 	if eng == nil {
 		eng, err = igq.NewEngine(db, opt)
@@ -144,12 +183,11 @@ func main() {
 	if err != nil {
 		fatal("igqserve: %v", err)
 	}
-	l, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatal("igqserve: %v", err)
+	warm.Ready(s.Handler())
+	s.StartBackground()
+	if !*quietLoad {
+		log.Printf("ready on %s (workers=%d)", l.Addr(), cfg.Workers)
 	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- s.Serve(l) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -158,6 +196,11 @@ func main() {
 		log.Printf("%s: draining (budget %v)", got, *drainTO)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
+		// Drain the outer listener first (it owns the connections), then
+		// the server's persistence steps (journal maintenance + snapshot).
+		if err := hs.Shutdown(ctx); err != nil {
+			fatal("igqserve: shutdown: %v", err)
+		}
 		if err := s.Shutdown(ctx); err != nil {
 			fatal("igqserve: shutdown: %v", err)
 		}

@@ -135,12 +135,40 @@ func FuzzLoadEngine(f *testing.F) {
 		db := fuzzDB()
 		opt := EngineOptions{Method: GGSX, MaxPathLen: 3, CacheSize: 4, Window: 1}
 
+		// Lazy leg: the mapped loader, with its deferred per-shard decodes
+		// forced back in via MaterializeIndex, must agree with the streaming
+		// loader on accept/reject and on the recovery report — corruption it
+		// defers to fault-in has to surface by materialisation, and it must
+		// never reject bytes the streaming loader accepts.
+		leng, lrep, lerr := loadEngineLazy(bytes.NewReader(data), db, opt, 0)
+		if lerr == nil {
+			lerr = leng.MaterializeIndex()
+		}
+
 		// Whole-engine restore: error or success (possibly with a salvaged
 		// torn tail), never a panic, never a half-applied state.
-		if eng, rep, err := LoadEngineReport(bytes.NewReader(data), db, opt); err == nil {
-			// A snapshot the loader accepts must actually serve.
-			if _, qerr := eng.Query(context.Background(), ExtractQuery(db[0], 0, 2)); qerr != nil {
+		eng, rep, err := LoadEngineReport(bytes.NewReader(data), db, opt)
+		if (err == nil) != (lerr == nil) {
+			t.Fatalf("lazy/eager accept disagreement: eager err=%v, lazy err=%v", err, lerr)
+		}
+		if err == nil {
+			if (rep.RecoveredTail == nil) != (lrep.RecoveredTail == nil) ||
+				(rep.RecoveredTail != nil && *rep.RecoveredTail != *lrep.RecoveredTail) ||
+				rep.CacheDiscarded != lrep.CacheDiscarded {
+				t.Fatalf("lazy/eager report disagreement: eager %+v, lazy %+v", rep, lrep)
+			}
+			// A snapshot the loader accepts must actually serve — and both
+			// loaders must serve the same answers.
+			er, qerr := eng.Query(context.Background(), ExtractQuery(db[0], 0, 2), WithoutCache())
+			if qerr != nil {
 				t.Fatalf("loaded engine cannot serve: %v", qerr)
+			}
+			lr, qerr := leng.Query(context.Background(), ExtractQuery(db[0], 0, 2), WithoutCache())
+			if qerr != nil {
+				t.Fatalf("lazily loaded engine cannot serve: %v", qerr)
+			}
+			if !reflect.DeepEqual(er.IDs, lr.IDs) {
+				t.Fatalf("lazy load answers %v, eager %v", lr.IDs, er.IDs)
 			}
 			if rep.RecoveredTail != nil {
 				// Self-heal idempotence: re-saving the recovered engine
@@ -157,7 +185,7 @@ func FuzzLoadEngine(f *testing.F) {
 		}
 
 		// Live-index rollback under arbitrary corruption.
-		eng, err := NewEngine(db, opt)
+		eng, err = NewEngine(db, opt)
 		if err != nil {
 			t.Fatal(err)
 		}

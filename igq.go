@@ -159,6 +159,34 @@
 // every persistence operation is killed at every byte boundary and the
 // reload differentially compared against pre- and post-op oracles.
 //
+// # Serving indexes bigger than RAM
+//
+// An eager load decodes every posting segment before the first query can
+// run — time-to-first-query is O(index) and peak memory is the whole
+// index. LoadEngineFile(..., WithLazyLoad(budget)) changes the shape of
+// both: the snapshot file is mapped (mmap where the platform has it, pread
+// otherwise), only the cheap metadata is decoded up front — header,
+// feature dictionary, the per-shard segment directory, and a full scan of
+// any delta-journal tail (torn tails recover exactly as in an eager load)
+// — and each posting shard is decoded on the first query that touches it,
+// CRC-verified at that moment. Time-to-first-query becomes O(touched
+// shards); budget bounds the decoded bytes kept resident, with
+// least-recently-touched shards evicted and re-decoded (re-verified) on
+// the next touch, so the engine serves snapshots larger than memory.
+//
+// Laziness is observationally invisible: answers, statistics and re-saved
+// bytes are identical to an eager load's — only latency and residency
+// move. The differences that do show: the snapshot file must stay intact
+// behind the engine (Engine.Close releases it; MaterializeIndex faults
+// everything in first so serving can continue without the file), mutations
+// force full materialisation before applying, and corruption confined to
+// one shard surfaces on first touch — as a contained *PanicError wrapping
+// trie.ErrCorrupt on queries routed to that shard — instead of failing the
+// load, leaving every other shard serving. Engine.Stats and
+// Engine.Residency expose the moving parts (resident shards and bytes,
+// fault and eviction counts); the "lazyload" experiment gates the
+// time-to-first-query win and the budget ceiling.
+//
 // # Serving
 //
 // The streaming primitive is Engine.QueryStream: feed query graphs on a
@@ -338,6 +366,10 @@ type Engine struct {
 	// Queries never take it.
 	mutMu sync.Mutex
 
+	// lazySrc is the snapshot mapping backing a lazily loaded index (nil
+	// otherwise); guarded by mutMu, released by Close/MaterializeIndex.
+	lazySrc io.Closer
+
 	// ig is the cache generation currently serving queries; LoadCache swaps
 	// it atomically. A nil pointer means the cache is disabled.
 	ig atomic.Pointer[core.IGQ]
@@ -390,6 +422,16 @@ type EngineStats struct {
 	CachedQueries   int   // current committed cache population
 	WindowPending   int   // admissions awaiting the next flush
 	Flushes         int   // window flushes (cache-index rebuilds) so far
+
+	// Residency of a lazily loaded dataset index (see WithLazyLoad); all
+	// zero for eagerly loaded or freshly built engines.
+	LazyLoaded      bool  // serving from a lazy snapshot, not yet materialised
+	TotalShards     int   // posting shards in the dataset index
+	ResidentShards  int   // shards currently decoded in memory
+	ResidentBytes   int64 // decoded posting bytes currently resident
+	LazyBudgetBytes int64 // configured residency budget (0 = unbounded)
+	ShardFaults     int64 // segment fault-ins since load (refaults included)
+	ShardEvictions  int64 // shards evicted under the budget
 }
 
 // newMethod constructs the (unbuilt) dataset index selected by opt, which
@@ -644,6 +686,15 @@ func (e *Engine) Stats() EngineStats {
 		st.WindowPending = ig.WindowLen()
 		st.Flushes = ig.Flushes()
 	}
+	if res := e.Residency(); res.Lazy {
+		st.LazyLoaded = !res.Materialized
+		st.TotalShards = res.TotalShards
+		st.ResidentShards = res.ResidentShards
+		st.ResidentBytes = res.ResidentBytes
+		st.LazyBudgetBytes = res.BudgetBytes
+		st.ShardFaults = res.Faults
+		st.ShardEvictions = res.Evictions
+	}
 	return st
 }
 
@@ -836,6 +887,12 @@ func (e *Engine) AddGraphs(ctx context.Context, gs []*Graph) error {
 	if !ok {
 		return fmt.Errorf("igq: method %s: %w", v.m.Name(), index.ErrNotMutable)
 	}
+	// A lazily loaded index must be fully resident before copy-on-write
+	// mutation; forcing it here surfaces deferred corruption as an error
+	// instead of a panic mid-apply.
+	if err := e.materializeIndexLocked(); err != nil {
+		return err
+	}
 	newM, newDB, err := mm.AppendGraphs(gs)
 	if err != nil {
 		return fmt.Errorf("igq: appending graphs: %w", err)
@@ -884,6 +941,10 @@ func (e *Engine) RemoveGraphs(ctx context.Context, positions []int) error {
 	}
 	if len(preDB) == 0 {
 		return errors.New("igq: removal would empty the dataset")
+	}
+	// See AddGraphs: mutation requires a fully resident index.
+	if err := e.materializeIndexLocked(); err != nil {
+		return err
 	}
 	newM, newDB, mapping, err := mm.RemoveGraphs(positions)
 	if err != nil {
@@ -1100,7 +1161,25 @@ func SaveIndexFile(path string, e *Engine) error {
 // rewritten (atomically) as a clean snapshot of the recovered state, so
 // the next start loads cleanly and the file accepts delta appends again.
 // LoadReport.Repaired reports the rewrite.
-func LoadEngineFile(path string, db []*Graph, opt EngineOptions) (*Engine, LoadReport, error) {
+//
+// With WithLazyLoad the snapshot is mapped rather than decoded: posting
+// segments load on first touch under the given residency budget, and the
+// returned engine holds the mapping open (release with Engine.Close). The
+// self-healing behaviour is unchanged — repairing a torn tail materialises
+// the index first.
+func LoadEngineFile(path string, db []*Graph, opt EngineOptions, lopts ...EngineLoadOption) (*Engine, LoadReport, error) {
+	var lcfg engineLoadConfig
+	for _, o := range lopts {
+		o(&lcfg)
+	}
+	if lcfg.lazy {
+		return loadEngineFileLazy(path, db, opt, lcfg.budget)
+	}
+	return loadEngineFileEager(path, db, opt)
+}
+
+// loadEngineFileEager is the decode-everything load path.
+func loadEngineFileEager(path string, db []*Graph, opt EngineOptions) (*Engine, LoadReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, LoadReport{}, err

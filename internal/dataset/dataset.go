@@ -164,7 +164,7 @@ func applyEdgeLabels(rng *rand.Rand, g *graph.Graph, domain int) {
 		relabeled.AddEdgeLabeled(x.u, x.v, l)
 	}
 	relabeled.ID = g.ID
-	*g = *relabeled
+	g.CopyFrom(relabeled)
 }
 
 // sampleNodes draws a truncated-normal vertex count.

@@ -10,6 +10,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Label is a vertex label. The paper's formal model uses an arbitrary label
@@ -41,6 +42,12 @@ type Graph struct {
 	adj     [][]int32
 	elabels [][]Label // edge labels aligned with adj; nil when all zero
 	edges   int
+
+	// fp memoises Fingerprint (0 = not yet computed). Structural mutators
+	// reset it; Fingerprint is on the per-query cache path and the
+	// snapshot-load dataset guard, both of which revisit the same immutable
+	// graphs, so recomputing the WL refinement every time is pure waste.
+	fp atomic.Uint64
 }
 
 // New returns an empty graph with capacity hints for n vertices.
@@ -64,6 +71,7 @@ func (g *Graph) AddVertex(l Label) int {
 	if g.elabels != nil {
 		g.elabels = append(g.elabels, nil)
 	}
+	g.fp.Store(0)
 	return len(g.labels) - 1
 }
 
@@ -71,7 +79,10 @@ func (g *Graph) AddVertex(l Label) int {
 func (g *Graph) Label(v int) Label { return g.labels[v] }
 
 // SetLabel replaces the label of vertex v.
-func (g *Graph) SetLabel(v int, l Label) { g.labels[v] = l }
+func (g *Graph) SetLabel(v int, l Label) {
+	g.labels[v] = l
+	g.fp.Store(0)
+}
 
 // Degree returns the number of neighbours of vertex v.
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
@@ -109,6 +120,7 @@ func (g *Graph) AddEdgeLabeled(u, v int, l Label) bool {
 		g.elabels[v] = insertLabelAt(g.elabels[v], iv, l)
 	}
 	g.edges++
+	g.fp.Store(0)
 	return true
 }
 
@@ -180,6 +192,19 @@ func (g *Graph) EdgeList() [][2]int {
 	out := make([][2]int, 0, g.edges)
 	g.Edges(func(u, v int) { out = append(out, [2]int{u, v}) })
 	return out
+}
+
+// CopyFrom replaces g's contents with src's (sharing src's backing storage;
+// use Clone for an independent copy). It exists because Graph carries an
+// atomic fingerprint memo and therefore cannot be copied with plain struct
+// assignment.
+func (g *Graph) CopyFrom(src *Graph) {
+	g.ID = src.ID
+	g.labels = src.labels
+	g.adj = src.adj
+	g.elabels = src.elabels
+	g.edges = src.edges
+	g.fp.Store(src.fp.Load())
 }
 
 // Clone returns a deep copy of g (including ID and edge labels).

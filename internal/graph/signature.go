@@ -2,6 +2,7 @@ package graph
 
 import (
 	"hash/fnv"
+	"slices"
 	"sort"
 )
 
@@ -14,7 +15,21 @@ import (
 // start coloured by label, each round recolours a vertex by hashing its
 // colour with the sorted multiset of neighbour colours, and the final
 // fingerprint hashes the sorted colour multiset with |V| and |E|.
+//
+// The result is memoised on the graph and invalidated by structural
+// mutation, so repeated fingerprinting of the same graph — the dataset
+// guard on every snapshot load, duplicate detection on every cached query —
+// costs one atomic load after the first call.
 func Fingerprint(g *Graph) uint64 {
+	if fp := g.fp.Load(); fp != 0 {
+		return fp
+	}
+	fp := fingerprint(g)
+	g.fp.Store(fp) // 0 is "unset": a zero hash just recomputes (1 in 2^64)
+	return fp
+}
+
+func fingerprint(g *Graph) uint64 {
 	n := g.NumVertices()
 	cur := make([]uint64, n)
 	for v := 0; v < n; v++ {
@@ -34,7 +49,7 @@ func Fingerprint(g *Graph) uint64 {
 				// graphs differing only in bond types
 				neigh = append(neigh, mix(cur[w], uint64(g.EdgeLabel(v, int(w)))+0x51ed))
 			}
-			sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
+			slices.Sort(neigh)
 			h := mix(cur[v], 0x85ebca6b)
 			for _, x := range neigh {
 				h = mix(h, x)
@@ -43,8 +58,8 @@ func Fingerprint(g *Graph) uint64 {
 		}
 		cur, next = next, cur
 	}
-	final := append([]uint64(nil), cur...)
-	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
+	slices.Sort(cur)
+	final := cur
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(x uint64) {

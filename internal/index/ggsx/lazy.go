@@ -1,0 +1,94 @@
+package ggsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/trie"
+)
+
+var (
+	_ index.LazyLoadable      = (*Index)(nil)
+	_ index.ResidencyReporter = (*Index)(nil)
+)
+
+// LoadIndexLazy implements index.LazyLoadable: like LoadIndex, but posting
+// segments stay undecoded until a query first touches their shard, and
+// budget bounds the resident decoded bytes (0 = unbounded). src must stay
+// open and immutable until the index is materialised or discarded. The
+// explicit shard-count option is not applied — the lazy index adopts the
+// snapshot's saved layout (see index.LazyLoadable).
+func (x *Index) LoadIndexLazy(src trie.RandomAccessFile, db []*graph.Graph, budget int64, opts ...index.LoadOption) (index.LoadReport, error) {
+	cfg := index.ResolveLoadOptions(opts)
+	cr := &index.CountingScanner{R: index.AsByteScanner(io.NewSectionReader(src, 0, src.Size()))}
+	env, err := index.ReadIndexEnvelope(cr)
+	if err != nil {
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("ggsx: %w", err)
+	}
+	if err := index.ValidateEnvelopeMethod(env, methodTag); err != nil {
+		return index.LoadReport{Bytes: cr.N}, fmt.Errorf("ggsx: %w", err)
+	}
+	envBytes := cr.N
+	// Same rollback discipline as LoadIndex: a failed open leaves the index
+	// and the shared dictionary byte-identical to their pre-call state.
+	oldKeys := x.dict.Keys()
+	rollback := func() {
+		x.dict.Reset()
+		for _, k := range oldKeys {
+			x.dict.Intern(k)
+		}
+	}
+	x.dict.Reset()
+	tr := trie.NewSharded(x.dict, 0)
+	n, rec, err := tr.OpenLazy(
+		io.NewSectionReader(src, envBytes, src.Size()-envBytes),
+		trie.LazyOptions{Workers: x.opt.BuildWorkers, Strict: cfg.Strict, BudgetBytes: budget})
+	if err != nil {
+		rollback()
+		return index.LoadReport{Bytes: envBytes}, fmt.Errorf("ggsx: opening trie: %w", err)
+	}
+	if rec != nil {
+		rec.CommittedBytes += envBytes // translate to src-absolute offsets
+	}
+	// Dataset guard: a journaled snapshot answers for the newest journal
+	// stamp's dataset, not the envelope's base (see LoadIndex). The journal
+	// tail is scanned eagerly even on the lazy path, so the stamp is known.
+	sum, ng := env.DBChecksum, env.NumGraphs
+	if st := tr.JournalStamp(); st != nil {
+		sum, ng = st.DBChecksum, st.NumGraphs
+	}
+	if err := index.ValidateDataset(sum, ng, db); err != nil {
+		rollback()
+		return index.LoadReport{Bytes: envBytes + n}, fmt.Errorf("ggsx: %w", err)
+	}
+	x.opt.MaxPathLen = env.MaxPathLen
+	x.db = db
+	x.tr = tr
+	base := envBytes + n
+	if rec != nil {
+		base = rec.CommittedBytes
+	}
+	x.log.NoteFullSave(base)
+	return index.LoadReport{Bytes: envBytes + n, RecoveredTail: rec}, nil
+}
+
+// Materialize implements index.LazyLoadable: faults in every remaining
+// shard, releasing the dependency on the lazy source. No-op when the index
+// was loaded eagerly or built fresh.
+func (x *Index) Materialize() error {
+	if x.tr == nil {
+		return errors.New("ggsx: Materialize before Build or LoadIndex")
+	}
+	return x.tr.Materialize()
+}
+
+// Residency implements index.ResidencyReporter.
+func (x *Index) Residency() trie.Residency {
+	if x.tr == nil {
+		return trie.Residency{}
+	}
+	return x.tr.Residency()
+}

@@ -1,0 +1,105 @@
+package ggsx
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// TestLoadIndexLazyDifferential: a lazily opened GGSX index must answer
+// every query identically to the eager load of the same snapshot, touch
+// only the shards the queries route to, and materialise into the identical
+// fully-resident index.
+func TestLoadIndexLazyDifferential(t *testing.T) {
+	db := randomDB(40, 1)
+	qs := randomQueries(db, 25, 2)
+	built := New(Options{MaxPathLen: 3, Shards: 16, BuildWorkers: 2})
+	built.Build(db)
+	var buf bytes.Buffer
+	if err := built.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	eager := New(Options{MaxPathLen: 3})
+	if _, err := eager.LoadIndex(bytes.NewReader(buf.Bytes()), db); err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 8 << 10} {
+		lazy := New(Options{MaxPathLen: 3, BuildWorkers: 2})
+		rep, err := lazy.LoadIndexLazy(bytes.NewReader(buf.Bytes()), db, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Bytes != int64(buf.Len()) {
+			t.Errorf("LoadIndexLazy reported %d bytes, snapshot is %d", rep.Bytes, buf.Len())
+		}
+		res := lazy.Residency()
+		if !res.Lazy || res.ResidentShards != 0 {
+			t.Fatalf("post-open residency %+v: want lazy with zero resident shards (O(touched) TTFQ)", res)
+		}
+		for i, q := range qs {
+			if !reflect.DeepEqual(eager.Filter(q), lazy.Filter(q)) {
+				t.Fatalf("budget %d, query %d: lazy filter diverges", budget, i)
+			}
+			if !reflect.DeepEqual(index.Answer(eager, q), index.Answer(lazy, q)) {
+				t.Fatalf("budget %d, query %d: lazy answers diverge", budget, i)
+			}
+		}
+		res = lazy.Residency()
+		if res.Faults == 0 {
+			t.Error("queries answered without any shard fault-in")
+		}
+		if budget > 0 && res.ResidentBytes > budget && res.ResidentShards > 1 {
+			t.Errorf("resident %d bytes over budget %d: %+v", res.ResidentBytes, budget, res)
+		}
+		if err := lazy.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+		if res := lazy.Residency(); res.Lazy && !res.Materialized {
+			t.Errorf("residency after Materialize: %+v", res)
+		}
+		if eager.SizeBytes() != lazy.SizeBytes() {
+			t.Errorf("SizeBytes %d != eager %d after materialise", lazy.SizeBytes(), eager.SizeBytes())
+		}
+		var esave, lsave bytes.Buffer
+		if err := eager.SaveIndex(&esave); err != nil {
+			t.Fatal(err)
+		}
+		if err := lazy.SaveIndex(&lsave); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(esave.Bytes(), lsave.Bytes()) {
+			t.Error("materialised lazy index re-saves different bytes")
+		}
+	}
+}
+
+// TestLoadIndexLazyFailureLeavesIndexIntact: the rollback contract carries
+// over to the lazy path — a dataset mismatch must leave a live index (and
+// its dictionary IDs) untouched.
+func TestLoadIndexLazyFailureLeavesIndexIntact(t *testing.T) {
+	db := randomDB(20, 8)
+	qs := randomQueries(db, 10, 9)
+	x := New(Options{MaxPathLen: 3, Shards: 4})
+	x.Build(db)
+	want := make([][]int32, len(qs))
+	for i, q := range qs {
+		want[i] = x.Filter(q)
+	}
+	var buf bytes.Buffer
+	if err := x.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := randomDB(20, 99)
+	if _, err := x.LoadIndexLazy(bytes.NewReader(buf.Bytes()), other, 0); !errors.Is(err, index.ErrDatasetMismatch) {
+		t.Fatalf("LoadIndexLazy against the wrong dataset = %v, want ErrDatasetMismatch", err)
+	}
+	for i, q := range qs {
+		if !reflect.DeepEqual(x.Filter(q), want[i]) {
+			t.Fatalf("query %d answers changed after failed lazy load", i)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package persistio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func checkRandomAccess(t *testing.T, ra RandomAccess, want []byte) {
+	t.Helper()
+	if got := ra.Size(); got != int64(len(want)) {
+		t.Fatalf("Size = %d, want %d", got, len(want))
+	}
+	// Full read.
+	buf := make([]byte, len(want))
+	if _, err := ra.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatalf("ReadAt full: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("ReadAt full = %q, want %q", buf, want)
+	}
+	// Interior read.
+	if len(want) >= 4 {
+		mid := make([]byte, 2)
+		if n, err := ra.ReadAt(mid, 1); err != nil || n != 2 {
+			t.Fatalf("ReadAt interior: n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(mid, want[1:3]) {
+			t.Fatalf("ReadAt interior = %q, want %q", mid, want[1:3])
+		}
+	}
+	// Read spanning EOF returns the short count plus io.EOF.
+	tail := make([]byte, 8)
+	n, err := ra.ReadAt(tail, int64(len(want))-2)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("ReadAt past end: n=%d err=%v, want 2, io.EOF", n, err)
+	}
+	if !bytes.Equal(tail[:2], want[len(want)-2:]) {
+		t.Fatalf("tail bytes = %q, want %q", tail[:2], want[len(want)-2:])
+	}
+	// Read at EOF.
+	if _, err := ra.ReadAt(buf[:1], int64(len(want))); err != io.EOF {
+		t.Fatalf("ReadAt at end: err=%v, want io.EOF", err)
+	}
+}
+
+func TestOpenMapped(t *testing.T) {
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	checkRandomAccess(t, ra, want)
+	if err := ra.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := ra.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: err=%v, want ErrClosed", err)
+	}
+	if err := ra.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestOpenMappedEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped empty: %v", err)
+	}
+	defer ra.Close()
+	if ra.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", ra.Size())
+	}
+	if _, err := ra.ReadAt(make([]byte, 1), 0); err != io.EOF {
+		t.Fatalf("ReadAt on empty: err=%v, want io.EOF", err)
+	}
+}
+
+func TestOpenMappedMissing(t *testing.T) {
+	if _, err := OpenMapped(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("OpenMapped on missing file succeeded")
+	}
+}
+
+// OpenMapped snapshots the length at open time: bytes appended afterwards
+// must not be visible, on either the mmap or the pread path.
+func TestOpenMappedLengthSnapshot(t *testing.T) {
+	want := []byte("prefix-bytes")
+	path := filepath.Join(t.TempDir(), "grow.bin")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-appended")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if ra.Size() != int64(len(want)) {
+		t.Fatalf("Size grew to %d after append, want %d", ra.Size(), len(want))
+	}
+	buf := make([]byte, 32)
+	n, _ := ra.ReadAt(buf, 0)
+	if n != len(want) || !bytes.Equal(buf[:n], want) {
+		t.Fatalf("ReadAt after append = %q (n=%d), want %q", buf[:n], n, want)
+	}
+}
+
+func TestPreadFileFallback(t *testing.T) {
+	want := []byte("pread fallback path bytes")
+	path := filepath.Join(t.TempDir(), "pread.bin")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := RandomAccess(&preadFile{f: f, size: int64(len(want))})
+	checkRandomAccess(t, ra, want)
+	if err := ra.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ra.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: err=%v, want ErrClosed", err)
+	}
+}
+
+func TestMemMapped(t *testing.T) {
+	want := []byte("in-memory mapping")
+	m := NewMemMapped(want)
+	checkRandomAccess(t, m, want)
+
+	// The slice is shared: in-place corruption is visible, which is what
+	// the evict-then-refault CRC tests rely on.
+	want[0] = 'X'
+	buf := make([]byte, 1)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'X' {
+		t.Fatalf("mutation not visible through MemMapped: got %q", buf[0])
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadAt(buf, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: err=%v, want ErrClosed", err)
+	}
+}
+
+func TestFaultMapped(t *testing.T) {
+	inner := NewMemMapped([]byte("abcdef"))
+	fm := NewFaultMapped(inner)
+	boom := errors.New("boom")
+
+	buf := make([]byte, 3)
+	if n, err := fm.ReadAt(buf, 0); err != nil || n != 3 {
+		t.Fatalf("clean read: n=%d err=%v", n, err)
+	}
+
+	fm.FailNextRead(boom)
+	if _, err := fm.ReadAt(buf, 0); !errors.Is(err, boom) {
+		t.Fatalf("armed one-shot: err=%v, want boom", err)
+	}
+	if _, err := fm.ReadAt(buf, 0); err != nil {
+		t.Fatalf("one-shot did not disarm: %v", err)
+	}
+
+	fm.FailReads(boom)
+	for i := 0; i < 3; i++ {
+		if _, err := fm.ReadAt(buf, 0); !errors.Is(err, boom) {
+			t.Fatalf("sticky failure round %d: err=%v", i, err)
+		}
+	}
+	fm.FailReads(nil)
+	if _, err := fm.ReadAt(buf, 0); err != nil {
+		t.Fatalf("disarmed sticky: %v", err)
+	}
+
+	if got := fm.Reads(); got != 7 {
+		t.Fatalf("Reads = %d, want 7", got)
+	}
+	if fm.Size() != inner.Size() {
+		t.Fatalf("Size passthrough: %d != %d", fm.Size(), inner.Size())
+	}
+	if err := fm.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

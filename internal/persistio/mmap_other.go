@@ -1,0 +1,16 @@
+//go:build !unix
+
+package persistio
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile always fails on platforms without mmap support; OpenMapped
+// falls back to pread.
+func mapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.New("persistio: mmap unsupported on this platform")
+}
+
+func unmapFile(_ []byte) error { return nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package persistio
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps size bytes of f read-only. An empty file cannot be
+// mapped (mmap of length 0 is an error); callers fall back to pread.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, errors.New("persistio: empty file not mappable")
+	}
+	if int64(int(size)) != size {
+		return nil, errors.New("persistio: file too large to map")
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -79,6 +79,7 @@ type Server struct {
 	hs      *http.Server
 	mutMu   sync.Mutex // serialises mutation endpoints + super rebuild
 	stopped chan struct{}
+	bgOnce  sync.Once // StartBackground runs at most once
 
 	started     time.Time
 	served      atomic.Int64
@@ -132,11 +133,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // journal-maintenance timer when one is configured. Returns
 // http.ErrServerClosed after a graceful shutdown, like net/http.
 func (s *Server) Serve(l net.Listener) error {
-	if s.cfg.MaintainEvery > 0 && s.cfg.DeltaPath != "" {
-		go s.maintenanceLoop()
-	}
+	s.StartBackground()
 	s.cfg.Logf("serving on %s (workers=%d queue=%d)", l.Addr(), s.cfg.Workers, s.cfg.QueueDepth)
 	return s.hs.Serve(l)
+}
+
+// StartBackground starts the journal-maintenance timer (when configured)
+// without serving. Serve calls it; bind-first deployments that expose
+// Handler through their own http.Server (behind a Warming front door) call
+// it once the engine is live. Idempotent.
+func (s *Server) StartBackground() {
+	s.bgOnce.Do(func() {
+		if s.cfg.MaintainEvery > 0 && s.cfg.DeltaPath != "" {
+			go s.maintenanceLoop()
+		}
+	})
 }
 
 // Shutdown drains gracefully: new connections are refused, in-flight
@@ -556,6 +567,19 @@ func emitEngineMetrics(w io.Writer, mode string, st igq.EngineStats) {
 	fmt.Fprintf(w, "igq_engine_cached_queries{mode=%q} %d\n", mode, st.CachedQueries)
 	fmt.Fprintf(w, "igq_engine_window_pending{mode=%q} %d\n", mode, st.WindowPending)
 	fmt.Fprintf(w, "igq_engine_flushes_total{mode=%q} %d\n", mode, st.Flushes)
+	// Residency gauges of a lazily loaded index (all zero when eager);
+	// sampling them is atomic reads — a scrape never forces shards in.
+	lazy := 0
+	if st.LazyLoaded {
+		lazy = 1
+	}
+	fmt.Fprintf(w, "igq_engine_lazy{mode=%q} %d\n", mode, lazy)
+	fmt.Fprintf(w, "igq_engine_total_shards{mode=%q} %d\n", mode, st.TotalShards)
+	fmt.Fprintf(w, "igq_engine_resident_shards{mode=%q} %d\n", mode, st.ResidentShards)
+	fmt.Fprintf(w, "igq_engine_resident_bytes{mode=%q} %d\n", mode, st.ResidentBytes)
+	fmt.Fprintf(w, "igq_engine_lazy_budget_bytes{mode=%q} %d\n", mode, st.LazyBudgetBytes)
+	fmt.Fprintf(w, "igq_engine_shard_faults_total{mode=%q} %d\n", mode, st.ShardFaults)
+	fmt.Fprintf(w, "igq_engine_shard_evictions_total{mode=%q} %d\n", mode, st.ShardEvictions)
 }
 
 func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {

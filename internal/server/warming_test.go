@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	igq "repro"
+)
+
+// TestWarmingLifecycle exercises the bind-first startup protocol end to end
+// on a real listener, the way cmd/igqserve wires it: the port is bound and
+// answering before the engine exists, so an orchestrator probe never sees
+// connection-refused — it sees "warming", then "ok".
+func TestWarmingLifecycle(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewWarming()
+	hs := &http.Server{Handler: warm}
+	go hs.Serve(l)
+	defer hs.Close()
+	base := "http://" + l.Addr().String()
+
+	// Phase 1: bound but not ready. Liveness answers immediately; everything
+	// else is an explicit 503 with a retry hint, never a refused connection.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz while warming: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "warming\n" {
+		t.Fatalf("warming healthz = %d %q, want 200 \"warming\\n\"", resp.StatusCode, body)
+	}
+	resp, err = http.Post(base+"/query", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("query while warming: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("warming query status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("warming 503 carries no Retry-After hint")
+	}
+
+	// Phase 2: load the engine lazily from a snapshot — the work the warming
+	// window covers — and flip the front door.
+	db := testDB(t)
+	opt := igq.EngineOptions{Method: igq.GGSX, Shards: 8, DisableCache: true}
+	built, err := igq.NewEngine(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "engine.snap")
+	if err := igq.SaveEngineFile(snap, built); err != nil {
+		t.Fatal(err)
+	}
+	eng, _, err := igq.LoadEngineFile(snap, db, opt, igq.WithLazyLoad(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s, err := New(Config{Engine: eng, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Ready(s.Handler())
+	s.StartBackground()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("ready healthz = %d %q, want 200 \"ok\\n\"", resp.StatusCode, body)
+	}
+
+	// Queries now flow through the same connection path that answered 503,
+	// and the lazily loaded engine must answer like a direct oracle.
+	oracle, err := igq.NewEngine(db, igq.EngineOptions{Method: igq.GGSX, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(base)
+	ctx := context.Background()
+	for i, q := range testQueries(db, 10, 11) {
+		reply, err := client.QueryGraph(ctx, q, ModeSub)
+		if err != nil {
+			t.Fatalf("query %d after ready: %v", i, err)
+		}
+		want, err := oracle.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reply.IDs, nonNil(want.IDs)) {
+			t.Fatalf("query %d: wire %v, direct %v", i, reply.IDs, want.IDs)
+		}
+	}
+
+	// The residency of the lazy engine is observable on /metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		`igq_engine_lazy{mode="sub"} 1`,
+		`igq_engine_total_shards{mode="sub"} 8`,
+		`igq_engine_resident_shards{mode="sub"}`,
+		`igq_engine_shard_faults_total{mode="sub"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

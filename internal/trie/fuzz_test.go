@@ -116,13 +116,51 @@ func FuzzTrieReadFrom(f *testing.F) {
 	jflip[(baseLen+len(jflip))/2] ^= 0x08
 	f.Add(jflip)
 
+	// Seed: snapshot truncated inside the segment directory (mid-header of a
+	// later shard), so the lazy open's eager phase hits EOF while walking
+	// per-shard headers rather than inside a body.
+	probe := NewSharded(features.NewDict(), 0)
+	if _, _, err := probe.OpenLazy(bytes.NewReader(dense.Bytes()), LazyOptions{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dense.Bytes()[:probe.lazyLive.Load().dir[1].off-2])
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr := NewSharded(features.NewDict(), 0)
 		// Error, success, or tail recovery — never a panic, never
 		// unbounded allocation, never a half-applied delta.
 		n, rec, err := tr.ReadFromOptions(bytes.NewReader(data), LoadOptions{})
+
+		// Lazy leg: the deferred-decode loader must agree with the eager
+		// loader on accept/reject — corruption it defers to fault-in has to
+		// surface by Materialize, and it must never reject bytes the eager
+		// loader accepts.
+		lz := NewSharded(features.NewDict(), 0)
+		ln, lrec, lerr := lz.OpenLazy(bytes.NewReader(data), LazyOptions{})
+		if lerr == nil {
+			lerr = lz.Materialize()
+		}
+		if (err == nil) != (lerr == nil) {
+			t.Fatalf("lazy/eager accept disagreement: eager err=%v, lazy err=%v", err, lerr)
+		}
 		if err != nil {
 			return
+		}
+		if ln != n {
+			t.Fatalf("lazy consumed %d bytes, eager %d", ln, n)
+		}
+		if (rec == nil) != (lrec == nil) || (rec != nil && *rec != *lrec) {
+			t.Fatalf("lazy/eager recovery disagreement: eager %+v, lazy %+v", rec, lrec)
+		}
+		var esave, lsave bytes.Buffer
+		if _, err := tr.WriteTo(&esave); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lz.WriteTo(&lsave); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(esave.Bytes(), lsave.Bytes()) {
+			t.Fatal("lazy load re-saves different bytes than eager load")
 		}
 		if rec == nil {
 			// A clean load must agree with strict mode.

@@ -1,0 +1,522 @@
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// snapshotBytes serialises tr, optionally appending one journal section.
+func snapshotBytes(t *testing.T, tr *Trie, j *Journal, stamp JournalStamp) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if j == nil {
+		return buf.Bytes()
+	}
+	rw := &memFile{b: append([]byte(nil), buf.Bytes()...)}
+	if _, err := AppendJournalSection(rw, j, stamp); err != nil {
+		t.Fatal(err)
+	}
+	return rw.b
+}
+
+// journalFor stages a representative mutation batch against keys known to
+// exist in tr: one append introducing new features alongside existing
+// ones, and one swap-removal that drains at least something.
+func journalFor(t *testing.T, tr *Trie, nGraphs int32) *Journal {
+	t.Helper()
+	keys := tr.Dict().Keys()
+	if len(keys) < 4 {
+		t.Fatal("journalFor needs a trie with ≥ 4 keys")
+	}
+	newFeats := []GraphFeature{
+		{Key: keys[0], Count: 2, Locs: []int32{1, 5}},
+		{Key: "lazy:new.a", Count: 1},
+		{Key: keys[3], Count: 3},
+		{Key: "lazy:new.b", Count: 4, Locs: []int32{2}},
+	}
+	mut := tr.NewMutation()
+	mut.AppendGraph(nGraphs, newFeats)
+	// Swap-removal: graph 0 vacates, the just-appended graph re-homes into
+	// position 0. Scrubbing keys[1]/keys[2] exercises drain + dead-set
+	// bookkeeping on whichever features only graph 0 populated.
+	mut.RemoveGraph(0, nGraphs, []string{keys[1], keys[2], keys[0]}, newFeats)
+	var j Journal
+	mut.RecordTo(&j)
+	return &j
+}
+
+func plEqual(a, b PostingList) bool {
+	return a.Len() == b.Len() && reflect.DeepEqual(a.Postings(), b.Postings())
+}
+
+// eagerLoad is the oracle: a streaming load of the same bytes.
+func eagerLoad(t *testing.T, data []byte) (*Trie, int64, *TailRecovery) {
+	t.Helper()
+	tr := NewSharded(features.NewDict(), 0)
+	n, rec, err := tr.ReadFromOptions(bytes.NewReader(data), LoadOptions{})
+	if err != nil {
+		t.Fatalf("eager oracle load: %v", err)
+	}
+	return tr, n, rec
+}
+
+// TestOpenLazyDifferential is the core lazy-vs-eager equivalence matrix:
+// shards × journaled × budget (0 = unbounded, tiny = eviction pressure) ×
+// workers. Every probe, every aggregate and the re-Save bytes must agree
+// with a streaming load of the same snapshot.
+func TestOpenLazyDifferential(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		for _, journaled := range []bool{false, true} {
+			for _, budget := range []int64{0, 4 << 10} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("shards=%d/journaled=%v/budget=%d/workers=%d", shards, journaled, budget, workers)
+					t.Run(name, func(t *testing.T) {
+						base := randomTrie(t, shards, 150, 40, journaled, 7)
+						var j *Journal
+						if journaled {
+							j = journalFor(t, base, 40)
+						}
+						data := snapshotBytes(t, base, j, JournalStamp{DBChecksum: 11, NumGraphs: 41})
+						want, wantN, _ := eagerLoad(t, data)
+
+						got := NewSharded(features.NewDict(), 0)
+						n, rec, err := got.OpenLazy(bytes.NewReader(data), LazyOptions{Workers: workers, BudgetBytes: budget})
+						if err != nil {
+							t.Fatalf("OpenLazy: %v", err)
+						}
+						if rec != nil {
+							t.Fatalf("unexpected tail recovery: %+v", rec)
+						}
+						if n != wantN {
+							t.Errorf("OpenLazy consumed %d bytes, eager consumed %d", n, wantN)
+						}
+						if got.ShardCount() != want.ShardCount() {
+							t.Fatalf("shard count %d, want %d", got.ShardCount(), want.ShardCount())
+						}
+						if got.Dict().Len() != want.Dict().Len() {
+							t.Fatalf("dict len %d, want %d (journal pre-intern diverged)", got.Dict().Len(), want.Dict().Len())
+						}
+						if st := got.JournalStamp(); journaled && (st == nil || st.DBChecksum != 11) {
+							t.Errorf("journal stamp %+v, want DBChecksum 11", st)
+						}
+
+						// Probe every interned feature in random order — the
+						// fault-in order must not matter.
+						ids := rand.New(rand.NewSource(3)).Perm(want.Dict().Len())
+						for _, i := range ids {
+							id := features.FeatureID(i)
+							if !plEqual(got.GetByID(id), want.GetByID(id)) {
+								t.Fatalf("GetByID(%d) diverges from eager load", id)
+							}
+						}
+						res := got.Residency()
+						if !res.Lazy || res.Materialized {
+							t.Fatalf("residency %+v: want lazy, unmaterialised", res)
+						}
+						if res.TotalShards != shards {
+							t.Errorf("TotalShards = %d, want %d", res.TotalShards, shards)
+						}
+						if budget == 0 && res.Evictions != 0 {
+							t.Errorf("unbounded budget evicted %d shards", res.Evictions)
+						}
+						if budget > 0 && res.ResidentBytes > budget && res.ResidentShards > 1 {
+							t.Errorf("resident %d bytes over budget %d with %d shards resident",
+								res.ResidentBytes, budget, res.ResidentShards)
+						}
+						if res.Faults < int64(res.ResidentShards) {
+							t.Errorf("faults %d < resident shards %d", res.Faults, res.ResidentShards)
+						}
+
+						// Materialise: aggregates and Walk agree with eager.
+						if err := got.Materialize(); err != nil {
+							t.Fatalf("Materialize: %v", err)
+						}
+						if got.Residency().ResidentShards != shards {
+							t.Errorf("materialised residency %+v: want all %d shards resident", got.Residency(), shards)
+						}
+						if got.Len() != want.Len() || got.NodeCount() != want.NodeCount() ||
+							got.SizeBytes() != want.SizeBytes() || got.DeadLen() != want.DeadLen() {
+							t.Errorf("Len/NodeCount/SizeBytes/DeadLen = %d/%d/%d/%d, want %d/%d/%d/%d",
+								got.Len(), got.NodeCount(), got.SizeBytes(), got.DeadLen(),
+								want.Len(), want.NodeCount(), want.SizeBytes(), want.DeadLen())
+						}
+						if !reflect.DeepEqual(dump(got), dump(want)) {
+							t.Error("materialised trie contents differ from eager load")
+						}
+
+						// Re-save: byte-identical snapshots.
+						var gotSave, wantSave bytes.Buffer
+						if _, err := got.WriteTo(&gotSave); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := want.WriteTo(&wantSave); err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(gotSave.Bytes(), wantSave.Bytes()) {
+							t.Error("re-Save bytes differ between lazy and eager loads")
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestOpenLazyEvictionRefault drives a budget small enough that a skewed
+// probe stream keeps re-faulting shards; answers must stay correct and
+// the counters must show real evictions and refaults.
+func TestOpenLazyEvictionRefault(t *testing.T) {
+	base := randomTrie(t, 8, 200, 60, true, 13)
+	data := snapshotBytes(t, base, nil, JournalStamp{})
+	want, _, _ := eagerLoad(t, data)
+
+	// Size the budget at roughly two shards: every round trip over all
+	// shards must evict.
+	probe := NewSharded(features.NewDict(), 0)
+	if _, _, err := probe.OpenLazy(bytes.NewReader(data), LazyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < probe.ShardCount(); s++ {
+		if err := probe.FaultInShard(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budget := probe.Residency().ResidentBytes / 4
+
+	got := NewSharded(features.NewDict(), 0)
+	if _, _, err := got.OpenLazy(bytes.NewReader(data), LazyOptions{BudgetBytes: budget}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for pass := 0; pass < 4; pass++ {
+		for _, i := range rng.Perm(want.Dict().Len()) {
+			id := features.FeatureID(i)
+			if !plEqual(got.GetByID(id), want.GetByID(id)) {
+				t.Fatalf("pass %d: GetByID(%d) diverges under eviction pressure", pass, id)
+			}
+		}
+	}
+	res := got.Residency()
+	if res.Evictions == 0 {
+		t.Fatalf("no evictions under budget %d: %+v", budget, res)
+	}
+	if res.Faults <= int64(res.TotalShards) {
+		t.Fatalf("no refaults recorded: %+v", res)
+	}
+	if res.ResidentBytes > budget && res.ResidentShards > 1 {
+		t.Fatalf("resident bytes %d over budget %d: %+v", res.ResidentBytes, budget, res)
+	}
+	// The store must still materialise and re-save identically.
+	if err := got.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dump(got), dump(want)) {
+		t.Error("post-eviction materialised contents differ from eager load")
+	}
+}
+
+// TestOpenLazyConcurrent hammers one lazily-opened trie from many
+// goroutines under eviction pressure (run with -race): concurrent
+// fault-in, concurrent eviction and a racing Materialize must all yield
+// eager-identical answers.
+func TestOpenLazyConcurrent(t *testing.T) {
+	base := randomTrie(t, 8, 150, 50, false, 23)
+	data := snapshotBytes(t, base, nil, JournalStamp{})
+	want, _, _ := eagerLoad(t, data)
+	expect := make([][]Posting, want.Dict().Len())
+	for i := range expect {
+		expect[i] = want.GetByID(features.FeatureID(i)).Postings()
+	}
+
+	got := NewSharded(features.NewDict(), 0)
+	if _, _, err := got.OpenLazy(bytes.NewReader(data), LazyOptions{BudgetBytes: 8 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				id := rng.Intn(len(expect))
+				if got := got.GetByID(features.FeatureID(id)).Postings(); !reflect.DeepEqual(got, expect[id]) {
+					errCh <- fmt.Errorf("worker %d: GetByID(%d) diverged", w, id)
+					return
+				}
+			}
+		}(w)
+	}
+	// One goroutine materialises mid-stream: readers must never observe a
+	// half-switched store.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := got.Materialize(); err != nil {
+			errCh <- err
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dump(got), dump(want)) {
+		t.Error("contents differ after concurrent probes + materialise")
+	}
+}
+
+// corruptShardBody locates shard s's segment body via a pristine lazy
+// open and returns a copy of data with one body byte flipped.
+func corruptShardBody(t *testing.T, data []byte, s int) []byte {
+	t.Helper()
+	probe := NewSharded(features.NewDict(), 0)
+	if _, _, err := probe.OpenLazy(bytes.NewReader(data), LazyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	seg := probe.lazyLive.Load().dir[s]
+	if seg.len == 0 {
+		t.Fatalf("shard %d has an empty segment body", s)
+	}
+	bad := append([]byte(nil), data...)
+	bad[seg.off+int64(seg.len)/2] ^= 0x40
+	return bad
+}
+
+// TestOpenLazyCorruptSegmentIsolation: a corrupt segment body must open
+// fine (the eager phase never reads bodies), fail with ErrCorrupt at
+// fault-in, poison no other shard, and fail Materialize — while the
+// healthy shards keep answering correctly before and after that failure.
+func TestOpenLazyCorruptSegmentIsolation(t *testing.T) {
+	base := randomTrie(t, 8, 150, 40, true, 31)
+	data := snapshotBytes(t, base, nil, JournalStamp{})
+	want, _, _ := eagerLoad(t, data)
+	const badShard = 3
+	bad := corruptShardBody(t, data, badShard)
+
+	got := NewSharded(features.NewDict(), 0)
+	if _, _, err := got.OpenLazy(bytes.NewReader(bad), LazyOptions{}); err != nil {
+		t.Fatalf("OpenLazy rejected a corrupt body it should defer: %v", err)
+	}
+	if err := got.FaultInShard(badShard); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("FaultInShard(%d) = %v, want ErrCorrupt", badShard, err)
+	}
+	for s := 0; s < got.ShardCount(); s++ {
+		if s == badShard {
+			continue
+		}
+		if err := got.FaultInShard(s); err != nil {
+			t.Fatalf("healthy shard %d poisoned: %v", s, err)
+		}
+	}
+	for i := 0; i < want.Dict().Len(); i++ {
+		id := features.FeatureID(i)
+		if got.ShardOf(id) == badShard {
+			continue
+		}
+		if !plEqual(got.GetByID(id), want.GetByID(id)) {
+			t.Fatalf("healthy shard answer diverged for id %d", id)
+		}
+	}
+	// GetByID on the corrupt shard cannot return an error: it must panic
+	// with *ShardFaultError wrapping ErrCorrupt (the engine's containment
+	// boundary), never crash with something opaque.
+	var badID features.FeatureID = 0
+	for i := 0; i < want.Dict().Len(); i++ {
+		if got.ShardOf(features.FeatureID(i)) == badShard {
+			badID = features.FeatureID(i)
+			break
+		}
+	}
+	func() {
+		defer func() {
+			r := recover()
+			sfe, ok := r.(*ShardFaultError)
+			if !ok || sfe.Shard != badShard || !errors.Is(sfe, ErrCorrupt) {
+				t.Fatalf("GetByID on corrupt shard: recover() = %v, want *ShardFaultError(ErrCorrupt)", r)
+			}
+		}()
+		got.GetByID(badID)
+	}()
+	if err := got.Materialize(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Materialize = %v, want ErrCorrupt", err)
+	}
+	// A failed materialise leaves the trie lazy and serviceable.
+	if res := got.Residency(); !res.Lazy || res.Materialized {
+		t.Fatalf("residency after failed materialise: %+v", res)
+	}
+	for i := 0; i < want.Dict().Len(); i++ {
+		id := features.FeatureID(i)
+		if got.ShardOf(id) == badShard {
+			continue
+		}
+		if !plEqual(got.GetByID(id), want.GetByID(id)) {
+			t.Fatalf("healthy shard answer diverged after failed materialise (id %d)", id)
+		}
+	}
+}
+
+// TestOpenLazyEvictThenRefaultCRC corrupts a shard's backing bytes *after*
+// it was served once and then evicted: the refault must re-verify the CRC
+// and surface ErrCorrupt — rot between eviction and re-touch is caught.
+func TestOpenLazyEvictThenRefaultCRC(t *testing.T) {
+	base := randomTrie(t, 4, 120, 40, false, 41)
+	data := append([]byte(nil), snapshotBytes(t, base, nil, JournalStamp{})...)
+
+	probe := NewSharded(features.NewDict(), 0)
+	if _, _, err := probe.OpenLazy(bytes.NewReader(data), LazyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dir := probe.lazyLive.Load().dir
+	if err := probe.FaultInShard(0); err != nil {
+		t.Fatal(err)
+	}
+	oneShard := probe.Residency().ResidentBytes
+
+	// bytes.Reader serves the live slice, so in-place corruption below
+	// models on-disk rot under an open mapping.
+	got := NewSharded(features.NewDict(), 0)
+	if _, _, err := got.OpenLazy(bytes.NewReader(data), LazyOptions{BudgetBytes: oneShard}); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.FaultInShard(0); err != nil {
+		t.Fatal(err) // clean first fault: CRC passes
+	}
+	if err := got.FaultInShard(1); err != nil {
+		t.Fatal(err) // budget of ~one shard: this evicts shard 0
+	}
+	res := got.Residency()
+	if res.Evictions == 0 {
+		t.Fatalf("expected shard 0 evicted, residency %+v", res)
+	}
+	data[dir[0].off+1] ^= 0x01 // rot shard 0's body behind its back
+	if err := got.FaultInShard(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("refault after rot = %v, want ErrCorrupt (CRC must be re-verified)", err)
+	}
+}
+
+// TestOpenLazyTailRecovery: torn journal tails recover with the identical
+// report and byte count the streaming loader produces, and strict mode
+// rejects them identically.
+func TestOpenLazyTailRecovery(t *testing.T) {
+	base := randomTrie(t, 4, 80, 30, false, 53)
+	j := journalFor(t, base, 30)
+	data := snapshotBytes(t, base, j, JournalStamp{DBChecksum: 5, NumGraphs: 31})
+	baseLen := len(snapshotBytes(t, base, nil, JournalStamp{}))
+	for _, cut := range []int{1, (len(data)-baseLen)/2 + baseLen, len(data) - 1} {
+		torn := data[:cut]
+		if cut == 1 {
+			torn = data[:baseLen+1] // tag byte only
+		}
+		eager := NewSharded(features.NewDict(), 0)
+		en, erec, err := eager.ReadFromOptions(bytes.NewReader(torn), LoadOptions{})
+		if err != nil || erec == nil {
+			t.Fatalf("cut %d: eager load err=%v rec=%+v", cut, err, erec)
+		}
+		lazy := NewSharded(features.NewDict(), 0)
+		ln, lrec, err := lazy.OpenLazy(bytes.NewReader(torn), LazyOptions{})
+		if err != nil || lrec == nil {
+			t.Fatalf("cut %d: OpenLazy err=%v rec=%+v", cut, err, lrec)
+		}
+		if *lrec != *erec || ln != en {
+			t.Fatalf("cut %d: recovery diverges: lazy (n=%d, %+v) vs eager (n=%d, %+v)", cut, ln, *lrec, en, *erec)
+		}
+		if _, _, err := NewSharded(features.NewDict(), 0).OpenLazy(bytes.NewReader(torn), LazyOptions{Strict: true}); err == nil {
+			t.Fatalf("cut %d: strict OpenLazy accepted a torn tail", cut)
+		}
+		if err := lazy.Materialize(); err != nil {
+			t.Fatalf("cut %d: materialise recovered state: %v", cut, err)
+		}
+		if !reflect.DeepEqual(dump(lazy), dump(eager)) {
+			t.Fatalf("cut %d: recovered contents diverge", cut)
+		}
+	}
+}
+
+// TestOpenLazyFallbacks: version-1 snapshots and loads into a non-empty
+// dictionary cannot be served lazily and must transparently fall back to
+// the streaming loader with identical results.
+func TestOpenLazyFallbacks(t *testing.T) {
+	t.Run("v1 snapshot", func(t *testing.T) {
+		data := encodeLegacySnapshot(1, 2, legacyDataset())
+		want, _, _ := eagerLoad(t, data)
+		got := NewSharded(features.NewDict(), 0)
+		n, _, err := got.OpenLazy(bytes.NewReader(data), LazyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Residency().Lazy {
+			t.Error("v1 snapshot claims to be lazily loaded")
+		}
+		if n != int64(len(data)) && n <= 0 {
+			t.Errorf("suspicious byte count %d", n)
+		}
+		if !reflect.DeepEqual(dump(got), dump(want)) {
+			t.Error("v1 fallback contents diverge")
+		}
+	})
+	t.Run("non-identity remap", func(t *testing.T) {
+		base := randomTrie(t, 4, 60, 20, false, 61)
+		data := snapshotBytes(t, base, nil, JournalStamp{})
+		want, _, _ := eagerLoad(t, data)
+		dict := features.NewDict()
+		dict.Intern("pre-existing-key") // forces a non-identity remap
+		got := NewSharded(dict, 0)
+		if _, _, err := got.OpenLazy(bytes.NewReader(data), LazyOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if got.Residency().Lazy {
+			t.Error("non-identity load claims to be lazily loaded")
+		}
+		if !reflect.DeepEqual(dump(got), dump(want)) {
+			t.Error("non-identity fallback contents diverge")
+		}
+	})
+}
+
+// TestOpenLazyMutationMaterializes: staging a mutation against a lazily
+// opened trie must force it fully resident first, and the result must
+// equal the same mutation applied to an eager load.
+func TestOpenLazyMutationMaterializes(t *testing.T) {
+	base := randomTrie(t, 4, 80, 30, false, 71)
+	data := snapshotBytes(t, base, nil, JournalStamp{})
+	want, _, _ := eagerLoad(t, data)
+	got := NewSharded(features.NewDict(), 0)
+	if _, _, err := got.OpenLazy(bytes.NewReader(data), LazyOptions{BudgetBytes: 4 << 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	stage := func(tr *Trie) *Trie {
+		mut := tr.NewMutation()
+		mut.AppendGraph(30, []GraphFeature{{Key: "mut:new", Count: 2}, {Key: tr.Dict().Keys()[0], Count: 1}})
+		return mut.Apply()
+	}
+	gotMut, wantMut := stage(got), stage(want)
+	if !got.Residency().Materialized {
+		t.Error("Mutation.Apply did not materialise its lazy base")
+	}
+	if !reflect.DeepEqual(dump(gotMut), dump(wantMut)) {
+		t.Error("mutation over lazy base diverges from mutation over eager base")
+	}
+	var a, b bytes.Buffer
+	if _, err := gotMut.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wantMut.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("post-mutation snapshots differ")
+	}
+}

@@ -117,6 +117,10 @@ func (m *Mutation) RecordTo(j *Journal) { j.ops = append(j.ops, m.ops...) }
 // O(staged features + one map copy per affected shard), independent of the
 // dataset size.
 func (m *Mutation) Apply() *Trie {
+	// A partially-resident base cannot be copy-on-written shard by shard
+	// (absent shards have nothing to share); a lazily-opened base faults
+	// everything in first. The produced trie is always eager.
+	m.base.ensureMaterialized()
 	a := newApplier(m.base)
 	for _, op := range m.ops {
 		a.apply(op)

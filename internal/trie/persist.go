@@ -97,8 +97,20 @@ package trie
 //   - Each segment is length-prefixed, CRC-guarded and self-contained:
 //     given the header's dictionary, any segment decodes independently of
 //     the others, which is what lets ReadFrom fan the segment decodes out
-//     over worker goroutines (and leaves the format mmap-friendly for a
-//     future lazy loader).
+//     over worker goroutines — and what the lazy loader (OpenLazy,
+//     lazy.go) exploits: its eager phase parses only the segment
+//     *directory* — each segment's {offset, length, CRC} frame, bodies
+//     skipped with a positioned seek — plus the header, dictionary and
+//     full section stream, then faults each body in on the first probe of
+//     its shard. The lazy contract per segment: the directory is valid
+//     only if every body lies inside the file (bounds are verified at
+//     open, so base truncation still fails the open, exactly like
+//     ReadFrom); the CRC is verified when the body is read, at every
+//     fault-in — including refaults after eviction — so silent on-disk
+//     rot surfaces as ErrCorrupt on the touched shard and poisons no
+//     other shard; and journal ops project per shard (a feature's ops
+//     route by its ID) so replaying a shard's overlay at fault-in yields
+//     state bit-identical to the streaming loader's whole-file replay.
 //   - The section stream is what makes an on-disk snapshot *appendable*:
 //     AppendJournalSection (journal.go) replaces the trailing terminator
 //     with one more CRC-guarded journal section plus a fresh terminator,
@@ -193,6 +205,12 @@ var ErrCorrupt = errors.New("trie: corrupt snapshot")
 // io.WriterTo. The trie must not be mutated during the call (the usual
 // read-path contract).
 func (t *Trie) WriteTo(w io.Writer) (int64, error) {
+	// A lazily-opened trie (OpenLazy) is faulted fully resident first, so
+	// re-saving a partially-resident index emits exactly the bytes an
+	// eager load of the same snapshot would.
+	if err := t.Materialize(); err != nil {
+		return 0, err
+	}
 	var n int64
 	write := func(p []byte) error {
 		m, err := w.Write(p)
@@ -660,6 +678,8 @@ func (t *Trie) readFrom(cr *countingScanner, opt LoadOptions) (*TailRecovery, er
 
 	// Install, then rebuild the byte trie (pure function of the key set —
 	// single-writer, order-insensitive).
+	t.lazyLive.Store(nil)
+	t.lazyOrigin = nil
 	t.shards = shards
 	t.mask = mask
 	t.root = node{}
@@ -683,7 +703,7 @@ func (t *Trie) readFrom(cr *countingScanner, opt LoadOptions) (*TailRecovery, er
 // readSection reads one length-prefixed CRC-guarded block (segments and
 // journal sections share the frame). The body buffer grows as bytes
 // actually arrive, so a corrupt length cannot force an absurd allocation.
-func readSection(cr *countingScanner, what string) ([]byte, error) {
+func readSection(cr byteScanner, what string) ([]byte, error) {
 	secLen, err := binary.ReadUvarint(cr)
 	if err != nil || secLen > maxSegmentLen {
 		return nil, fmt.Errorf("%w: %s length", ErrCorrupt, what)
@@ -706,7 +726,7 @@ func readSection(cr *countingScanner, what string) ([]byte, error) {
 // stream: on failure it additionally returns whatever body bytes were
 // readable, so the recovery report can count the ops a torn section
 // claimed to carry.
-func readSectionPartial(cr *countingScanner, what string) (body, partial []byte, err error) {
+func readSectionPartial(cr byteScanner, what string) (body, partial []byte, err error) {
 	secLen, err := binary.ReadUvarint(cr)
 	if err != nil || secLen > maxSegmentLen {
 		return nil, nil, fmt.Errorf("%w: %s length", ErrCorrupt, what)
@@ -1065,6 +1085,7 @@ func (d *segDecoder) remaining() int { return len(d.b) - d.off }
 // slices are shared, not copied. Like the build path, Reshard is exclusive:
 // no concurrent readers.
 func (t *Trie) Reshard(k int) {
+	t.ensureMaterialized()
 	k = normalizeShards(k)
 	if k == len(t.shards) {
 		return

@@ -124,6 +124,15 @@ type Trie struct {
 	// filter's intersection cost model (0 ⇒ the package default). Written
 	// once at Build time by the index owner, before concurrent reads.
 	probeCost int
+
+	// lazyLive is non-nil while this trie serves a lazily-opened snapshot
+	// (OpenLazy, lazy.go): GetByID routes through its resident-shard table
+	// and whole-store operations materialise first. Materialize clears it.
+	lazyLive atomic.Pointer[lazyState]
+
+	// lazyOrigin is set once by OpenLazy and survives Materialize, so
+	// Residency keeps reporting fault/eviction counters afterwards.
+	lazyOrigin *lazyState
 }
 
 // maxShards bounds the shard count: beyond this the per-shard maps are too
@@ -204,6 +213,7 @@ func (t *Trie) shardFor(id features.FeatureID) *shard { return &t.shards[uint32(
 
 // Len returns the number of distinct keys stored.
 func (t *Trie) Len() int {
+	t.ensureMaterialized()
 	n := 0
 	for i := range t.shards {
 		n += len(t.shards[i].posts)
@@ -215,6 +225,7 @@ func (t *Trie) Len() int {
 // an empty store) — the dataset shape statistic the intersection cost
 // model calibrates against.
 func (t *Trie) MaxPostingLen() int {
+	t.ensureMaterialized()
 	longest := 0
 	for i := range t.shards {
 		for _, pl := range t.shards[i].posts {
@@ -228,7 +239,10 @@ func (t *Trie) MaxPostingLen() int {
 
 // NodeCount returns the number of internal trie nodes (excluding the root),
 // an index-size proxy.
-func (t *Trie) NodeCount() int { return t.nodes }
+func (t *Trie) NodeCount() int {
+	t.ensureMaterialized()
+	return t.nodes
+}
 
 // insertPath records key in the byte trie with its interned ID.
 func (t *Trie) insertPath(key string, id features.FeatureID) {
@@ -250,6 +264,7 @@ func (t *Trie) insertPath(key string, id features.FeatureID) {
 // same (key, graph) twice accumulates the count and unions locations.
 // Not safe for concurrent use — parallel builds go through Builder.
 func (t *Trie) Insert(key string, p Posting) {
+	t.ensureMaterialized()
 	id := t.dict.Intern(key)
 	sh := t.shardFor(id)
 	if _, seen := sh.posts[id]; !seen {
@@ -262,6 +277,7 @@ func (t *Trie) Insert(key string, p Posting) {
 // InsertID adds (or merges) a posting for an already-interned feature — the
 // hot sequential build path for callers enumerating features as IDs.
 func (t *Trie) InsertID(id features.FeatureID, p Posting) {
+	t.ensureMaterialized()
 	sh := t.shardFor(id)
 	if _, seen := sh.posts[id]; !seen {
 		t.insertPath(t.dict.Key(id), id)
@@ -284,13 +300,21 @@ func (t *Trie) Get(key string) []Posting {
 	if !ok {
 		return nil
 	}
-	return t.shardFor(id).posts[id].Postings()
+	return t.GetByID(id).Postings()
 }
 
 // GetByID returns the postings for an interned feature (a zero PostingList
-// if this trie holds none). Lock-free: one mask plus one map probe against
-// an immutable shard.
-func (t *Trie) GetByID(id features.FeatureID) PostingList { return t.shardFor(id).posts[id] }
+// if this trie holds none). On an eager trie this is lock-free: one mask
+// plus one map probe against an immutable shard. On a lazily-opened trie
+// (OpenLazy) the probe routes through the resident-shard table, faulting
+// the shard's segment in on first touch — a fault-in failure panics with
+// *ShardFaultError (see lazy.go).
+func (t *Trie) GetByID(id features.FeatureID) PostingList {
+	if ls := t.lazyLive.Load(); ls != nil {
+		return ls.get(id)
+	}
+	return t.shardFor(id).posts[id]
+}
 
 // Contains reports whether key currently has at least one posting. A key
 // whose postings were all drained by RemoveGraph is no longer contained.
@@ -299,12 +323,13 @@ func (t *Trie) Contains(key string) bool {
 	if !ok {
 		return false
 	}
-	return t.shardFor(id).posts[id].Len() > 0
+	return t.GetByID(id).Len() > 0
 }
 
 // Walk visits every (key, postings) pair in lexicographic key order. The
 // postings slice is materialised fresh per key.
 func (t *Trie) Walk(fn func(key string, postings []Posting)) {
+	t.ensureMaterialized()
 	var buf []byte
 	var rec func(n *node)
 	rec = func(n *node) {
@@ -328,6 +353,7 @@ func (t *Trie) Walk(fn func(key string, postings []Posting)) {
 // build path, RemoveGraph is exclusive — no concurrent readers; concurrent
 // mutation goes through Mutation/Apply instead.
 func (t *Trie) RemoveGraph(id int32) {
+	t.ensureMaterialized()
 	for s := range t.shards {
 		posts := t.shards[s].posts
 		for fid, pl := range posts {
@@ -385,6 +411,13 @@ func (t *Trie) removePath(key string) {
 // tables, postings and location lists), used for the paper's Fig 18
 // accounting.
 func (t *Trie) SizeBytes() int {
+	if t.lazyLive.Load() != nil {
+		// Lazily opened: report the resident footprint instead of forcing
+		// every shard in — a monitoring scrape must never defeat laziness.
+		// Converges on the eager figure as shards fault in; identical after
+		// Materialize (which also builds the byte-trie nodes counted below).
+		return int(t.Residency().ResidentBytes)
+	}
 	sz := 0
 	var rec func(n *node)
 	rec = func(n *node) {
@@ -411,6 +444,12 @@ func (t *Trie) SizeBytes() int {
 // exactly like a from-scratch build over the surviving dataset — retired
 // keys are bookkeeping residue, not index content.
 func (t *Trie) LiveDictSizeBytes() int {
+	if t.lazyLive.Load() != nil {
+		// Retired-feature accounting needs the drain sets, which live in
+		// shards not yet resident; while lazy, report the full dictionary
+		// footprint (an upper bound) rather than faulting everything in.
+		return t.dict.SizeBytes()
+	}
 	sz := t.dict.SizeBytes()
 	for id := range t.dead {
 		sz -= features.DictEntrySizeBytes(t.dict.Key(id))
@@ -420,7 +459,10 @@ func (t *Trie) LiveDictSizeBytes() int {
 
 // DeadLen returns the number of retired (drained) features this trie
 // tracks — diagnostics and tests.
-func (t *Trie) DeadLen() int { return len(t.dead) }
+func (t *Trie) DeadLen() int {
+	t.ensureMaterialized()
+	return len(t.dead)
+}
 
 // ParallelFor fans n items out over up to workers goroutines (capped at n;
 // ≤ 1 runs inline). Each goroutine receives its worker index — for
@@ -497,6 +539,7 @@ type BuildWorker struct {
 // (min 1). The trie must not be read or written between NewBuilder and the
 // completion of Merge.
 func (t *Trie) NewBuilder(workers int) *Builder {
+	t.ensureMaterialized()
 	if workers < 1 {
 		workers = 1
 	}
