@@ -6,15 +6,25 @@
 //
 //	igqload -addr http://127.0.0.1:7468 -queries queries.db
 //	        [-n 10000] [-c 16] [-mode mixed] [-stream]
+//	        [-mutations 0 -mutate-every 50ms [-partitioned]]
 //	        [-timeout 30s] [-max-429-retries 100]
 //
 // -n requests are drawn round-robin from the query file and issued by -c
 // concurrent workers. -mode sub|super|mixed selects the query direction
 // (mixed alternates per request; super and mixed need a server started
 // with -super). 429 responses — the server's bounded admission queue
-// doing its job — are retried with backoff and counted separately; any
-// other failure is an error. The exit status is non-zero if any request
-// ultimately failed, so a CI job can gate on it directly.
+// doing its job — are retried with backoff and counted separately, and so
+// are 503 warming responses (the bind-first front door's Retry-After is
+// honoured as the backoff); any other failure is an error. The exit
+// status is non-zero if any request ultimately failed, so a CI job can
+// gate on it directly.
+//
+// -mutations N interleaves N dataset mutations with the query load from a
+// dedicated goroutine, alternating adds (small batches cloned from the
+// query file under fresh IDs) with removals, paced by -mutate-every.
+// Against a server started with -partitions, pass -partitioned: removals
+// then address the mutator's own added graphs by their global IDs (the
+// partitioned wire contract) instead of by dataset tail position.
 //
 // -stream sends the workload through POST /query/stream on one NDJSON
 // connection per worker instead of unary requests (per-line latency is
@@ -48,6 +58,9 @@ func main() {
 		stream  = flag.Bool("stream", false, "use the NDJSON streaming endpoint")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		retries = flag.Int("max-429-retries", 100, "backoff retries per request on a full admission queue")
+		muts    = flag.Int("mutations", 0, "dataset mutations to interleave with the query load")
+		mutGap  = flag.Duration("mutate-every", 50*time.Millisecond, "pacing between mutations (needs -mutations)")
+		parted  = flag.Bool("partitioned", false, "server is partitioned: removals address added graphs by global ID")
 	)
 	flag.Parse()
 	if *qPath == "" {
@@ -90,6 +103,14 @@ func main() {
 	)
 	t0 := time.Now()
 	var wg sync.WaitGroup
+	var mutOK, mutFailed atomic.Int64
+	if *muts > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mutator(client, queries, *muts, *mutGap, *parted, *timeout, &mutOK, &mutFailed)
+		}()
+	}
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
 		if *stream {
@@ -123,7 +144,7 @@ func main() {
 	elapsed := time.Since(t0)
 
 	completed := done.Load()
-	errCount := failed.Load()
+	errCount := failed.Load() + mutFailed.Load()
 	qps := float64(completed) / elapsed.Seconds()
 	if *stream {
 		fmt.Printf("igqload: n=%d mode=%s stream=true elapsed=%v qps=%.1f errors=%d\n",
@@ -140,14 +161,20 @@ func main() {
 		fmt.Printf("igqload: n=%d mode=%s elapsed=%v qps=%.1f p50=%v p99=%v retries429=%d errors=%d\n",
 			completed, *mode, elapsed.Round(time.Millisecond), qps, p50, p99, rejected.Load(), errCount)
 	}
+	if *muts > 0 {
+		fmt.Printf("igqload: mutations=%d ok=%d failed=%d partitioned=%v\n",
+			*muts, mutOK.Load(), mutFailed.Load(), *parted)
+	}
 	if errCount > 0 {
 		os.Exit(1)
 	}
 }
 
-// oneQuery issues a single unary query, absorbing 429s with jittered
-// backoff: a bounded admission queue rejecting under burst is expected
-// behaviour, not a failure — unless it never clears.
+// oneQuery issues a single unary query, absorbing back-pressure with
+// backoff: 429 (a bounded admission queue rejecting under burst) with
+// jittered exponential backoff, 503 warming (the bind-first front door
+// still loading the engine) by honouring its Retry-After hint. Neither is
+// a failure — unless it never clears.
 func oneQuery(client *server.Client, q *igq.Graph, mode string, timeout time.Duration, retries int, rng *rand.Rand, rejected *atomic.Int64) (time.Duration, error) {
 	backoff := time.Millisecond
 	start := time.Now()
@@ -155,6 +182,7 @@ func oneQuery(client *server.Client, q *igq.Graph, mode string, timeout time.Dur
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		reply, err := client.QueryGraph(ctx, q, mode)
 		cancel()
+		var unavail *server.UnavailableError
 		switch {
 		case err == nil:
 			if reply.Error != "" {
@@ -170,9 +198,89 @@ func oneQuery(client *server.Client, q *igq.Graph, mode string, timeout time.Dur
 			if backoff < 100*time.Millisecond {
 				backoff *= 2
 			}
+		case errors.As(err, &unavail):
+			rejected.Add(1)
+			if attempt >= retries {
+				return 0, fmt.Errorf("still warming after %d retries", retries)
+			}
+			time.Sleep(unavail.RetryAfter)
 		default:
 			return 0, err
 		}
+	}
+}
+
+// mutator interleaves dataset mutations with the query load: adds (small
+// batches cloned from the query file under fresh IDs) alternate with
+// removals. Partitioned servers address removals by the added graphs'
+// global IDs; single-engine servers remove the current dataset tail
+// position. Warming 503s back off like queries do; real failures count
+// toward the exit status.
+func mutator(client *server.Client, queries []*igq.Graph, n int, gap time.Duration, partitioned bool, timeout time.Duration, ok, failed *atomic.Int64) {
+	const idBase = 10_000_000 // far above any generated dataset ID
+	nextID := idBase
+	var addedIDs []int // IDs this run added (partitioned removal targets)
+	lastSize := 0
+	call := func(fn func(ctx context.Context) (server.MutateReply, error)) (server.MutateReply, error) {
+		for attempt := 0; ; attempt++ {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			reply, err := fn(ctx)
+			cancel()
+			var unavail *server.UnavailableError
+			if errors.As(err, &unavail) && attempt < 50 {
+				time.Sleep(unavail.RetryAfter)
+				continue
+			}
+			return reply, err
+		}
+	}
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			time.Sleep(gap)
+		}
+		remove := k%2 == 1 && (len(addedIDs) > 0 || (!partitioned && lastSize > 1))
+		if !remove {
+			batch := make([]*igq.Graph, 2)
+			for i := range batch {
+				g := queries[(k+i)%len(queries)].Clone()
+				g.ID = nextID
+				nextID++
+				batch[i] = g
+			}
+			reply, err := call(func(ctx context.Context) (server.MutateReply, error) {
+				return client.AddGraphs(ctx, batch)
+			})
+			if err != nil {
+				failed.Add(1)
+				fmt.Fprintf(os.Stderr, "igqload: mutation %d (add): %v\n", k, err)
+				continue
+			}
+			lastSize = reply.DatasetSize
+			if partitioned {
+				for _, g := range batch {
+					addedIDs = append(addedIDs, g.ID)
+				}
+			}
+			ok.Add(1)
+			continue
+		}
+		var target int
+		if partitioned {
+			target = addedIDs[0]
+			addedIDs = addedIDs[1:]
+		} else {
+			target = lastSize - 1
+		}
+		reply, err := call(func(ctx context.Context) (server.MutateReply, error) {
+			return client.RemoveGraphs(ctx, []int{target})
+		})
+		if err != nil {
+			failed.Add(1)
+			fmt.Fprintf(os.Stderr, "igqload: mutation %d (remove %d): %v\n", k, target, err)
+			continue
+		}
+		lastSize = reply.DatasetSize
+		ok.Add(1)
 	}
 }
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	igqserve -db dataset.db [-addr :7468] [-method grapes] [-super]
-//	         [-cache 500 -window 100] [-workers N -queue N]
+//	         [-partitions N] [-cache 500 -window 100] [-workers N -queue N]
 //	         [-snapshot engine.snap] [-lazy [-lazy-budget BYTES]]
 //	         [-delta index.idx -maintain-every 30s]
 //	         [-timeout 10s -max-timeout 1m]
@@ -36,7 +36,16 @@
 // read and lets the process serve an index bigger than RAM.
 //
 // -super additionally hosts a supergraph-containment engine on the same
-// dataset, served under mode=super and rebuilt after each mutation.
+// dataset, served under mode=super and maintained O(delta) after each
+// mutation (the Containment index mutates in place; a rebuild happens only
+// if the method cannot).
+//
+// -partitions N shards the dataset across N in-process partitions routed
+// by a stable hash of each graph's ID: queries scatter-gather (answers
+// carry global graph IDs instead of positions), mutations touch only the
+// owning partition, and -snapshot/-delta become per-partition lineage
+// bases (snap.p0, snap.p1, ...). If every partition file exists the group
+// is restored from them; -lazy applies only to single-engine snapshots.
 package main
 
 import (
@@ -53,6 +62,7 @@ import (
 	"time"
 
 	igq "repro"
+	"repro/internal/partition"
 	"repro/internal/server"
 )
 
@@ -62,6 +72,7 @@ func main() {
 		addr      = flag.String("addr", ":7468", "listen address")
 		method    = flag.String("method", "grapes", "method: grapes | ggsx | ctindex")
 		super     = flag.Bool("super", false, "also host a supergraph engine (mode=super)")
+		parts     = flag.Int("partitions", 1, "shard the dataset across N in-process partitions (scatter-gather serving)")
 		cache     = flag.Int("cache", 500, "iGQ cache size C")
 		window    = flag.Int("window", 100, "iGQ window size W")
 		workers   = flag.Int("workers", 0, "execution slots (0 = one per CPU)")
@@ -114,49 +125,7 @@ func main() {
 		fatal("igqserve: loading dataset: %v", err)
 	}
 
-	t0 := time.Now()
-	var eng *igq.Engine
-	if *snapshot != "" {
-		if _, statErr := os.Stat(*snapshot); statErr == nil {
-			var lopts []igq.EngineLoadOption
-			if *lazy {
-				lopts = append(lopts, igq.WithLazyLoad(*lazyBudg))
-			}
-			var rep igq.LoadReport
-			eng, rep, err = igq.LoadEngineFile(*snapshot, db, opt, lopts...)
-			if err != nil {
-				fatal("igqserve: restoring snapshot: %v", err)
-			}
-			if rec := rep.RecoveredTail; rec != nil {
-				log.Printf("snapshot had a torn journal tail: dropped %d bytes / %d ops; repaired=%v",
-					rec.DiscardedBytes, rec.DroppedOps, rep.Repaired)
-			}
-			if !*quietLoad {
-				if st := eng.Stats(); st.LazyLoaded {
-					log.Printf("lazily mapped %s engine over %d graphs from %s in %v (%d shards on demand, budget %d bytes)",
-						eng.MethodName(), len(db), *snapshot, time.Since(t0), st.TotalShards, st.LazyBudgetBytes)
-				} else {
-					log.Printf("restored %s engine over %d graphs from %s in %v",
-						eng.MethodName(), len(db), *snapshot, time.Since(t0))
-				}
-			}
-		}
-	}
-	if eng == nil && *lazy && !*quietLoad {
-		log.Printf("-lazy has no effect: no snapshot to map (building the index)")
-	}
-	if eng == nil {
-		eng, err = igq.NewEngine(db, opt)
-		if err != nil {
-			fatal("igqserve: %v", err)
-		}
-		if !*quietLoad {
-			log.Printf("indexed %d graphs with %s in %v", len(db), eng.MethodName(), time.Since(t0))
-		}
-	}
-
 	cfg := server.Config{
-		Engine:         eng,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
@@ -166,17 +135,42 @@ func main() {
 		MaintainEvery:  *maintain,
 		Logf:           log.Printf,
 	}
-	if *super {
-		superOpt := igq.EngineOptions{Supergraph: true, CacheSize: *cache, Window: *window}
-		t := time.Now()
-		cfg.Super, err = igq.NewEngine(db, superOpt)
-		if err != nil {
-			fatal("igqserve: building supergraph engine: %v", err)
+
+	if *parts > 1 {
+		if *lazy && !*quietLoad {
+			log.Printf("-lazy has no effect with -partitions: partition snapshots restore eagerly")
 		}
-		cfg.SuperOptions = superOpt
-		if !*quietLoad {
-			log.Printf("supergraph engine ready in %v", time.Since(t))
+		popt := partition.Options{Partitions: *parts, Engine: opt, Super: *super}
+		t0 := time.Now()
+		if *snapshot != "" && partition.HaveAllParts(*snapshot, *parts) {
+			grp, reps, err := partition.LoadGroup(*snapshot, db, popt)
+			if err != nil {
+				fatal("igqserve: restoring partition snapshots: %v", err)
+			}
+			for i, rep := range reps {
+				if rec := rep.RecoveredTail; rec != nil {
+					log.Printf("partition %d snapshot had a torn journal tail: dropped %d bytes / %d ops; repaired=%v",
+						i, rec.DiscardedBytes, rec.DroppedOps, rep.Repaired)
+				}
+			}
+			cfg.Group = grp
+			if !*quietLoad {
+				log.Printf("restored %d graphs across %d partitions from %s.p* in %v (super=%v)",
+					grp.NumGraphs(), *parts, *snapshot, time.Since(t0), *super)
+			}
+		} else {
+			grp, err := partition.New(db, popt)
+			if err != nil {
+				fatal("igqserve: %v", err)
+			}
+			cfg.Group = grp
+			if !*quietLoad {
+				log.Printf("indexed %d graphs across %d partitions in %v (super=%v)",
+					len(db), *parts, time.Since(t0), *super)
+			}
 		}
+	} else {
+		buildEngine(&cfg, db, opt, *snapshot, *lazy, *lazyBudg, *super, *cache, *window, *quietLoad)
 	}
 
 	s, err := server.New(cfg)
@@ -211,6 +205,67 @@ func main() {
 		}
 	case err := <-serveErr:
 		fatal("igqserve: %v", err)
+	}
+}
+
+// buildEngine fills cfg with a single-engine deployment: restored from the
+// snapshot when one exists (optionally lazily mapped), built otherwise,
+// plus the optional supergraph engine.
+func buildEngine(cfg *server.Config, db []*igq.Graph, opt igq.EngineOptions,
+	snapshot string, lazy bool, lazyBudg int64, super bool, cache, window int, quietLoad bool) {
+	t0 := time.Now()
+	var eng *igq.Engine
+	var err error
+	if snapshot != "" {
+		if _, statErr := os.Stat(snapshot); statErr == nil {
+			var lopts []igq.EngineLoadOption
+			if lazy {
+				lopts = append(lopts, igq.WithLazyLoad(lazyBudg))
+			}
+			var rep igq.LoadReport
+			eng, rep, err = igq.LoadEngineFile(snapshot, db, opt, lopts...)
+			if err != nil {
+				fatal("igqserve: restoring snapshot: %v", err)
+			}
+			if rec := rep.RecoveredTail; rec != nil {
+				log.Printf("snapshot had a torn journal tail: dropped %d bytes / %d ops; repaired=%v",
+					rec.DiscardedBytes, rec.DroppedOps, rep.Repaired)
+			}
+			if !quietLoad {
+				if st := eng.Stats(); st.LazyLoaded {
+					log.Printf("lazily mapped %s engine over %d graphs from %s in %v (%d shards on demand, budget %d bytes)",
+						eng.MethodName(), len(db), snapshot, time.Since(t0), st.TotalShards, st.LazyBudgetBytes)
+				} else {
+					log.Printf("restored %s engine over %d graphs from %s in %v",
+						eng.MethodName(), len(db), snapshot, time.Since(t0))
+				}
+			}
+		}
+	}
+	if eng == nil && lazy && !quietLoad {
+		log.Printf("-lazy has no effect: no snapshot to map (building the index)")
+	}
+	if eng == nil {
+		eng, err = igq.NewEngine(db, opt)
+		if err != nil {
+			fatal("igqserve: %v", err)
+		}
+		if !quietLoad {
+			log.Printf("indexed %d graphs with %s in %v", len(db), eng.MethodName(), time.Since(t0))
+		}
+	}
+	cfg.Engine = eng
+	if super {
+		superOpt := igq.EngineOptions{Supergraph: true, CacheSize: cache, Window: window}
+		t := time.Now()
+		cfg.Super, err = igq.NewEngine(db, superOpt)
+		if err != nil {
+			fatal("igqserve: building supergraph engine: %v", err)
+		}
+		cfg.SuperOptions = superOpt
+		if !quietLoad {
+			log.Printf("supergraph engine ready in %v", time.Since(t))
+		}
 	}
 }
 

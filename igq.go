@@ -217,6 +217,24 @@
 // lean on: it intercepts the built index method so tests can inject
 // latency or faults without touching internal packages.
 //
+// # Partitioned serving
+//
+// internal/partition shards one dataset across N in-process engine pairs
+// behind an Engine-shaped surface: each graph is routed to a partition by
+// a stable hash of its ID, queries scatter to every partition with bounded
+// fan-out and gather into one merged result, and mutations touch only the
+// owning partition. Because sub- and super-answers are plain sets of
+// matching dataset graphs, the merge is a union keyed by global graph ID —
+// partition.Group answers are required (and gated, by the "partition"
+// experiment and the partitioned-server tests) to be identical to a single
+// engine over the undivided dataset at every partition count; only the
+// positions-vs-IDs addressing and the per-partition cache/credit locality
+// are observable. Persistence reuses the engine machinery per partition
+// (one snapshot + delta lineage each, base.p0, base.p1, ...), and
+// igqserve -partitions N serves a group over the wire with per-partition
+// /metrics gauges. Rebalance resplits the live group to a new partition
+// count between queries.
+//
 // QuerySubgraph and QuerySupergraph are deprecated synonyms for Query; new
 // code should pass a context and use Query.
 package igq
@@ -864,10 +882,11 @@ func (e *Engine) LoadIndex(r io.Reader) (LoadReport, error) {
 // other. ctx is observed before the mutation begins; once underway it
 // always completes (the work is O(new graphs), not O(dataset)).
 //
-// Only methods implementing incremental maintenance support this (GGSX and
-// Grapes do); otherwise an error wrapping the method name is returned and
-// the engine is unchanged. The pending delta can be persisted in O(delta)
-// with AppendIndexDelta.
+// Only methods implementing incremental maintenance support this (GGSX,
+// Grapes and the supergraph Containment method do); otherwise an error
+// wrapping the method name is returned and the engine is unchanged. For
+// the path methods the pending delta can additionally be persisted in
+// O(delta) with AppendIndexDelta.
 func (e *Engine) AddGraphs(ctx context.Context, gs []*Graph) error {
 	if err := ctx.Err(); err != nil {
 		return err

@@ -36,7 +36,9 @@ type ContainmentIndex struct {
 
 	// pool of scratch state for the public standalone entry points; iGQ's
 	// hot path passes a per-query scratch from its own free list instead.
-	// The index is immutable once built, so lookups are concurrency-safe.
+	// A built index is immutable — dataset mutation goes through the
+	// copy-on-write NewMutation/ApplyMutation pair — so lookups are
+	// concurrency-safe.
 	pool sync.Pool
 }
 
@@ -67,11 +69,13 @@ func NewContainmentIndexSharded(maxPathLen int, d *features.Dict, shards int) *C
 	if maxPathLen <= 0 {
 		maxPathLen = 4
 	}
-	ci := &ContainmentIndex{
-		maxPathLen: maxPathLen,
-		tr:         trie.NewSharded(d, shards),
-		nf:         make(map[int32]int),
-	}
+	return newContainmentIndex(maxPathLen, trie.NewSharded(d, shards), make(map[int32]int))
+}
+
+// newContainmentIndex assembles an index around an existing trie and NF
+// table (the constructors and the copy-on-write mutation path share it).
+func newContainmentIndex(maxPathLen int, tr *trie.Trie, nf map[int32]int) *ContainmentIndex {
+	ci := &ContainmentIndex{maxPathLen: maxPathLen, tr: tr, nf: nf}
 	ci.pool.New = func() any {
 		return &ciScratch{feat: features.NewScratch(), matched: make(map[int32]int32)}
 	}
@@ -187,3 +191,8 @@ func (ci *ContainmentIndex) candidatesFromIDs(qf features.IDSet, s *ciScratch) [
 func (ci *ContainmentIndex) SizeBytes() int {
 	return ci.tr.SizeBytes() + 12*len(ci.nf)
 }
+
+// LiveDictSizeBytes reports the feature dictionary's footprint counted at
+// live features only — dead entries left behind by removals are excluded,
+// so a mutated index sizes identically to a from-scratch rebuild.
+func (ci *ContainmentIndex) LiveDictSizeBytes() int { return ci.tr.LiveDictSizeBytes() }

@@ -1,0 +1,40 @@
+package core
+
+// Copy-on-write mutation of the containment index. The trie already knows
+// how to mutate in O(delta) (trie.Mutation: append postings, scrub a
+// removed graph's keys, re-home a swapped graph); the only containment-
+// specific state is the NF table, which the caller maintains alongside the
+// staged trie ops and hands to ApplyMutation. The receiver is never
+// touched — it keeps answering Algorithm 2 over the pre-mutation dataset
+// while the new generation is installed by the caller's snapshot swap —
+// which is exactly the discipline index.Mutable methods and iGQ's cache
+// maintenance already follow.
+
+import (
+	"maps"
+
+	"repro/internal/trie"
+)
+
+// NewMutation stages a copy-on-write mutation against the index's trie.
+// Stage appended graphs' features and swap-removal steps exactly as for
+// the subgraph tries, then ApplyMutation with the matching NF table.
+func (ci *ContainmentIndex) NewMutation() *trie.Mutation { return ci.tr.NewMutation() }
+
+// NFTable returns a private copy of the NF table with growth room for
+// extra more graphs — the starting point for a mutation's NF bookkeeping:
+// appended graphs add their distinct-feature counts, swap-removals re-home
+// the last position's count into the vacated slot.
+func (ci *ContainmentIndex) NFTable(extra int) map[int32]int {
+	nf := make(map[int32]int, len(ci.nf)+extra)
+	maps.Copy(nf, ci.nf)
+	return nf
+}
+
+// ApplyMutation builds the post-mutation index: mut.Apply()'s trie plus nf
+// as the new NF table. Unaffected shards, posting containers and byte-trie
+// subtrees are shared with the receiver, which remains valid and
+// immutable. Cost is O(staged features), independent of the dataset size.
+func (ci *ContainmentIndex) ApplyMutation(mut *trie.Mutation, nf map[int32]int) *ContainmentIndex {
+	return newContainmentIndex(ci.maxPathLen, mut.Apply(), nf)
+}

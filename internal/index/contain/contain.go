@@ -91,5 +91,8 @@ func (x *Index) Verify(q *graph.Graph, id int32) bool {
 }
 
 // SizeBytes implements index.Method: the containment index plus the
-// feature dictionary this method owns.
-func (x *Index) SizeBytes() int { return x.ci.SizeBytes() + x.ci.Dict().SizeBytes() }
+// feature dictionary this method owns, counted at live features only —
+// removal leaves dead dictionary entries behind (FeatureIDs are dense
+// handles and cannot be reclaimed), and they must not make a mutated
+// generation look bigger than the rebuild it is equivalent to.
+func (x *Index) SizeBytes() int { return x.ci.SizeBytes() + x.ci.LiveDictSizeBytes() }

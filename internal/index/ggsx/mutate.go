@@ -96,7 +96,7 @@ func (x *Index) removeGraphs(positions []int, popt features.PathOptions) ([]*gra
 // records are key-sorted so staging is deterministic run to run.
 func StageAppend(mut *trie.Mutation, startID int32, gs []*graph.Graph, opt features.PathOptions) {
 	for i, g := range gs {
-		mut.AppendGraph(startID+int32(i), graphFeatures(features.Paths(g, opt)))
+		mut.AppendGraph(startID+int32(i), GraphFeatures(features.Paths(g, opt)))
 	}
 }
 
@@ -108,14 +108,17 @@ func StageRemovals(mut *trie.Mutation, steps []index.RemoveStep, opt features.Pa
 		scrub := featureKeys(features.Paths(st.RemovedGraph, opt))
 		var swapped []trie.GraphFeature
 		if st.SwappedGraph != nil {
-			swapped = graphFeatures(features.Paths(st.SwappedGraph, opt))
+			swapped = GraphFeatures(features.Paths(st.SwappedGraph, opt))
 		}
 		mut.RemoveGraph(st.Removed, st.SwappedFrom, scrub, swapped)
 	}
 }
 
-// graphFeatures flattens a PathSet into key-sorted feature records.
-func graphFeatures(ps *features.PathSet) []trie.GraphFeature {
+// GraphFeatures flattens a PathSet into key-sorted feature records, ready
+// for Mutation.AppendGraph/RemoveGraph staging. Exported alongside
+// StageAppend/StageRemovals: the contain method stages the same records
+// but interleaves its own NF bookkeeping per graph.
+func GraphFeatures(ps *features.PathSet) []trie.GraphFeature {
 	out := make([]trie.GraphFeature, 0, len(ps.Counts))
 	for k, c := range ps.Counts {
 		out = append(out, trie.GraphFeature{Key: k, Count: int32(c), Locs: ps.Locations[k]})

@@ -1,0 +1,398 @@
+// Package partition scales the engine horizontally inside one process:
+// a Group wraps N igq.Engine partitions behind the familiar Engine-shaped
+// surface. The dataset is split by a stable hash of each graph's
+// position-independent ID, queries scatter to every partition with bounded
+// parallelism and gather a mode-correct union (both subgraph and
+// supergraph answers union across partitions; per-partition caches and
+// §5.1 credits stay partition-local), and mutations route to the single
+// owning partition — so an add or remove touches one partition's index
+// instead of serialising the whole dataset behind one mutation lock.
+//
+// This is the single-process analogue of the scatter-gather architecture
+// of "Efficient Subgraph Matching on Billion Node Graphs": push the
+// filtering down to the data partitions, keep the merge trivial. Because
+// partitions are whole graphs (the dataset is a *collection* of small
+// graphs, not one billion-node graph), no cross-partition joins exist and
+// the merged answer is exactly the union of partition answers.
+//
+// Identity, not position. A partitioned dataset has no useful global
+// position space — partition-local swap-removal reorders neighbours
+// invisibly — so the Group addresses graphs by their ID everywhere:
+// Query results carry global graph IDs (sorted ascending), RemoveGraphs
+// takes IDs, and routing is PartitionOf(id, n). Every dataset graph must
+// carry a unique ID (dataset.Generate and the wire codec both preserve
+// them); New rejects datasets that do not.
+//
+// Persistence reuses the engine machinery per partition: SaveAll writes
+// one engine snapshot per partition (base.p0, base.p1, ...), LoadGroup
+// restores each partition from its own lineage, and AppendDeltas /
+// MaintainDeltas keep one O(delta) journal lineage per partition.
+// Rebalance(n) resplits in process by rebuilding partition engines from
+// the redistributed graphs; cross-process rebalance (shipping a
+// partition's snapshot + journal tail) is the recorded follow-up.
+package partition
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	igq "repro"
+)
+
+// Mode selects the query direction a Group call serves.
+type Mode int
+
+const (
+	// Sub answers subgraph queries: which dataset graphs contain q.
+	Sub Mode = iota
+	// Super answers supergraph queries: which dataset graphs are
+	// contained in q. Requires Options.Super.
+	Super
+)
+
+func (m Mode) String() string {
+	if m == Super {
+		return "super"
+	}
+	return "sub"
+}
+
+// Options configures a Group.
+type Options struct {
+	// Partitions is the number of in-process partitions (default 1).
+	Partitions int
+	// Engine configures each partition's subgraph engine.
+	Engine igq.EngineOptions
+	// Super additionally hosts a supergraph (containment) engine per
+	// partition over the same partition dataset, served by Mode Super.
+	Super bool
+	// SuperEngine overrides the supergraph engines' options (Supergraph is
+	// forced on). Nil derives them from Engine: same cache geometry, shard
+	// count and build parallelism.
+	SuperEngine *igq.EngineOptions
+	// Fanout bounds how many partitions one query probes concurrently
+	// (0 = all at once).
+	Fanout int
+}
+
+// part is one partition: a subgraph engine and, optionally, a supergraph
+// engine over the same partition dataset. Both see every mutation routed
+// to the partition, in the same order, so their datasets stay identical.
+type part struct {
+	sub   *igq.Engine
+	super *igq.Engine
+}
+
+func (p *part) engine(mode Mode) *igq.Engine {
+	if mode == Super {
+		return p.super
+	}
+	return p.sub
+}
+
+// Group serves one logical dataset split across N engine partitions.
+// Queries are lock-free scatter-gather over an atomic partition-set
+// pointer; mutations, persistence and Rebalance serialise on one mutex but
+// touch only the partitions they route to. All methods are safe for
+// concurrent use.
+type Group struct {
+	opt   Options
+	mu    sync.Mutex // serialises mutations, persistence, Rebalance
+	parts atomic.Pointer[[]*part]
+}
+
+// PartitionOf is the routing function: the partition owning graph ID id
+// among n partitions. Stable across processes and runs (FNV-1a over the
+// little-endian ID bytes), so a dataset always resplits the same way.
+func PartitionOf(id, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(id)))
+	h := fnv.New32a()
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(n))
+}
+
+// New builds a Group over db split into opt.Partitions partitions. Every
+// graph must carry a unique ID (graph.Graph.ID); the split must leave no
+// partition empty — if one is, reduce the partition count (an engine
+// cannot serve an empty dataset).
+func New(db []*igq.Graph, opt Options) (*Group, error) {
+	opt = normalized(opt)
+	if err := checkIDs(db); err != nil {
+		return nil, err
+	}
+	split, err := route(db, opt.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := buildParts(split, opt)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{opt: opt}
+	g.parts.Store(&parts)
+	return g, nil
+}
+
+func normalized(opt Options) Options {
+	if opt.Partitions <= 0 {
+		opt.Partitions = 1
+	}
+	return opt
+}
+
+// superOptions resolves the supergraph engines' options.
+func (o Options) superOptions() igq.EngineOptions {
+	if o.SuperEngine != nil {
+		so := *o.SuperEngine
+		so.Supergraph = true
+		return so
+	}
+	e := o.Engine
+	return igq.EngineOptions{
+		Supergraph:   true,
+		MaxPathLen:   e.MaxPathLen,
+		CacheSize:    e.CacheSize,
+		Window:       e.Window,
+		DisableCache: e.DisableCache,
+		Shards:       e.Shards,
+		BuildWorkers: e.BuildWorkers,
+		Threads:      e.Threads,
+	}
+}
+
+// checkIDs rejects datasets without unique graph IDs — identity routing
+// cannot work over ambiguous IDs.
+func checkIDs(db []*igq.Graph) error {
+	seen := make(map[int]struct{}, len(db))
+	for i, g := range db {
+		if g == nil {
+			return fmt.Errorf("partition: nil graph at position %d", i)
+		}
+		if _, dup := seen[g.ID]; dup {
+			return fmt.Errorf("partition: duplicate graph ID %d (partitioning routes by unique graph ID)", g.ID)
+		}
+		seen[g.ID] = struct{}{}
+	}
+	return nil
+}
+
+// route splits db into n per-partition datasets by PartitionOf, preserving
+// input order within each partition.
+func route(db []*igq.Graph, n int) ([][]*igq.Graph, error) {
+	split := make([][]*igq.Graph, n)
+	for _, g := range db {
+		p := PartitionOf(g.ID, n)
+		split[p] = append(split[p], g)
+	}
+	for p, pdb := range split {
+		if len(pdb) == 0 {
+			return nil, fmt.Errorf("partition: partition %d/%d would be empty (%d graphs total) — use fewer partitions", p, n, len(db))
+		}
+	}
+	return split, nil
+}
+
+// buildParts builds every partition's engines, partitions in parallel.
+func buildParts(split [][]*igq.Graph, opt Options) ([]*part, error) {
+	parts := make([]*part, len(split))
+	errs := make([]error, len(split))
+	var wg sync.WaitGroup
+	for i, pdb := range split {
+		wg.Add(1)
+		go func(i int, pdb []*igq.Graph) {
+			defer wg.Done()
+			sub, err := igq.NewEngine(pdb, opt.Engine)
+			if err != nil {
+				errs[i] = fmt.Errorf("partition %d: %w", i, err)
+				return
+			}
+			p := &part{sub: sub}
+			if opt.Super {
+				sup, err := igq.NewEngine(pdb, opt.superOptions())
+				if err != nil {
+					errs[i] = fmt.Errorf("partition %d (super): %w", i, err)
+					return
+				}
+				p.super = sup
+			}
+			parts[i] = p
+		}(i, pdb)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// Partitions returns the current partition count.
+func (g *Group) Partitions() int { return len(*g.parts.Load()) }
+
+// NumGraphs returns the total dataset size across partitions.
+func (g *Group) NumGraphs() int {
+	n := 0
+	for _, p := range *g.parts.Load() {
+		n += len(p.sub.Dataset())
+	}
+	return n
+}
+
+// HostsSuper reports whether Mode Super is served.
+func (g *Group) HostsSuper() bool { return g.opt.Super }
+
+// Dataset returns the whole dataset in canonical restore order: partition
+// 0's graphs in their local order, then partition 1's, and so on. Routing
+// this exact slice at the same partition count reproduces every
+// partition's local dataset — including the ordering that mutation
+// history (swap-removal) produced — which is what LoadGroup needs to
+// restore a mutated group from its snapshots. The slice is freshly
+// allocated; the graphs are shared.
+func (g *Group) Dataset() []*igq.Graph {
+	parts := *g.parts.Load()
+	var all []*igq.Graph
+	for _, p := range parts {
+		all = append(all, p.sub.Dataset()...)
+	}
+	return all
+}
+
+// Query answers a subgraph query: Engine-shaped shorthand for
+// QueryMode(ctx, Sub, q, opts...).
+func (g *Group) Query(ctx context.Context, q *igq.Graph, opts ...igq.QueryOption) (igq.Result, error) {
+	return g.QueryMode(ctx, Sub, q, opts...)
+}
+
+// QueryMode scatters q to every partition (at most Options.Fanout
+// concurrently) and gathers the union of answers. Result.Matches are the
+// matched dataset graphs and Result.IDs their *global graph IDs*, sorted
+// ascending — not positions; a partitioned dataset has no global position
+// space. Result.Stats sums the per-partition counters; AnsweredByCache is
+// true only when every partition short-circuited through its own cache
+// (caches and credits are partition-local by design).
+//
+// Each partition query runs through that engine's ordinary snapshot-
+// isolated Query path, so a scatter-gather runs concurrently with other
+// queries, streams and routed mutations.
+func (g *Group) QueryMode(ctx context.Context, mode Mode, q *igq.Graph, opts ...igq.QueryOption) (igq.Result, error) {
+	parts := *g.parts.Load()
+	if mode == Super && !g.opt.Super {
+		return igq.Result{}, errors.New("partition: no supergraph engines configured")
+	}
+	results := make([]igq.Result, len(parts))
+	errs := make([]error, len(parts))
+	fanout := g.opt.Fanout
+	if fanout <= 0 || fanout > len(parts) {
+		fanout = len(parts)
+	}
+	sem := make(chan struct{}, fanout)
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, e *igq.Engine) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Query(ctx, q, opts...)
+		}(i, p.engine(mode))
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return igq.Result{}, err
+	}
+	return mergeResults(results), nil
+}
+
+// mergeResults unions partition answers into one identity-keyed Result.
+func mergeResults(results []igq.Result) igq.Result {
+	var merged igq.Result
+	total := 0
+	for _, r := range results {
+		total += len(r.Matches)
+	}
+	merged.Matches = make([]*igq.Graph, 0, total)
+	cacheAll := true
+	for _, r := range results {
+		merged.Matches = append(merged.Matches, r.Matches...)
+		merged.Stats.BaseCandidates += r.Stats.BaseCandidates
+		merged.Stats.FinalCandidates += r.Stats.FinalCandidates
+		merged.Stats.DatasetIsoTests += r.Stats.DatasetIsoTests
+		merged.Stats.CacheIsoTests += r.Stats.CacheIsoTests
+		merged.Stats.SubHits += r.Stats.SubHits
+		merged.Stats.SuperHits += r.Stats.SuperHits
+		cacheAll = cacheAll && r.Stats.AnsweredByCache
+	}
+	merged.Stats.AnsweredByCache = cacheAll && len(results) > 0
+	slices.SortFunc(merged.Matches, func(a, b *igq.Graph) int { return a.ID - b.ID })
+	merged.IDs = make([]int32, len(merged.Matches))
+	for i, m := range merged.Matches {
+		merged.IDs[i] = int32(m.ID)
+	}
+	if len(merged.IDs) == 0 {
+		merged.IDs = nil
+		merged.Matches = nil
+	}
+	return merged
+}
+
+// QueryStream answers a continuous stream of queries in mode, mirroring
+// Engine.QueryStream's contract: BatchResult.Index is arrival order,
+// results are emitted in completion order, up to workers scatter-gathers
+// run at once (0 = one per GOMAXPROCS), the stream ends when in closes or
+// ctx cancels, and the caller must drain the returned channel.
+func (g *Group) QueryStream(ctx context.Context, mode Mode, in <-chan *igq.Graph, workers int, opts ...igq.QueryOption) <-chan igq.BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(chan igq.BatchResult)
+	type job struct {
+		i int
+		g *igq.Graph
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := g.QueryMode(ctx, mode, j.g, opts...)
+				out <- igq.BatchResult{Index: j.i, Result: r, Err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(out)
+		i := 0
+	feed:
+		for {
+			select {
+			case <-ctx.Done():
+				break feed
+			case q, ok := <-in:
+				if !ok {
+					break feed
+				}
+				select {
+				case jobs <- job{i, q}:
+					i++
+				case <-ctx.Done():
+					break feed
+				}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}()
+	return out
+}

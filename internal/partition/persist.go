@@ -1,0 +1,186 @@
+package partition
+
+// Per-partition persistence and rebalance. Each partition owns one
+// snapshot + journal lineage, reusing the engine machinery unchanged:
+// SaveAll writes an atomic combined engine snapshot per partition,
+// LoadGroup restores every partition from its own file against the
+// hash-routed split of the dataset, and AppendDeltas/MaintainDeltas give
+// each partition's index lineage the same O(delta) journal appends and
+// workload-adaptive compaction a single-engine deployment gets. The
+// lineage layout is flat and predictable — PartPath(base, i) = base.pI —
+// so a partition's state is exactly two files it could ship to another
+// process (the recorded cross-process rebalance follow-up).
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	igq "repro"
+	"repro/internal/persistio"
+)
+
+// PartPath names partition i's file in a per-partition lineage rooted at
+// base: base.p0, base.p1, ...
+func PartPath(base string, i int) string { return fmt.Sprintf("%s.p%d", base, i) }
+
+// HaveAllParts reports whether every partition file of an n-way lineage
+// rooted at base exists — the "restore instead of build" probe.
+func HaveAllParts(base string, n int) bool {
+	if base == "" {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if _, err := os.Stat(PartPath(base, i)); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveAll atomically writes each partition's combined engine snapshot
+// (index + cache) to PartPath(base, i). Supergraph engines are not
+// persisted — like a single-engine deployment, they are rebuilt from the
+// restored dataset on load. Exclusive with mutations and Rebalance.
+func (g *Group) SaveAll(base string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	parts := *g.parts.Load()
+	for i, p := range parts {
+		if err := igq.SaveEngineFile(PartPath(base, i), p.sub); err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadGroup restores a Group from an opt.Partitions-way snapshot lineage
+// rooted at base: db is split by the same stable routing New uses and each
+// partition is restored from its own file (journal tails replayed, torn
+// tails self-healed — the per-partition LoadReports are returned in
+// partition order). Supergraph engines, when opt.Super, are rebuilt from
+// the restored partition datasets.
+func LoadGroup(base string, db []*igq.Graph, opt Options) (*Group, []igq.LoadReport, error) {
+	opt = normalized(opt)
+	if err := checkIDs(db); err != nil {
+		return nil, nil, err
+	}
+	split, err := route(db, opt.Partitions)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts := make([]*part, len(split))
+	reports := make([]igq.LoadReport, len(split))
+	for i, pdb := range split {
+		sub, rep, err := igq.LoadEngineFile(PartPath(base, i), pdb, opt.Engine)
+		if err != nil {
+			return nil, nil, fmt.Errorf("partition %d: %w", i, err)
+		}
+		reports[i] = rep
+		parts[i] = &part{sub: sub}
+	}
+	if opt.Super {
+		superParts, err := buildParts(split, Options{Partitions: opt.Partitions, Engine: opt.superOptions()})
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range parts {
+			parts[i].super = superParts[i].sub
+		}
+	}
+	g := &Group{opt: opt}
+	g.parts.Store(&parts)
+	return g, reports, nil
+}
+
+// AppendDeltas appends each partition's pending mutation journal to its
+// index lineage file PartPath(base, i) — an O(delta-per-partition) write.
+// Partitions whose lineage file does not exist yet are skipped, mirroring
+// the single-engine serving behaviour (the lineage is seeded by
+// SaveIndexFile out of band).
+func (g *Group) AppendDeltas(base string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	parts := *g.parts.Load()
+	var errs []error
+	for i, p := range parts {
+		err := withLineage(PartPath(base, i), func(f *persistio.PathFile) error {
+			return p.sub.AppendIndexDelta(f)
+		})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("partition %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// MaintainDeltas runs one journal-maintenance pass per partition lineage:
+// pending deltas are appended and over-threshold journal debt compacted
+// even when nothing is pending. Reports whether any lineage was modified.
+func (g *Group) MaintainDeltas(base string) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	parts := *g.parts.Load()
+	changed := false
+	var errs []error
+	for i, p := range parts {
+		err := withLineage(PartPath(base, i), func(f *persistio.PathFile) error {
+			ch, err := p.sub.MaintainIndexDelta(f)
+			changed = changed || ch
+			return err
+		})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("partition %d: %w", i, err))
+		}
+	}
+	return changed, errors.Join(errs...)
+}
+
+// withLineage opens a lineage file and applies fn; a missing file is a
+// clean no-op.
+func withLineage(path string, fn func(*persistio.PathFile) error) error {
+	f, err := persistio.OpenFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+// Rebalance resplits the dataset across n partitions: every graph is
+// re-routed by the stable hash under the new partition count and fresh
+// partition engines are built (in parallel) over the redistributed
+// datasets, then installed atomically — queries in flight finish against
+// the old partition set, later queries see the new one. Caches restart
+// cold (cached answers are partition-local and the partition contents
+// changed). Exclusive with mutations and persistence; rebalance under
+// live mutation load without the build pause is the recorded follow-up.
+func (g *Group) Rebalance(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("partition: cannot rebalance to %d partitions", n)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	parts := *g.parts.Load()
+	var all []*igq.Graph
+	for _, p := range parts {
+		all = append(all, p.sub.Dataset()...)
+	}
+	split, err := route(all, n)
+	if err != nil {
+		return err
+	}
+	// g.opt stays as New left it (queries read Super/Fanout from it without
+	// the mutex); the live partition count is len(*g.parts.Load()).
+	opt := g.opt
+	opt.Partitions = n
+	newParts, err := buildParts(split, opt)
+	if err != nil {
+		return err
+	}
+	g.parts.Store(&newParts)
+	return nil
+}

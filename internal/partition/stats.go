@@ -1,0 +1,67 @@
+package partition
+
+import igq "repro"
+
+// Stat is one partition's observability snapshot, JSON-ready for the
+// serving layer's /stats.
+type Stat struct {
+	Graphs int              `json:"graphs"`
+	Sub    igq.EngineStats  `json:"sub"`
+	Super  *igq.EngineStats `json:"super,omitempty"`
+}
+
+// PartitionStats samples every partition: dataset size plus the engine
+// counters, in partition order. Lock-free (atomic engine reads), so a
+// stats scrape never blocks queries or mutations.
+func (g *Group) PartitionStats() []Stat {
+	parts := *g.parts.Load()
+	out := make([]Stat, len(parts))
+	for i, p := range parts {
+		out[i] = Stat{Graphs: len(p.sub.Dataset()), Sub: p.sub.Stats()}
+		if p.super != nil {
+			st := p.super.Stats()
+			out[i].Super = &st
+		}
+	}
+	return out
+}
+
+// Stats aggregates the mode's engine counters across partitions: counter
+// fields sum (queries, cache answers, iso tests, hits, panics, cache
+// population, residency); LazyLoaded and LazyBudgetBytes are clear —
+// partitions are built or restored eagerly. Reports false when the mode is
+// not hosted.
+func (g *Group) Stats(mode Mode) (igq.EngineStats, bool) {
+	if mode == Super && !g.opt.Super {
+		return igq.EngineStats{}, false
+	}
+	var agg igq.EngineStats
+	for _, p := range *g.parts.Load() {
+		st := p.engine(mode).Stats()
+		agg.Queries += st.Queries
+		agg.AnsweredByCache += st.AnsweredByCache
+		agg.DatasetIsoTests += st.DatasetIsoTests
+		agg.CacheIsoTests += st.CacheIsoTests
+		agg.SubHits += st.SubHits
+		agg.SuperHits += st.SuperHits
+		agg.Panics += st.Panics
+		agg.CachedQueries += st.CachedQueries
+		agg.WindowPending += st.WindowPending
+		agg.Flushes += st.Flushes
+		agg.TotalShards += st.TotalShards
+		agg.ResidentShards += st.ResidentShards
+		agg.ResidentBytes += st.ResidentBytes
+	}
+	return agg, true
+}
+
+// SizeBytes sums the partitions' subgraph index footprints: the dataset
+// indexes (method) and the iGQ caches, matching Engine.IndexSizeBytes.
+func (g *Group) SizeBytes() (method, cache int) {
+	for _, p := range *g.parts.Load() {
+		m, c := p.sub.IndexSizeBytes()
+		method += m
+		cache += c
+	}
+	return method, cache
+}

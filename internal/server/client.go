@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -73,6 +74,15 @@ func decodeAPIError(resp *http.Response) error {
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		return fmt.Errorf("%w: %s", ErrQueueFull, msg)
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		ra := time.Second
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
+		return &UnavailableError{RetryAfter: ra, Msg: msg}
 	}
 	return &APIError{Status: resp.StatusCode, Msg: msg}
 }

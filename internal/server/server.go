@@ -15,20 +15,32 @@ import (
 	"time"
 
 	igq "repro"
+	"repro/internal/index"
+	"repro/internal/partition"
 	"repro/internal/persistio"
 )
 
-// Config configures a Server.
+// Config configures a Server. Exactly one of Engine and Group selects the
+// serving back-end: a single engine, or a partitioned scatter-gather group.
 type Config struct {
-	// Engine is the primary (subgraph-semantics) engine; required. It is
-	// the engine mutations apply to and the one the shutdown snapshot
-	// covers.
+	// Engine is the primary (subgraph-semantics) engine of a single-engine
+	// deployment. It is the engine mutations apply to and the one the
+	// shutdown snapshot covers.
 	Engine *igq.Engine
+	// Group serves a partitioned deployment instead of Engine: queries
+	// scatter-gather across partitions (answers carry global graph IDs,
+	// not positions), mutations route to the owning partition, and
+	// SnapshotPath/DeltaPath become per-partition lineage bases
+	// (base.p0, base.p1, ...). Super/SuperOptions are single-engine
+	// options — a Group hosts its own supergraph engines.
+	Group *partition.Group
 	// Super optionally serves supergraph queries (mode "super") over the
-	// same dataset. The Containment method behind it supports neither
-	// incremental mutation nor persistence, so after a dataset mutation
-	// the server rebuilds it (O(dataset)) from SuperOptions over the new
-	// dataset, and the shutdown snapshot covers only Engine.
+	// same dataset. After a dataset mutation the server applies the same
+	// delta to it through the method's incremental (index.Mutable) path —
+	// O(delta), like the primary engine — and falls back to an O(dataset)
+	// rebuild from SuperOptions only when the method reports
+	// index.ErrNotMutable (counted by ServerStats.SuperRebuilds). The
+	// shutdown snapshot covers only Engine.
 	Super        *igq.Engine
 	SuperOptions igq.EngineOptions
 
@@ -81,18 +93,22 @@ type Server struct {
 	stopped chan struct{}
 	bgOnce  sync.Once // StartBackground runs at most once
 
-	started     time.Time
-	served      atomic.Int64
-	rejected    atomic.Int64
-	errCount    atomic.Int64
-	maintPasses atomic.Int64
-	saves       atomic.Int64
+	started       time.Time
+	served        atomic.Int64
+	rejected      atomic.Int64
+	errCount      atomic.Int64
+	maintPasses   atomic.Int64
+	saves         atomic.Int64
+	superRebuilds atomic.Int64 // O(dataset) fallback rebuilds of the super engine
 }
 
 // New validates cfg and builds a ready-to-Serve server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, errors.New("server: Config.Engine is required")
+	if (cfg.Engine == nil) == (cfg.Group == nil) {
+		return nil, errors.New("server: exactly one of Config.Engine and Config.Group is required")
+	}
+	if cfg.Group != nil && cfg.Super != nil {
+		return nil, errors.New("server: Config.Super is a single-engine option; a Group hosts its own supergraph engines")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -166,13 +182,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	if s.cfg.SnapshotPath != "" {
-		if err := igq.SaveEngineFile(s.cfg.SnapshotPath, s.cfg.Engine); err != nil {
+		if err := s.save(); err != nil {
 			return fmt.Errorf("server: shutdown snapshot: %w", err)
 		}
-		s.saves.Add(1)
 		s.cfg.Logf("shutdown snapshot saved to %s", s.cfg.SnapshotPath)
 	}
 	return nil
+}
+
+// save writes the configured snapshot: one combined engine snapshot, or —
+// partitioned — one snapshot per partition under the SnapshotPath base.
+func (s *Server) save() error {
+	var err error
+	if s.cfg.Group != nil {
+		err = s.cfg.Group.SaveAll(s.cfg.SnapshotPath)
+	} else {
+		err = igq.SaveEngineFile(s.cfg.SnapshotPath, s.cfg.Engine)
+	}
+	if err == nil {
+		s.saves.Add(1)
+	}
+	return err
 }
 
 // maintenanceLoop drives periodic journal maintenance until Shutdown.
@@ -193,10 +223,18 @@ func (s *Server) maintenanceLoop() {
 	}
 }
 
-// maintain runs one journal maintenance pass over the delta lineage file:
-// pending mutations are appended, and over-threshold journal debt is
-// compacted even when nothing is pending (the idle-compaction hook).
+// maintain runs one journal maintenance pass over the delta lineage (one
+// file, or one per partition): pending mutations are appended, and
+// over-threshold journal debt is compacted even when nothing is pending
+// (the idle-compaction hook).
 func (s *Server) maintain() (bool, error) {
+	if s.cfg.Group != nil {
+		changed, err := s.cfg.Group.MaintainDeltas(s.cfg.DeltaPath)
+		if err == nil && changed {
+			s.maintPasses.Add(1)
+		}
+		return changed, err
+	}
 	f, err := persistio.OpenFile(s.cfg.DeltaPath)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -212,18 +250,51 @@ func (s *Server) maintain() (bool, error) {
 	return changed, err
 }
 
-// engineFor routes a wire mode to the engine serving it.
-func (s *Server) engineFor(mode string) (*igq.Engine, error) {
+// queryTarget is the query surface a wire mode resolved to: one engine, or
+// one mode of a partition group. Handlers drive it without caring which.
+type queryTarget struct {
+	eng  *igq.Engine
+	grp  *partition.Group
+	mode partition.Mode
+}
+
+func (t queryTarget) query(ctx context.Context, q *igq.Graph, opts ...igq.QueryOption) (igq.Result, error) {
+	if t.grp != nil {
+		return t.grp.QueryMode(ctx, t.mode, q, opts...)
+	}
+	return t.eng.Query(ctx, q, opts...)
+}
+
+func (t queryTarget) stream(ctx context.Context, in <-chan *igq.Graph, workers int) <-chan igq.BatchResult {
+	if t.grp != nil {
+		return t.grp.QueryStream(ctx, t.mode, in, workers)
+	}
+	return t.eng.QueryStream(ctx, in, igq.StreamWorkers(workers))
+}
+
+// targetFor routes a wire mode to the engine or partition-group mode
+// serving it. The super engine is loaded at call time — a concurrent
+// mutation may swap in a rebuilt one.
+func (s *Server) targetFor(mode string) (queryTarget, error) {
 	switch mode {
 	case "", ModeSub:
-		return s.cfg.Engine, nil
-	case ModeSuper:
-		if e := s.super.Load(); e != nil {
-			return e, nil
+		if s.cfg.Group != nil {
+			return queryTarget{grp: s.cfg.Group, mode: partition.Sub}, nil
 		}
-		return nil, errors.New("no supergraph engine configured")
+		return queryTarget{eng: s.cfg.Engine}, nil
+	case ModeSuper:
+		if s.cfg.Group != nil {
+			if !s.cfg.Group.HostsSuper() {
+				return queryTarget{}, errors.New("no supergraph engine configured")
+			}
+			return queryTarget{grp: s.cfg.Group, mode: partition.Super}, nil
+		}
+		if e := s.super.Load(); e != nil {
+			return queryTarget{eng: e}, nil
+		}
+		return queryTarget{}, errors.New("no supergraph engine configured")
 	default:
-		return nil, fmt.Errorf("unknown mode %q", mode)
+		return queryTarget{}, fmt.Errorf("unknown mode %q", mode)
 	}
 }
 
@@ -275,7 +346,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	eng, err := s.engineFor(req.Mode)
+	tgt, err := s.targetFor(req.Mode)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -291,7 +362,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
-	res, err := eng.Query(ctx, g, queryOptions(req)...)
+	res, err := tgt.query(ctx, g, queryOptions(req)...)
 	<-s.run
 	s.served.Add(1)
 	if err != nil {
@@ -327,7 +398,7 @@ func queryOptions(req QueryRequest) []igq.QueryOption {
 // itself is no longer trustworthy.
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	mode := r.URL.Query().Get("mode")
-	eng, err := s.engineFor(mode)
+	tgt, err := s.targetFor(mode)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -397,7 +468,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	// QueryStream's contract: the output must be drained until it closes.
 	// A client write failure therefore cancels the stream and keeps
 	// consuming (discarding) results instead of abandoning the channel.
-	for br := range eng.QueryStream(ctx, in, igq.StreamWorkers(s.cfg.Workers)) {
+	for br := range tgt.stream(ctx, in, s.cfg.Workers) {
 		<-s.run // this query's slot, held since acceptance
 		emitted++
 		s.served.Add(1)
@@ -458,9 +529,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		}
 		gs[i] = g
 	}
-	s.mutate(w, r, func(ctx context.Context) error {
-		return s.cfg.Engine.AddGraphs(ctx, gs)
-	})
+	s.mutate(w, r, mutOp{add: gs})
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -469,18 +538,57 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	s.mutate(w, r, func(ctx context.Context) error {
-		return s.cfg.Engine.RemoveGraphs(ctx, req.Positions)
-	})
+	s.mutate(w, r, mutOp{remove: req.Positions})
+}
+
+// mutOp is one dataset mutation, structured (rather than a closure) so the
+// same delta can replay on the supergraph engine's incremental path.
+// Exactly one field is set. remove holds dataset positions in single-engine
+// mode and global graph IDs in partitioned mode.
+type mutOp struct {
+	add    []*igq.Graph
+	remove []int
+}
+
+// applyEngine replays the op on one engine. The primary and supergraph
+// engines hold the same dataset in the same order (both built from the same
+// slice, both receiving every op in mutation order), so positions mean the
+// same thing to both.
+func (op mutOp) applyEngine(ctx context.Context, e *igq.Engine) error {
+	if len(op.add) > 0 {
+		return e.AddGraphs(ctx, op.add)
+	}
+	return e.RemoveGraphs(ctx, op.remove)
 }
 
 // mutate applies one dataset mutation and the bookkeeping every mutation
-// owes: an O(delta) journal append to the lineage file and a rebuild of
-// the supergraph engine (whose Containment index has no incremental path).
-func (s *Server) mutate(w http.ResponseWriter, r *http.Request, apply func(context.Context) error) {
+// owes: an O(delta) journal append to the lineage and the same delta on the
+// supergraph engine (incrementally when the method is index.Mutable,
+// rebuilding otherwise). Partitioned mutations route to the owning
+// partitions and journal each touched partition's lineage.
+func (s *Server) mutate(w http.ResponseWriter, r *http.Request, op mutOp) {
 	s.mutMu.Lock()
 	defer s.mutMu.Unlock()
-	if err := apply(r.Context()); err != nil {
+	if g := s.cfg.Group; g != nil {
+		var err error
+		if len(op.add) > 0 {
+			err = g.AddGraphs(r.Context(), op.add)
+		} else {
+			err = g.RemoveGraphs(r.Context(), op.remove)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if s.cfg.DeltaPath != "" {
+			if err := g.AppendDeltas(s.cfg.DeltaPath); err != nil {
+				s.cfg.Logf("journal append after mutation: %v", err)
+			}
+		}
+		writeJSON(w, http.StatusOK, MutateReply{DatasetSize: g.NumGraphs()})
+		return
+	}
+	if err := op.applyEngine(r.Context(), s.cfg.Engine); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -491,18 +599,41 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, apply func(conte
 			s.cfg.Logf("journal append after mutation: %v", err)
 		}
 	}
-	if s.super.Load() != nil {
-		db := s.cfg.Engine.Dataset()
-		opt := s.cfg.SuperOptions
-		opt.Supergraph = true
-		ne, err := igq.NewEngine(db, opt)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "rebuilding supergraph engine: "+err.Error())
+	if sup := s.super.Load(); sup != nil {
+		if err := s.mutateSuper(sup, op); err != nil {
+			writeError(w, http.StatusInternalServerError, "updating supergraph engine: "+err.Error())
 			return
 		}
-		s.super.Store(ne)
 	}
 	writeJSON(w, http.StatusOK, MutateReply{DatasetSize: len(s.cfg.Engine.Dataset())})
+}
+
+// mutateSuper keeps the supergraph engine a view of the primary's dataset:
+// the delta replays through the method's incremental path (O(delta) — the
+// Containment method is index.Mutable), falling back to an O(dataset)
+// rebuild from SuperOptions when the method cannot mutate in place. The
+// primary engine already committed, so the replay runs under a background
+// context: the two engines must not split over a client disconnect.
+func (s *Server) mutateSuper(sup *igq.Engine, op mutOp) error {
+	err := op.applyEngine(context.Background(), sup)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, index.ErrNotMutable) {
+		// Unexpected — but the engines must reconverge, and a rebuild from
+		// the primary's dataset always does.
+		s.cfg.Logf("incremental supergraph mutation: %v; rebuilding", err)
+	}
+	db := s.cfg.Engine.Dataset()
+	opt := s.cfg.SuperOptions
+	opt.Supergraph = true
+	ne, nerr := igq.NewEngine(db, opt)
+	if nerr != nil {
+		return nerr
+	}
+	s.super.Store(ne)
+	s.superRebuilds.Add(1)
+	return nil
 }
 
 // appendDelta appends the pending mutation journal to the lineage file.
@@ -516,7 +647,7 @@ func (s *Server) appendDelta() error {
 }
 
 func (s *Server) serverStats() ServerStats {
-	return ServerStats{
+	ss := ServerStats{
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Served:         s.served.Load(),
 		Rejected:       s.rejected.Load(),
@@ -526,14 +657,28 @@ func (s *Server) serverStats() ServerStats {
 		QueueDepth:     s.cfg.QueueDepth,
 		Maintenance:    s.maintPasses.Load(),
 		SnapshotsSaved: s.saves.Load(),
+		SuperRebuilds:  s.superRebuilds.Load(),
 	}
+	if s.cfg.Group != nil {
+		ss.Partitions = s.cfg.Group.Partitions()
+	}
+	return ss
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	reply := StatsReply{Server: s.serverStats(), Sub: s.cfg.Engine.Stats()}
-	if e := s.super.Load(); e != nil {
-		st := e.Stats()
-		reply.Super = &st
+	reply := StatsReply{Server: s.serverStats()}
+	if g := s.cfg.Group; g != nil {
+		reply.Sub, _ = g.Stats(partition.Sub)
+		if sup, ok := g.Stats(partition.Super); ok {
+			reply.Super = &sup
+		}
+		reply.Partitions = g.PartitionStats()
+	} else {
+		reply.Sub = s.cfg.Engine.Stats()
+		if e := s.super.Load(); e != nil {
+			st := e.Stats()
+			reply.Super = &st
+		}
 	}
 	writeJSON(w, http.StatusOK, reply)
 }
@@ -550,6 +695,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "igq_queries_in_flight %d\n", ss.InFlight)
 	fmt.Fprintf(w, "igq_maintenance_writes_total %d\n", ss.Maintenance)
 	fmt.Fprintf(w, "igq_snapshots_saved_total %d\n", ss.SnapshotsSaved)
+	fmt.Fprintf(w, "igq_super_rebuilds_total %d\n", ss.SuperRebuilds)
+	if g := s.cfg.Group; g != nil {
+		if st, ok := g.Stats(partition.Sub); ok {
+			emitEngineMetrics(w, "sub", st)
+		}
+		if st, ok := g.Stats(partition.Super); ok {
+			emitEngineMetrics(w, "super", st)
+		}
+		fmt.Fprintf(w, "igq_partitions %d\n", g.Partitions())
+		for i, ps := range g.PartitionStats() {
+			fmt.Fprintf(w, "igq_partition_graphs{part=\"%d\"} %d\n", i, ps.Graphs)
+			fmt.Fprintf(w, "igq_partition_queries_total{part=\"%d\",mode=\"sub\"} %d\n", i, ps.Sub.Queries)
+			fmt.Fprintf(w, "igq_partition_cache_answers_total{part=\"%d\",mode=\"sub\"} %d\n", i, ps.Sub.AnsweredByCache)
+			fmt.Fprintf(w, "igq_partition_resident_bytes{part=\"%d\",mode=\"sub\"} %d\n", i, ps.Sub.ResidentBytes)
+			if ps.Super != nil {
+				fmt.Fprintf(w, "igq_partition_queries_total{part=\"%d\",mode=\"super\"} %d\n", i, ps.Super.Queries)
+				fmt.Fprintf(w, "igq_partition_cache_answers_total{part=\"%d\",mode=\"super\"} %d\n", i, ps.Super.AnsweredByCache)
+			}
+		}
+		return
+	}
 	emitEngineMetrics(w, "sub", s.cfg.Engine.Stats())
 	if e := s.super.Load(); e != nil {
 		emitEngineMetrics(w, "super", e.Stats())
@@ -587,11 +753,15 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no snapshot path configured")
 		return
 	}
-	if err := igq.SaveEngineFile(s.cfg.SnapshotPath, s.cfg.Engine); err != nil {
+	// Saves and mutations exclude each other: a partition snapshot taken
+	// mid-routed-mutation would mix generations across partition files.
+	s.mutMu.Lock()
+	err := s.save()
+	s.mutMu.Unlock()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.saves.Add(1)
 	writeJSON(w, http.StatusOK, map[string]string{"path": s.cfg.SnapshotPath})
 }
 

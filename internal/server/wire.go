@@ -8,8 +8,10 @@ package server
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	igq "repro"
+	"repro/internal/partition"
 )
 
 // WireGraph is the JSON form of a labeled graph: vertex i carries
@@ -81,7 +83,9 @@ type QueryReply struct {
 	// Index is the arrival index of the query within a stream (0 for
 	// single queries); stream replies are emitted in completion order.
 	Index int `json:"index"`
-	// IDs are the dataset positions answering the query.
+	// IDs are the dataset positions answering the query — or, on a
+	// partitioned server, the answering graphs' global IDs sorted
+	// ascending (a partitioned dataset has no global position space).
 	IDs []int32 `json:"ids"`
 	// Stats are the per-query iGQ counters.
 	Stats igq.QueryStats `json:"stats"`
@@ -91,7 +95,9 @@ type QueryReply struct {
 }
 
 // MutateRequest is the body of POST /graphs/add (Graphs) and POST
-// /graphs/remove (Positions).
+// /graphs/remove (Positions). On a partitioned server Positions carry
+// global graph IDs instead of dataset positions, and added graphs must
+// carry unique IDs (removal routes by ID to the owning partition).
 type MutateRequest struct {
 	Graphs    []WireGraph `json:"graphs,omitempty"`
 	Positions []int       `json:"positions,omitempty"`
@@ -113,13 +119,17 @@ type ServerStats struct {
 	QueueDepth     int     `json:"queue_depth"`     // waiting slots beyond Workers
 	Maintenance    int64   `json:"maintenance"`     // journal maintenance passes that wrote the lineage file
 	SnapshotsSaved int64   `json:"snapshots_saved"` // explicit + shutdown snapshot saves
+	SuperRebuilds  int64   `json:"super_rebuilds"`  // O(dataset) supergraph rebuilds (incremental path unavailable)
+	Partitions     int     `json:"partitions,omitempty"` // partition count (0 = single-engine)
 }
 
-// StatsReply is the body of GET /stats.
+// StatsReply is the body of GET /stats. On a partitioned server Sub and
+// Super aggregate across partitions and Partitions breaks them down.
 type StatsReply struct {
-	Server ServerStats      `json:"server"`
-	Sub    igq.EngineStats  `json:"sub"`
-	Super  *igq.EngineStats `json:"super,omitempty"`
+	Server     ServerStats      `json:"server"`
+	Sub        igq.EngineStats  `json:"sub"`
+	Super      *igq.EngineStats `json:"super,omitempty"`
+	Partitions []partition.Stat `json:"partitions,omitempty"`
 }
 
 // errorReply is the JSON body of every non-2xx response.
@@ -131,6 +141,27 @@ type errorReply struct {
 // with 429: every execution and waiting slot was taken. The caller should
 // back off and retry; the server never queues unboundedly.
 var ErrQueueFull = errors.New("server: admission queue full")
+
+// ErrWarming is the sentinel under an *UnavailableError: the process is up
+// but its engine is not ready yet (the bind-first warming front door's 503).
+// Like ErrQueueFull this is back-pressure, not failure — back off for the
+// advertised Retry-After and retry.
+var ErrWarming = errors.New("server: warming up")
+
+// UnavailableError is a 503 response: the serving process answered, but
+// cannot serve yet. RetryAfter carries the server's Retry-After hint.
+type UnavailableError struct {
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("server: unavailable (retry after %v): %s", e.RetryAfter, e.Msg)
+}
+
+// Unwrap lets errors.Is(err, ErrWarming) classify the 503 without caring
+// about the hint.
+func (e *UnavailableError) Unwrap() error { return ErrWarming }
 
 // APIError is a non-2xx server response surfaced by the Client.
 type APIError struct {

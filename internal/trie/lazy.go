@@ -19,9 +19,12 @@ package trie
 //     CRC-checked and decoded only then — and replays the shard's pending
 //     overlay through the same Mutation.Apply path live mutation uses, so
 //     the resident shard is bit-identical to what the eager loader would
-//     have produced. A byte-budgeted evictor returns the least recently
-//     used shards to disk; an evicted shard re-reads and re-verifies its
-//     CRC on the next touch.
+//     have produced. The replay runs once per shard: its outcome is kept
+//     as a compact patch (post-replay containers for exactly the features
+//     the overlay touches), so a shard that is evicted and re-faulted
+//     re-reads and re-verifies its segment but applies the patch instead
+//     of replaying the journal again. A byte-budgeted evictor returns the
+//     least recently used shards to disk.
 //
 // Error placement moves with the work: base damage that the streaming
 // loader reports at load time (a bad segment CRC, a corrupt posting list)
@@ -85,6 +88,7 @@ type Residency struct {
 	BudgetBytes    int64
 	Faults         int64 // segment fault-ins, including refaults after eviction
 	Evictions      int64
+	OverlayReplays int64 // journal-overlay replays (once per journaled shard; refaults reuse the cached patch)
 	Materialized   bool
 }
 
@@ -120,11 +124,27 @@ type shardResident struct {
 	bytes   int64                // decoded footprint, SizeBytes accounting
 }
 
+// overlayPatch is the cached outcome of a shard's one-time journal-overlay
+// replay: the post-replay containers of exactly the features the overlay
+// ops touch (set), the touched features the replay drained away (del), and
+// the dead-set contribution. Applying it to a freshly decoded segment is
+// O(touched features) and lands on the same state the replay produced —
+// legal because overlays never change after OpenLazy (mutation goes
+// through Materialize first) and the containers are immutable once a
+// resident is published. If overlays ever become mutable on a live lazy
+// trie, the patch must be dropped wherever they change.
+type overlayPatch struct {
+	set     map[features.FeatureID]PostingList
+	del     []features.FeatureID
+	drained []features.FeatureID
+}
+
 // lazyShard is one shard's residency slot.
 type lazyShard struct {
 	val     atomic.Pointer[shardResident] // nil = cold (on disk)
 	mu      sync.Mutex                    // serialises fault-in of this shard
 	lastUse atomic.Int64                  // clock tick of the last probe
+	replay  *overlayPatch                 // guarded by mu: set by the first overlay replay
 }
 
 // lazyState is everything OpenLazy defers: the mapped source, the segment
@@ -152,6 +172,7 @@ type lazyState struct {
 	resShards    int
 	faults       int64
 	evictions    int64
+	replays      int64 // actual overlay replays (not patch applications)
 	sealed       bool // Materialize under way/done: eviction disabled
 	materialized bool
 }
@@ -541,16 +562,34 @@ func (ls *lazyState) faultIn(s int) (*shardResident, error) {
 		return nil, fmt.Errorf("segment %d: %w", s, err)
 	}
 	res := &shardResident{posts: posts}
+	replayed := false
 	if ops := ls.overlays[s]; len(ops) > 0 {
-		// Replay the shard's pending overlay through the live mutation
-		// path against a single-shard scratch trie (mask 0 routes every
-		// projected feature to its slot 0), so the resident state is
-		// bit-identical to an eager load's journal replay.
-		tmp := &Trie{dict: ls.dict, shards: []shard{{posts: posts}}, policy: ls.policy}
-		nt := (&Mutation{base: tmp, ops: ops}).Apply()
-		res.posts = nt.shards[0].posts
-		for id := range nt.dead {
-			res.drained = append(res.drained, id)
+		if p := sh.replay; p != nil {
+			// Refault after eviction: the overlay was already replayed once
+			// and cannot have changed since OpenLazy, so patch the fresh
+			// decode instead of replaying the journal ops again.
+			for id, pl := range p.set {
+				posts[id] = pl
+			}
+			for _, id := range p.del {
+				delete(posts, id)
+			}
+			res.drained = p.drained
+		} else {
+			// First fault: replay the shard's pending overlay through the
+			// live mutation path against a single-shard scratch trie (mask 0
+			// routes every projected feature to its slot 0), so the resident
+			// state is bit-identical to an eager load's journal replay. Apply
+			// is copy-on-write, so `posts` survives as the pre-replay base
+			// the patch below is diffed against.
+			tmp := &Trie{dict: ls.dict, shards: []shard{{posts: posts}}, policy: ls.policy}
+			nt := (&Mutation{base: tmp, ops: ops}).Apply()
+			res.posts = nt.shards[0].posts
+			for id := range nt.dead {
+				res.drained = append(res.drained, id)
+			}
+			sh.replay = overlayPatchOf(ls.dict, ops, res)
+			replayed = true
 		}
 	}
 	res.bytes = 48 // shard header, same accounting as SizeBytes
@@ -563,11 +602,46 @@ func (ls *lazyState) faultIn(s int) (*shardResident, error) {
 	ls.resBytes += res.bytes
 	ls.resShards++
 	ls.faults++
+	if replayed {
+		ls.replays++
+	}
 	if ls.budget > 0 && !ls.sealed {
 		ls.evictLocked(s)
 	}
 	ls.mu.Unlock()
 	return res, nil
+}
+
+// overlayPatchOf diffs one replay's outcome down to a patch. The touched
+// set is read off the ops themselves — append/re-home features were
+// pre-interned by OpenLazy and scrub keys were projected only when the
+// dictionary knows them, so Lookup resolves everything the replay could
+// have edited; a touched feature absent from the post-replay map was
+// deleted (drained, or scrubbed before it ever resurrected).
+func overlayPatchOf(dict *features.Dict, ops []mutOp, res *shardResident) *overlayPatch {
+	touched := make(map[features.FeatureID]struct{})
+	note := func(key string) {
+		if id, ok := dict.Lookup(key); ok {
+			touched[id] = struct{}{}
+		}
+	}
+	for _, op := range ops {
+		for _, f := range op.feats {
+			note(f.Key)
+		}
+		for _, key := range op.scrub {
+			note(key)
+		}
+	}
+	p := &overlayPatch{set: make(map[features.FeatureID]PostingList, len(touched)), drained: res.drained}
+	for id := range touched {
+		if pl, ok := res.posts[id]; ok {
+			p.set[id] = pl
+		} else {
+			p.del = append(p.del, id)
+		}
+	}
+	return p
 }
 
 // evictLocked (ls.mu held) returns least-recently-used shards to disk
@@ -708,6 +782,7 @@ func (t *Trie) Residency() Residency {
 		BudgetBytes:    ls.budget,
 		Faults:         ls.faults,
 		Evictions:      ls.evictions,
+		OverlayReplays: ls.replays,
 		Materialized:   ls.materialized,
 	}
 }

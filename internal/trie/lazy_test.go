@@ -225,6 +225,92 @@ func TestOpenLazyEvictionRefault(t *testing.T) {
 	}
 }
 
+// TestOpenLazyOverlayReplayCache: a journaled shard replays its overlay on
+// the first fault only — evict/refault cycles re-read and re-verify the
+// segment (Faults keeps climbing) but reuse the cached patch, so
+// OverlayReplays stays at one per journaled shard and answers, drained
+// bookkeeping and re-Save bytes still match an eager load exactly.
+func TestOpenLazyOverlayReplayCache(t *testing.T) {
+	base := randomTrie(t, 4, 120, 40, true, 83)
+	j := journalFor(t, base, 40)
+	data := snapshotBytes(t, base, j, JournalStamp{DBChecksum: 19, NumGraphs: 41})
+	want, _, _ := eagerLoad(t, data)
+
+	// Size the budget at about half the resident footprint so cycling over
+	// all shards must evict, and count the journaled shards.
+	probe := NewSharded(features.NewDict(), 0)
+	if _, _, err := probe.OpenLazy(bytes.NewReader(data), LazyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	journaled := 0
+	for _, ops := range probe.lazyLive.Load().overlays {
+		if len(ops) > 0 {
+			journaled++
+		}
+	}
+	if journaled == 0 {
+		t.Fatal("journalFor produced no per-shard overlays; the test is vacuous")
+	}
+	for s := 0; s < probe.ShardCount(); s++ {
+		if err := probe.FaultInShard(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budget := probe.Residency().ResidentBytes / 2
+
+	got := NewSharded(features.NewDict(), 0)
+	if _, _, err := got.OpenLazy(bytes.NewReader(data), LazyOptions{BudgetBytes: budget}); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 5; pass++ {
+		for s := 0; s < got.ShardCount(); s++ {
+			if err := got.FaultInShard(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if replays := got.Residency().OverlayReplays; replays != int64(journaled) {
+			t.Fatalf("pass %d: OverlayReplays = %d, want %d (one per journaled shard, refaults must reuse the patch)",
+				pass, replays, journaled)
+		}
+	}
+	res := got.Residency()
+	if res.Evictions == 0 {
+		t.Fatalf("no evictions under budget %d: %+v (refaults never exercised)", budget, res)
+	}
+	if res.Faults <= int64(res.TotalShards) {
+		t.Fatalf("no refaults recorded: %+v", res)
+	}
+
+	// Patched refaults must be answer-identical to the replayed first fault
+	// (and hence to an eager load), including drained/dead bookkeeping and
+	// the re-saved bytes.
+	for i := 0; i < want.Dict().Len(); i++ {
+		id := features.FeatureID(i)
+		if !plEqual(got.GetByID(id), want.GetByID(id)) {
+			t.Fatalf("GetByID(%d) diverges after patched refaults", id)
+		}
+	}
+	if err := got.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if got.DeadLen() != want.DeadLen() {
+		t.Errorf("DeadLen = %d, want %d (cached drained set lost)", got.DeadLen(), want.DeadLen())
+	}
+	if !reflect.DeepEqual(dump(got), dump(want)) {
+		t.Error("materialised contents differ from eager load after patched refaults")
+	}
+	var gotSave, wantSave bytes.Buffer
+	if _, err := got.WriteTo(&gotSave); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.WriteTo(&wantSave); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSave.Bytes(), wantSave.Bytes()) {
+		t.Error("re-Save bytes differ after patched refaults")
+	}
+}
+
 // TestOpenLazyConcurrent hammers one lazily-opened trie from many
 // goroutines under eviction pressure (run with -race): concurrent
 // fault-in, concurrent eviction and a racing Materialize must all yield
